@@ -1,0 +1,63 @@
+//! Benches for the system-level evaluation figures: `fig14` (one group per
+//! mechanism) and `fig15` (PSO composition), plus `table2` (workload
+//! generation + statistics). Each iteration performs one full
+//! simulator run of a representative workload cell.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rr_bench::{run_mechanism, Mechanism};
+use rr_workloads::msrc::MsrcWorkload;
+use rr_workloads::ycsb::YcsbWorkload;
+use std::hint::black_box;
+
+fn table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(20);
+    g.bench_function("synthesize_and_stat_all_workloads", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for w in MsrcWorkload::ALL {
+                acc += w.synthesize(1_000, 7).stats().read_ratio;
+            }
+            for w in YcsbWorkload::ALL {
+                acc += w.synthesize(1_000, 7).stats().cold_ratio;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn fig14(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    let trace = MsrcWorkload::Usr1.synthesize(1_000, 3);
+    for m in Mechanism::FIG14 {
+        g.bench_function(format!("usr_1/{}", m.name()), |b| {
+            b.iter_batched(
+                || trace.clone(),
+                |t| black_box(run_mechanism(m, &t).avg_response_us()),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn fig15(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    let trace = YcsbWorkload::C.synthesize(1_000, 3);
+    for m in [Mechanism::Pso, Mechanism::PsoPnAr2] {
+        g.bench_function(format!("YCSB-C/{}", m.name()), |b| {
+            b.iter_batched(
+                || trace.clone(),
+                |t| black_box(run_mechanism(m, &t).avg_response_us()),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, table2, fig14, fig15);
+criterion_main!(benches);

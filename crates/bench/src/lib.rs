@@ -1,0 +1,46 @@
+//! # rr-bench — shared helpers for the Criterion benchmark harness
+//!
+//! The benches (in `benches/`) regenerate each paper table/figure at reduced
+//! population/trace sizes and measure the wall-clock cost of doing so; the
+//! full-size regeneration lives in the `repro` CLI. One bench group exists
+//! per table/figure (`table1`, `table2`, `fig4b` … `fig15`) plus micro-benches
+//! for the hot substrate paths.
+
+use rr_core::experiment::{run_one, OperatingPoint};
+use rr_core::rpt::ReadTimingParamTable;
+use rr_sim::config::SsdConfig;
+use rr_sim::metrics::SimReport;
+use rr_workloads::trace::Trace;
+
+pub use rr_core::experiment::Mechanism;
+
+/// The benchmark SSD configuration (scaled geometry, Table-1 latencies).
+pub fn bench_config() -> SsdConfig {
+    SsdConfig::scaled_for_tests().with_seed(0xBE_5EED)
+}
+
+/// The benchmark operating point: the (2K P/E, 6-month) condition §7.2
+/// highlights.
+pub fn bench_point() -> OperatingPoint {
+    OperatingPoint::new(2000.0, 6.0)
+}
+
+/// Runs one mechanism over a trace at the benchmark point.
+pub fn run_mechanism(mechanism: Mechanism, trace: &Trace) -> SimReport {
+    let cfg = bench_config();
+    let rpt = ReadTimingParamTable::default();
+    run_one(&cfg, mechanism, bench_point(), trace, &rpt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_workloads::ycsb::YcsbWorkload;
+
+    #[test]
+    fn helpers_produce_valid_runs() {
+        let trace = YcsbWorkload::C.synthesize(200, 1);
+        let report = run_mechanism(Mechanism::PnAr2, &trace);
+        assert_eq!(report.requests_completed, 200);
+    }
+}

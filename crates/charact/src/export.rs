@@ -1,0 +1,150 @@
+//! CSV export of the characterization figure data, for plotting the
+//! regenerated figures with external tools (gnuplot/matplotlib/R).
+//!
+//! Each exporter emits one header row and one data row per measurement; all
+//! fields are plain numbers so any CSV reader works without quoting rules.
+
+use crate::figures::{Fig10Cell, Fig11Cell, Fig4bSeries, Fig5Cell, Fig7Cell, Fig8Series, Fig9Cell};
+use std::fmt::Write;
+
+/// Fig. 4b → `total_steps,steps_before_final,errors_per_kib`.
+pub fn fig4b_csv(series: &[Fig4bSeries]) -> String {
+    let mut out = String::from("total_steps,steps_before_final,errors_per_kib\n");
+    for s in series {
+        for &(d, e) in &s.errors_by_distance {
+            writeln!(out, "{},{},{}", s.total_steps, d, e).expect("write to String");
+        }
+    }
+    out
+}
+
+/// Fig. 5 → `pec,months,steps,probability` (one row per non-empty bin).
+pub fn fig5_csv(cells: &[Fig5Cell]) -> String {
+    let mut out = String::from("pec,months,steps,probability\n");
+    for c in cells {
+        for (steps, _count) in c.hist.iter() {
+            writeln!(
+                out,
+                "{},{},{},{:.6}",
+                c.pec,
+                c.months,
+                steps,
+                c.hist.probability(steps)
+            )
+            .expect("write to String");
+        }
+    }
+    out
+}
+
+/// Fig. 7 → `temp_c,pec,months,m_err,margin`.
+pub fn fig7_csv(cells: &[Fig7Cell]) -> String {
+    let mut out = String::from("temp_c,pec,months,m_err,margin\n");
+    for c in cells {
+        writeln!(out, "{},{},{},{},{}", c.temp_c, c.pec, c.months, c.m_err, c.margin)
+            .expect("write to String");
+    }
+    out
+}
+
+/// Fig. 8 → `param,pec,months,reduction,delta_m_err`.
+pub fn fig8_csv(series: &[Fig8Series]) -> String {
+    let mut out = String::from("param,pec,months,reduction,delta_m_err\n");
+    for s in series {
+        for &(x, d) in &s.points {
+            writeln!(out, "{},{},{},{:.2},{}", s.param.name(), s.pec, s.months, x, d)
+                .expect("write to String");
+        }
+    }
+    out
+}
+
+/// Fig. 9 → `pec,months,d_pre,d_disch,m_err`.
+pub fn fig9_csv(cells: &[Fig9Cell]) -> String {
+    let mut out = String::from("pec,months,d_pre,d_disch,m_err\n");
+    for c in cells {
+        writeln!(
+            out,
+            "{},{},{:.2},{:.2},{}",
+            c.pec, c.months, c.d_pre, c.d_disch, c.m_err
+        )
+        .expect("write to String");
+    }
+    out
+}
+
+/// Fig. 10 → `temp_c,pec,months,d_pre,extra_errors`.
+pub fn fig10_csv(cells: &[Fig10Cell]) -> String {
+    let mut out = String::from("temp_c,pec,months,d_pre,extra_errors\n");
+    for c in cells {
+        writeln!(
+            out,
+            "{},{},{},{:.2},{}",
+            c.temp_c, c.pec, c.months, c.d_pre, c.extra_errors
+        )
+        .expect("write to String");
+    }
+    out
+}
+
+/// Fig. 11 → `pec,months,safe_reduction,m_err_at_reduction`.
+pub fn fig11_csv(cells: &[Fig11Cell]) -> String {
+    let mut out = String::from("pec,months,safe_reduction,m_err_at_reduction\n");
+    for c in cells {
+        writeln!(
+            out,
+            "{},{},{:.2},{}",
+            c.pec, c.months, c.safe_reduction, c.m_err_at_reduction
+        )
+        .expect("write to String");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+    use crate::platform::TestPlatform;
+
+    #[test]
+    fn fig5_export_shape() {
+        let p = TestPlatform::new(2, 1);
+        let cells = figures::fig5(&p, 32);
+        let csv = fig5_csv(&cells);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("pec,months,steps,probability"));
+        let first = lines.next().expect("at least one data row");
+        assert_eq!(first.split(',').count(), 4);
+        // Probabilities parse and are within [0, 1].
+        for line in csv.lines().skip(1) {
+            let p: f64 = line.split(',').nth(3).unwrap().parse().unwrap();
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn fig7_export_roundtrips_numbers() {
+        let mut p = TestPlatform::new(2, 1);
+        let cells = figures::fig7(&mut p, 32);
+        let csv = fig7_csv(&cells);
+        assert_eq!(csv.lines().count(), cells.len() + 1);
+        let row1 = csv.lines().nth(1).unwrap();
+        let fields: Vec<&str> = row1.split(',').collect();
+        assert_eq!(fields.len(), 5);
+        let m_err: u32 = fields[3].parse().unwrap();
+        assert_eq!(m_err, cells[0].m_err);
+    }
+
+    #[test]
+    fn fig4b_and_sweeps_have_headers() {
+        let p = TestPlatform::new(8, 1);
+        let s = figures::fig4b(&p, 2000.0, 12.0, &[16], 3);
+        assert!(fig4b_csv(&s).starts_with("total_steps,"));
+        let mut p2 = TestPlatform::new(2, 1);
+        assert!(fig8_csv(&figures::fig8(&mut p2, 16)).starts_with("param,"));
+        assert!(fig9_csv(&figures::fig9(&mut p2, 8)).starts_with("pec,"));
+        assert!(fig10_csv(&figures::fig10(&mut p2, 8)).starts_with("temp_c,"));
+        assert!(fig11_csv(&figures::fig11(&mut p2, 16)).starts_with("pec,"));
+    }
+}

@@ -1,0 +1,114 @@
+//! `repro` — regenerate every table and figure of the ASPLOS'21 read-retry
+//! paper from this repository's models and simulator.
+//!
+//! ```text
+//! repro <command> [--quick] [--seed N]
+//!
+//! commands:
+//!   table1   NAND timing parameters
+//!   table2   workload read/cold ratios (synthesized traces vs. paper)
+//!   fig4b    RBER collapse over the last retry steps
+//!   fig5     retry-step probability map vs. (P/E cycles, retention)
+//!   fig7     M_ERR / ECC-capability margin in the final retry step
+//!   fig8     ΔM_ERR vs. individual timing-parameter reduction
+//!   fig9     M_ERR vs. joint (ΔtPRE, ΔtDISCH) reduction
+//!   fig10    temperature effect on tPRE reduction
+//!   fig11    minimum safe tPRE (the RPT source data)
+//!   rpt      the derived Read-timing Parameter Table
+//!   fig14    response time: Baseline / PR2 / AR2 / PnAR2 / NoRR
+//!   fig15    response time: PSO vs. PSO+PnAR2
+//!   extensions  the §8 future-work mechanisms (Eager-PnAR2, AR2-Regular)
+//!   ablation    design-choice ablations (fixed vs adaptive tPRE, PSO guard)
+//!   all      everything above
+//! ```
+
+mod commands;
+mod render;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut quick = false;
+    let mut seed = 0x5EED_2021u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" | "-q" => quick = true,
+            "--seed" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    eprintln!("--seed requires an integer value");
+                    return ExitCode::FAILURE;
+                };
+                seed = v;
+            }
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            c if command.is_none() && !c.starts_with('-') => command = Some(c.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                print_help();
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(command) = command else {
+        print_help();
+        return ExitCode::FAILURE;
+    };
+    let opts = commands::Options { quick, seed };
+    let run = |name: &str| -> bool {
+        match name {
+            "table1" => commands::table1(),
+            "table2" => commands::table2(&opts),
+            "fig4b" => commands::fig4b(&opts),
+            "fig5" => commands::fig5(&opts),
+            "fig7" => commands::fig7(&opts),
+            "fig8" => commands::fig8(&opts),
+            "fig9" => commands::fig9(&opts),
+            "fig10" => commands::fig10(&opts),
+            "fig11" => commands::fig11(&opts),
+            "rpt" => commands::rpt(&opts),
+            "extensions" => commands::extensions(&opts),
+            "ablation" => commands::ablation(&opts),
+            "export" => commands::export(&opts),
+            "fig14" => commands::fig14(&opts),
+            "fig15" => commands::fig15(&opts),
+            _ => return false,
+        }
+        true
+    };
+    if command == "all" {
+        for name in [
+            "table1", "table2", "fig4b", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "rpt", "fig14", "fig15", "extensions", "ablation",
+        ] {
+            run(name);
+        }
+        ExitCode::SUCCESS
+    } else if run(&command) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("unknown command: {command}");
+        print_help();
+        ExitCode::FAILURE
+    }
+}
+
+fn print_help() {
+    println!(
+        "repro — regenerate the ASPLOS'21 read-retry paper's tables and figures\n\
+         \n\
+         usage: repro <command> [--quick] [--seed N]\n\
+         \n\
+         commands: table1 table2 fig4b fig5 fig7 fig8 fig9 fig10 fig11 rpt fig14 fig15\n           extensions ablation export all\n\
+         \n\
+         --quick   smaller populations / traces (fast smoke run)\n\
+         --seed N  deterministic seed (default 0x5EED2021)"
+    );
+}

@@ -1,0 +1,435 @@
+//! The paper's §8 "Discussion" extensions, implemented as additional
+//! mechanisms (the paper sketches them as future work):
+//!
+//! * [`EagerPnAr2Controller`] — *"speculatively starting read-retry"*: when
+//!   the block's operating condition predicts that the default initial read
+//!   would fail anyway (its expected retry count is high), skip it — install
+//!   the reduced timing immediately and start the pipelined retry burst at
+//!   the first retry entry. Saves the wasted default-timing read plus its
+//!   transfer/decode on deeply-retried pages.
+//! * [`RegularAr2Controller`] — *"latency reduction for regular reads"*: the
+//!   ECC-capability margin exists for regular (no-retry) reads too, so
+//!   install the RPT-reduced tPRE once per die and leave it on — every read,
+//!   including retry-free ones, senses ~25 % faster. The RPT margin
+//!   guarantees the final (or only) read step still decodes.
+//!
+//! Both consult an [`ExpectedStepsTable`] — a controller-plausible profile of
+//! the mean retry count per (P/E cycles, retention) bucket, the same shape of
+//! offline knowledge the RPT already requires.
+
+use crate::rpt::ReadTimingParamTable;
+use rr_flash::calibration::{Calibration, OperatingCondition};
+use rr_sim::readflow::{ReadAction, ReadContext, RetryController};
+use rr_sim::request::TxnId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Offline-profiled mean retry steps per (PEC, retention) bucket — the
+/// §8 "accurate error model" a controller could ship alongside the RPT.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExpectedStepsTable {
+    pec_buckets: Vec<f64>,
+    ret_buckets: Vec<f64>,
+    /// Row-major mean retry steps per bucket corner.
+    means: Vec<f64>,
+}
+
+impl ExpectedStepsTable {
+    /// Builds the table from the chip calibration (Fig. 5's means).
+    pub fn from_calibration(cal: &Calibration) -> Self {
+        let pec_buckets = vec![250.0, 500.0, 1000.0, 1500.0, 2000.0, f64::MAX];
+        let ret_buckets = vec![0.25, 1.0, 3.0, 6.0, 12.0, f64::MAX];
+        let mut means = Vec::new();
+        for &p in &pec_buckets {
+            for &r in &ret_buckets {
+                let cond = OperatingCondition::new(p.min(2000.0), r.min(12.0), 30.0);
+                means.push(cal.mean_retry_steps(cond));
+            }
+        }
+        Self { pec_buckets, ret_buckets, means }
+    }
+
+    /// Expected retry steps at an operating condition (bucket upper corner —
+    /// a conservative over-estimate, like the RPT).
+    pub fn expected_steps(&self, cond: OperatingCondition) -> f64 {
+        let pi = self
+            .pec_buckets
+            .iter()
+            .position(|&b| cond.pec <= b)
+            .expect("last bucket is unbounded");
+        let ri = self
+            .ret_buckets
+            .iter()
+            .position(|&b| cond.retention_months <= b)
+            .expect("last bucket is unbounded");
+        self.means[pi * self.ret_buckets.len() + ri]
+    }
+}
+
+impl Default for ExpectedStepsTable {
+    fn default() -> Self {
+        Self::from_calibration(&Calibration::asplos21())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EagerPhase {
+    /// Default initial read in flight (prediction said "probably no retry").
+    Initial,
+    /// `SET FEATURE` (install reduced timing) in flight.
+    AwaitReduce,
+    /// Pipelined reduced-timing retry steps.
+    Pipelined,
+    /// Fallback: restore in flight after exhausting the table.
+    AwaitFallbackRestore,
+    /// Fallback: pipelined default-timing steps (covers mispredictions).
+    FallbackPipelined,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EagerState {
+    phase: EagerPhase,
+    sensing: Option<u32>,
+    /// Whether the initial default read was skipped.
+    eager: bool,
+}
+
+/// PnAR² plus §8's speculative retry start.
+#[derive(Debug)]
+pub struct EagerPnAr2Controller {
+    rpt: ReadTimingParamTable,
+    expected: ExpectedStepsTable,
+    /// Minimum predicted steps to skip the default initial read.
+    threshold: f64,
+    states: HashMap<TxnId, EagerState>,
+}
+
+impl EagerPnAr2Controller {
+    /// Creates the controller; `threshold` is the predicted retry count above
+    /// which the initial default-timing read is skipped (the paper suggests
+    /// "if a page ... is likely to exhibit high RBER").
+    pub fn new(rpt: ReadTimingParamTable, expected: ExpectedStepsTable, threshold: f64) -> Self {
+        assert!(threshold >= 1.0, "a threshold below 1 would skip reads that need no retry");
+        Self { rpt, expected, threshold, states: HashMap::new() }
+    }
+
+    fn state(&mut self, txn: TxnId) -> &mut EagerState {
+        self.states.get_mut(&txn).expect("event for an unknown eager read")
+    }
+}
+
+impl RetryController for EagerPnAr2Controller {
+    fn on_start(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+        let predicted = self.expected.expected_steps(ctx.condition);
+        if predicted >= self.threshold {
+            // Skip the doomed default read: reduce timing now, retry from
+            // entry 1 directly (entry 0 would fail like the initial read).
+            self.states.insert(
+                ctx.txn,
+                EagerState { phase: EagerPhase::AwaitReduce, sensing: None, eager: true },
+            );
+            let reduced = self.rpt.reduced_phases(ctx.condition);
+            vec![ReadAction::SetFeature { phases: Some(reduced) }]
+        } else {
+            self.states.insert(
+                ctx.txn,
+                EagerState { phase: EagerPhase::Initial, sensing: Some(0), eager: false },
+            );
+            vec![ReadAction::Sense { step: 0 }]
+        }
+    }
+
+    fn on_sense_done(&mut self, ctx: &ReadContext, step: u32) -> Vec<ReadAction> {
+        let max_step = ctx.max_step;
+        let s = self.state(ctx.txn);
+        s.sensing = None;
+        match s.phase {
+            EagerPhase::Initial => vec![ReadAction::Transfer { step }],
+            EagerPhase::Pipelined | EagerPhase::FallbackPipelined => {
+                let mut actions = vec![ReadAction::Transfer { step }];
+                if step < max_step {
+                    s.sensing = Some(step + 1);
+                    actions.push(ReadAction::Sense { step: step + 1 });
+                }
+                actions
+            }
+            _ => unreachable!("no sensing can complete while SET FEATURE is in flight"),
+        }
+    }
+
+    fn on_decode_done(
+        &mut self,
+        ctx: &ReadContext,
+        step: u32,
+        success: bool,
+        _margin: u32,
+    ) -> Vec<ReadAction> {
+        let s = *self.state(ctx.txn);
+        if success {
+            let mut actions = Vec::new();
+            if s.sensing.is_some() {
+                actions.push(ReadAction::Reset);
+            }
+            actions.push(ReadAction::CompleteSuccess { step });
+            if s.phase == EagerPhase::Pipelined {
+                actions.push(ReadAction::SetFeature { phases: None });
+            }
+            return actions;
+        }
+        match s.phase {
+            EagerPhase::Initial => {
+                let reduced = self.rpt.reduced_phases(ctx.condition);
+                self.state(ctx.txn).phase = EagerPhase::AwaitReduce;
+                vec![ReadAction::SetFeature { phases: Some(reduced) }]
+            }
+            EagerPhase::Pipelined => {
+                if step == ctx.max_step && s.sensing.is_none() {
+                    self.state(ctx.txn).phase = EagerPhase::AwaitFallbackRestore;
+                    vec![ReadAction::SetFeature { phases: None }]
+                } else {
+                    Vec::new()
+                }
+            }
+            EagerPhase::FallbackPipelined => {
+                if step == ctx.max_step && s.sensing.is_none() {
+                    vec![ReadAction::CompleteFailure]
+                } else {
+                    Vec::new()
+                }
+            }
+            _ => unreachable!("no decode can complete while SET FEATURE is in flight"),
+        }
+    }
+
+    fn on_feature_applied(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+        let s = self.state(ctx.txn);
+        match s.phase {
+            EagerPhase::AwaitReduce => {
+                s.phase = EagerPhase::Pipelined;
+                s.sensing = Some(1);
+                vec![ReadAction::Sense { step: 1 }]
+            }
+            EagerPhase::AwaitFallbackRestore => {
+                s.phase = EagerPhase::FallbackPipelined;
+                // The fallback walk must include entry 0 if it was skipped:
+                // a mispredicted fresh page succeeds only at the default
+                // V_REF of entry 0.
+                let start = if s.eager { 0 } else { 1 };
+                s.sensing = Some(start);
+                vec![ReadAction::Sense { step: start }]
+            }
+            _ => unreachable!("unexpected SET FEATURE completion"),
+        }
+    }
+
+    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Vec<ReadAction> {
+        Vec::new()
+    }
+
+    fn on_end(&mut self, ctx: &ReadContext, _successful_step: Option<u32>) {
+        self.states.remove(&ctx.txn);
+    }
+
+    fn name(&self) -> &str {
+        "Eager-PnAR2"
+    }
+}
+
+/// §8's regular-read extension: reduced tPRE for **all** reads.
+///
+/// Installs the RPT reduction for the die's *worst* relevant bucket once per
+/// die and never restores; otherwise behaves as PnAR². Retry-free reads (the
+/// common case on fresh/hot data) complete in `ρ·tR + tDMA + tECC`.
+#[derive(Debug)]
+pub struct RegularAr2Controller {
+    rpt: ReadTimingParamTable,
+    states: HashMap<TxnId, RegState>,
+    dies_reduced: HashSet<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RegState {
+    sensing: Option<u32>,
+    await_feature: bool,
+}
+
+impl RegularAr2Controller {
+    /// Creates the controller.
+    pub fn new(rpt: ReadTimingParamTable) -> Self {
+        Self { rpt, states: HashMap::new(), dies_reduced: HashSet::new() }
+    }
+
+    fn state(&mut self, txn: TxnId) -> &mut RegState {
+        self.states.get_mut(&txn).expect("event for an unknown read")
+    }
+}
+
+impl RetryController for RegularAr2Controller {
+    fn on_start(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+        if self.dies_reduced.insert(ctx.die) {
+            // First read on this die: install the reduction permanently.
+            // Use the cold-data bucket — the most error-prone data this die
+            // serves — so every page's final step keeps its margin.
+            self.states.insert(ctx.txn, RegState { sensing: None, await_feature: true });
+            let reduced = self.rpt.reduced_phases(ctx.condition);
+            vec![ReadAction::SetFeature { phases: Some(reduced) }]
+        } else {
+            self.states.insert(ctx.txn, RegState { sensing: Some(0), await_feature: false });
+            vec![ReadAction::Sense { step: 0 }]
+        }
+    }
+
+    fn on_sense_done(&mut self, ctx: &ReadContext, step: u32) -> Vec<ReadAction> {
+        let max_step = ctx.max_step;
+        let s = self.state(ctx.txn);
+        s.sensing = None;
+        let mut actions = vec![ReadAction::Transfer { step }];
+        if step < max_step {
+            // Pipeline like PR²: timing is already reduced, so speculation
+            // costs only the small RESET on success.
+            s.sensing = Some(step + 1);
+            actions.push(ReadAction::Sense { step: step + 1 });
+        }
+        actions
+    }
+
+    fn on_decode_done(
+        &mut self,
+        ctx: &ReadContext,
+        step: u32,
+        success: bool,
+        _margin: u32,
+    ) -> Vec<ReadAction> {
+        let s = *self.state(ctx.txn);
+        if success {
+            if s.sensing.is_some() {
+                vec![ReadAction::Reset, ReadAction::CompleteSuccess { step }]
+            } else {
+                vec![ReadAction::CompleteSuccess { step }]
+            }
+        } else if step == ctx.max_step && s.sensing.is_none() {
+            vec![ReadAction::CompleteFailure]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_feature_applied(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+        let s = self.state(ctx.txn);
+        debug_assert!(s.await_feature, "unexpected SET FEATURE completion");
+        s.await_feature = false;
+        s.sensing = Some(0);
+        vec![ReadAction::Sense { step: 0 }]
+    }
+
+    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Vec<ReadAction> {
+        Vec::new()
+    }
+
+    fn on_end(&mut self, ctx: &ReadContext, _successful_step: Option<u32>) {
+        self.states.remove(&ctx.txn);
+    }
+
+    fn name(&self) -> &str {
+        "AR2-Regular"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(txn: u32, pec: f64, months: f64) -> ReadContext {
+        ReadContext {
+            txn: TxnId(txn),
+            die: 0,
+            condition: OperatingCondition::new(pec, months, 30.0),
+            cold: true,
+            max_step: 40,
+        }
+    }
+
+    #[test]
+    fn expected_steps_table_tracks_fig5() {
+        let t = ExpectedStepsTable::default();
+        assert!(t.expected_steps(OperatingCondition::new(0.0, 0.1, 30.0)) < 2.0);
+        assert!(t.expected_steps(OperatingCondition::new(2000.0, 12.0, 30.0)) > 18.0);
+        // Bucketed lookups over-estimate (conservative).
+        let exact = Calibration::asplos21().mean_retry_steps(OperatingCondition::new(800.0, 5.0, 30.0));
+        assert!(t.expected_steps(OperatingCondition::new(800.0, 5.0, 30.0)) >= exact);
+    }
+
+    #[test]
+    fn eager_skips_initial_read_on_aged_data() {
+        let mut c = EagerPnAr2Controller::new(
+            ReadTimingParamTable::default(),
+            ExpectedStepsTable::default(),
+            2.0,
+        );
+        let x = ctx(1, 2000.0, 12.0);
+        let acts = c.on_start(&x);
+        assert!(
+            matches!(acts[0], ReadAction::SetFeature { phases: Some(_) }),
+            "aged reads must start with the timing switch, got {acts:?}"
+        );
+        assert_eq!(c.on_feature_applied(&x), vec![ReadAction::Sense { step: 1 }]);
+    }
+
+    #[test]
+    fn eager_keeps_default_read_on_fresh_data() {
+        let mut c = EagerPnAr2Controller::new(
+            ReadTimingParamTable::default(),
+            ExpectedStepsTable::default(),
+            2.0,
+        );
+        let x = ctx(1, 0.0, 0.0);
+        assert_eq!(c.on_start(&x), vec![ReadAction::Sense { step: 0 }]);
+    }
+
+    #[test]
+    fn eager_misprediction_fallback_covers_entry_zero() {
+        let mut c = EagerPnAr2Controller::new(
+            ReadTimingParamTable::default(),
+            ExpectedStepsTable::default(),
+            2.0,
+        );
+        let mut x = ctx(1, 2000.0, 12.0);
+        x.max_step = 2;
+        c.on_start(&x);
+        c.on_feature_applied(&x); // pipelined from entry 1
+        c.on_sense_done(&x, 1);
+        c.on_sense_done(&x, 2);
+        assert_eq!(c.on_decode_done(&x, 1, false, 0), vec![]);
+        // Exhausted: restore...
+        assert_eq!(
+            c.on_decode_done(&x, 2, false, 0),
+            vec![ReadAction::SetFeature { phases: None }]
+        );
+        // ...and the fallback walk starts at entry 0 (it was skipped).
+        assert_eq!(c.on_feature_applied(&x), vec![ReadAction::Sense { step: 0 }]);
+    }
+
+    #[test]
+    fn regular_ar2_reduces_once_per_die() {
+        let mut c = RegularAr2Controller::new(ReadTimingParamTable::default());
+        let x = ctx(1, 1000.0, 6.0);
+        let acts = c.on_start(&x);
+        assert!(matches!(acts[0], ReadAction::SetFeature { phases: Some(_) }));
+        assert_eq!(c.on_feature_applied(&x), vec![ReadAction::Sense { step: 0 }]);
+        c.on_decode_done(&x, 0, true, 30);
+        c.on_end(&x, Some(0));
+        // Second read on the same die goes straight to sensing.
+        let y = ctx(2, 1000.0, 6.0);
+        assert_eq!(c.on_start(&y), vec![ReadAction::Sense { step: 0 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold below 1")]
+    fn eager_threshold_validated() {
+        EagerPnAr2Controller::new(
+            ReadTimingParamTable::default(),
+            ExpectedStepsTable::default(),
+            0.5,
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! # rr-core — PR² and AR²: the paper's contribution
+//!
+//! This crate implements the two read-retry optimizations of Park et al.,
+//! *"Reducing Solid-State Drive Read Latency by Optimizing Read-Retry"*
+//! (ASPLOS 2021), on top of the `rr-sim` SSD simulator:
+//!
+//! * [`mechanisms::Pr2Controller`] — **Pipelined Read-Retry**: overlap each
+//!   retry step's sensing with the previous step's transfer + decode via
+//!   `CACHE READ`, killing the one speculative extra step with `RESET`
+//!   (Eq. 4, Fig. 12);
+//! * [`mechanisms::Ar2Controller`] — **Adaptive Read-Retry**: spend the
+//!   final retry step's large ECC-capability margin on a 40–54 % shorter
+//!   bit-line precharge, looked up per (P/E cycles, retention age) in the
+//!   [`rpt::ReadTimingParamTable`] and installed with `SET FEATURE`
+//!   (Eq. 5, Fig. 13);
+//! * [`mechanisms::PnAr2Controller`] — both combined;
+//! * [`pso::PsoController`] — the MICRO'19 retry-*count* reducer the paper
+//!   compares against (§7.3), as a decorator composable with any mechanism;
+//! * [`experiment`] — the §7 evaluation harness producing Fig. 14/15.
+//!
+//! # Example
+//!
+//! ```
+//! use rr_core::experiment::{run_one, Mechanism, OperatingPoint};
+//! use rr_core::rpt::ReadTimingParamTable;
+//! use rr_sim::config::SsdConfig;
+//! use rr_sim::request::{HostRequest, IoOp};
+//! use rr_workloads::trace::Trace;
+//! use rr_util::time::SimTime;
+//!
+//! let base = SsdConfig::scaled_for_tests();
+//! let rpt = ReadTimingParamTable::default();
+//! let trace = Trace::new(
+//!     "demo",
+//!     (0..50).map(|i| HostRequest::new(SimTime::from_us(500 * i), IoOp::Read, i * 11, 1)).collect(),
+//!     2_000,
+//! );
+//! let point = OperatingPoint::new(2000.0, 12.0); // end-of-life SSD
+//! let baseline = run_one(&base, Mechanism::Baseline, point, &trace, &rpt);
+//! let pnar2 = run_one(&base, Mechanism::PnAr2, point, &trace, &rpt);
+//! // The paper's headline: PnAR2 substantially cuts response time.
+//! assert!(pnar2.avg_response_us() < 0.8 * baseline.avg_response_us());
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod extensions;
+pub mod mechanisms;
+pub mod pso;
+pub mod rpt;
+
+pub use experiment::{run_matrix, run_one, Mechanism, OperatingPoint};
+pub use mechanisms::{Ar2Controller, PnAr2Controller, Pr2Controller};
+pub use pso::{PsoController, PsoPredictor};
+pub use rpt::ReadTimingParamTable;

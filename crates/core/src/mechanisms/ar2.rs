@@ -1,0 +1,229 @@
+//! AR² — Adaptive Read-Retry (paper §6.2, Fig. 13, without pipelining).
+//!
+//! Once the initial read fails, AR² ① looks up the best tPRE for the block's
+//! (P/E cycles, retention age) in the RPT, ② installs it with `SET FEATURE`
+//! (tSET = 1 µs), ③ performs every retry step with the ~25 % shorter tR, and
+//! ④ rolls the timing back for future operations:
+//!
+//! ```text
+//! tRETRY = tSET + ρ · N_RR · tR + tDMA + tECC      (Eq. 5, with PR²;
+//!                                                   sequential here)
+//! ```
+//!
+//! If the retry table is exhausted under reduced timing (an outlier page
+//! whose final-step RBER exceeds the reduced-timing budget — never observed
+//! across the paper's 10⁷ tested pages, but handled per §6.2), AR² restores
+//! the default timing and repeats the read-retry once.
+
+use crate::rpt::ReadTimingParamTable;
+use rr_sim::readflow::{ReadAction, ReadContext, RetryController};
+use rr_sim::request::TxnId;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Initial read with default timing in flight.
+    Initial,
+    /// `SET FEATURE` (install reduced timing) in flight.
+    AwaitReduce,
+    /// Retry steps with reduced timing.
+    ReducedRetry,
+    /// Outlier fallback: `SET FEATURE` (restore default) in flight.
+    AwaitFallbackRestore,
+    /// Outlier fallback: retry steps with default timing.
+    FallbackRetry,
+}
+
+/// The AR² controller.
+#[derive(Debug)]
+pub struct Ar2Controller {
+    rpt: ReadTimingParamTable,
+    states: HashMap<TxnId, Phase>,
+}
+
+impl Ar2Controller {
+    /// Creates the controller around a profiled RPT.
+    pub fn new(rpt: ReadTimingParamTable) -> Self {
+        Self { rpt, states: HashMap::new() }
+    }
+
+    fn phase(&mut self, txn: TxnId) -> &mut Phase {
+        self.states.get_mut(&txn).expect("event for an unknown AR2 read")
+    }
+}
+
+impl RetryController for Ar2Controller {
+    fn on_start(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+        self.states.insert(ctx.txn, Phase::Initial);
+        vec![ReadAction::Sense { step: 0 }]
+    }
+
+    fn on_sense_done(&mut self, _ctx: &ReadContext, step: u32) -> Vec<ReadAction> {
+        vec![ReadAction::Transfer { step }]
+    }
+
+    fn on_decode_done(
+        &mut self,
+        ctx: &ReadContext,
+        step: u32,
+        success: bool,
+        _margin: u32,
+    ) -> Vec<ReadAction> {
+        let phase = *self.phase(ctx.txn);
+        if success {
+            return match phase {
+                // ④ roll back the timing; completion does not wait for it.
+                Phase::ReducedRetry => vec![
+                    ReadAction::CompleteSuccess { step },
+                    ReadAction::SetFeature { phases: None },
+                ],
+                _ => vec![ReadAction::CompleteSuccess { step }],
+            };
+        }
+        match phase {
+            Phase::Initial => {
+                // ① query the RPT, ② adjust tPRE via SET FEATURE.
+                let reduced = self.rpt.reduced_phases(ctx.condition);
+                *self.phase(ctx.txn) = Phase::AwaitReduce;
+                vec![ReadAction::SetFeature { phases: Some(reduced) }]
+            }
+            Phase::ReducedRetry => {
+                if step < ctx.max_step {
+                    vec![ReadAction::Sense { step: step + 1 }]
+                } else {
+                    // §6.2 outlier fallback: retry once more at default tPRE.
+                    *self.phase(ctx.txn) = Phase::AwaitFallbackRestore;
+                    vec![ReadAction::SetFeature { phases: None }]
+                }
+            }
+            Phase::FallbackRetry => {
+                if step < ctx.max_step {
+                    vec![ReadAction::Sense { step: step + 1 }]
+                } else {
+                    vec![ReadAction::CompleteFailure]
+                }
+            }
+            Phase::AwaitReduce | Phase::AwaitFallbackRestore => {
+                unreachable!("no decode can complete while SET FEATURE is in flight")
+            }
+        }
+    }
+
+    fn on_feature_applied(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+        match *self.phase(ctx.txn) {
+            Phase::AwaitReduce => {
+                *self.phase(ctx.txn) = Phase::ReducedRetry;
+                vec![ReadAction::Sense { step: 1 }]
+            }
+            Phase::AwaitFallbackRestore => {
+                *self.phase(ctx.txn) = Phase::FallbackRetry;
+                vec![ReadAction::Sense { step: 1 }]
+            }
+            _ => unreachable!("unexpected SET FEATURE completion"),
+        }
+    }
+
+    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Vec<ReadAction> {
+        unreachable!("AR2 never issues RESET")
+    }
+
+    fn on_end(&mut self, ctx: &ReadContext, _successful_step: Option<u32>) {
+        self.states.remove(&ctx.txn);
+    }
+
+    fn name(&self) -> &str {
+        "AR2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_flash::calibration::OperatingCondition;
+    use rr_flash::timing::SensePhases;
+
+    fn controller() -> Ar2Controller {
+        Ar2Controller::new(ReadTimingParamTable::default())
+    }
+
+    fn ctx(max_step: u32) -> ReadContext {
+        ReadContext {
+            txn: TxnId(3),
+            die: 0,
+            condition: OperatingCondition::new(2000.0, 12.0, 30.0),
+            cold: true,
+            max_step,
+        }
+    }
+
+    #[test]
+    fn reduces_timing_after_initial_failure() {
+        let mut c = controller();
+        let x = ctx(40);
+        assert_eq!(c.on_start(&x), vec![ReadAction::Sense { step: 0 }]);
+        assert_eq!(c.on_sense_done(&x, 0), vec![ReadAction::Transfer { step: 0 }]);
+        let acts = c.on_decode_done(&x, 0, false, 0);
+        // SET FEATURE installs reduced tPRE (40 % at the worst-case bucket).
+        let ReadAction::SetFeature { phases: Some(p) } = acts[0] else {
+            panic!("expected SET FEATURE, got {acts:?}");
+        };
+        let reduction = SensePhases::table1().pre_reduction_vs(&p);
+        assert!((reduction - 0.40).abs() < 0.03, "reduction = {reduction}");
+        // Retry steps begin after the feature is applied.
+        assert_eq!(c.on_feature_applied(&x), vec![ReadAction::Sense { step: 1 }]);
+        // Failed steps walk the table sequentially.
+        assert_eq!(c.on_decode_done(&x, 1, false, 0), vec![ReadAction::Sense { step: 2 }]);
+        // Success restores the default timing after completing.
+        assert_eq!(
+            c.on_decode_done(&x, 2, true, 30),
+            vec![
+                ReadAction::CompleteSuccess { step: 2 },
+                ReadAction::SetFeature { phases: None },
+            ]
+        );
+    }
+
+    #[test]
+    fn initial_success_needs_no_feature_change() {
+        let mut c = controller();
+        let x = ctx(40);
+        c.on_start(&x);
+        assert_eq!(
+            c.on_decode_done(&x, 0, true, 60),
+            vec![ReadAction::CompleteSuccess { step: 0 }]
+        );
+    }
+
+    #[test]
+    fn outlier_fallback_retries_with_default_timing() {
+        let mut c = controller();
+        let x = ctx(2);
+        c.on_start(&x);
+        c.on_decode_done(&x, 0, false, 0);
+        c.on_feature_applied(&x);
+        c.on_decode_done(&x, 1, false, 0);
+        // Table exhausted under reduced timing → restore defaults...
+        assert_eq!(
+            c.on_decode_done(&x, 2, false, 0),
+            vec![ReadAction::SetFeature { phases: None }]
+        );
+        // ...and walk the table once more at default tPRE (§6.2).
+        assert_eq!(c.on_feature_applied(&x), vec![ReadAction::Sense { step: 1 }]);
+        assert_eq!(
+            c.on_decode_done(&x, 1, true, 10),
+            vec![ReadAction::CompleteSuccess { step: 1 }]
+        );
+    }
+
+    #[test]
+    fn fallback_exhaustion_is_a_read_failure() {
+        let mut c = controller();
+        let x = ctx(1);
+        c.on_start(&x);
+        c.on_decode_done(&x, 0, false, 0);
+        c.on_feature_applied(&x);
+        c.on_decode_done(&x, 1, false, 0); // reduced walk exhausted
+        c.on_feature_applied(&x); // fallback begins
+        assert_eq!(c.on_decode_done(&x, 1, false, 0), vec![ReadAction::CompleteFailure]);
+    }
+}

@@ -1,0 +1,21 @@
+//! The read-retry mechanisms of the paper, as [`RetryController`]
+//! implementations over the `rr-sim` engine:
+//!
+//! * [`Pr2Controller`] — Pipelined Read-Retry (§6.1);
+//! * [`Ar2Controller`] — Adaptive Read-Retry (§6.2);
+//! * [`PnAr2Controller`] — both combined (the paper's headline config);
+//! * the regular baseline lives in `rr_sim::readflow::BaselineController`,
+//!   and the ideal `NoRR` upper bound is the baseline on an
+//!   `SsdConfig::ideal()` configuration;
+//! * the PSO state-of-the-art comparison point wraps any of these — see
+//!   [`crate::pso`].
+//!
+//! [`RetryController`]: rr_sim::readflow::RetryController
+
+mod ar2;
+mod pnar2;
+mod pr2;
+
+pub use ar2::Ar2Controller;
+pub use pnar2::PnAr2Controller;
+pub use pr2::Pr2Controller;

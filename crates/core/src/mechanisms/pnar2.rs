@@ -1,0 +1,252 @@
+//! PnAR² — Pipelined **and** Adaptive Read-Retry (paper §7.2, Fig. 13).
+//!
+//! The combination the paper evaluates as its headline configuration: after
+//! the initial read fails, install the RPT-reduced tPRE (`SET FEATURE`),
+//! then run the retry steps back-to-back with `CACHE READ` pipelining; on
+//! success, `RESET` the speculative extra step and roll the timing back:
+//!
+//! ```text
+//! tRETRY = tSET + ρ · N_RR · tR + tDMA + tECC      (Eq. 5)
+//! ```
+//!
+//! Following Fig. 13, the speculation starts *after* the timing switch (the
+//! first retry step is not speculatively issued under default timing, so the
+//! whole retry burst runs at the reduced tR).
+
+use crate::rpt::ReadTimingParamTable;
+use rr_sim::readflow::{ReadAction, ReadContext, RetryController};
+use rr_sim::request::TxnId;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Initial,
+    AwaitReduce,
+    Pipelined,
+    AwaitFallbackRestore,
+    FallbackPipelined,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PnAr2State {
+    phase: Phase,
+    /// The step currently being (speculatively) sensed.
+    sensing: Option<u32>,
+}
+
+/// The PnAR² controller (PR² + AR²).
+#[derive(Debug)]
+pub struct PnAr2Controller {
+    rpt: ReadTimingParamTable,
+    states: HashMap<TxnId, PnAr2State>,
+}
+
+impl PnAr2Controller {
+    /// Creates the controller around a profiled RPT.
+    pub fn new(rpt: ReadTimingParamTable) -> Self {
+        Self { rpt, states: HashMap::new() }
+    }
+
+    fn state(&mut self, txn: TxnId) -> &mut PnAr2State {
+        self.states.get_mut(&txn).expect("event for an unknown PnAR2 read")
+    }
+}
+
+impl RetryController for PnAr2Controller {
+    fn on_start(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+        self.states.insert(
+            ctx.txn,
+            PnAr2State { phase: Phase::Initial, sensing: Some(0) },
+        );
+        vec![ReadAction::Sense { step: 0 }]
+    }
+
+    fn on_sense_done(&mut self, ctx: &ReadContext, step: u32) -> Vec<ReadAction> {
+        let max_step = ctx.max_step;
+        let s = self.state(ctx.txn);
+        s.sensing = None;
+        match s.phase {
+            // Initial read: transfer only; speculation begins after the
+            // timing switch (Fig. 13).
+            Phase::Initial => vec![ReadAction::Transfer { step }],
+            Phase::Pipelined | Phase::FallbackPipelined => {
+                let mut actions = vec![ReadAction::Transfer { step }];
+                if step < max_step {
+                    s.sensing = Some(step + 1);
+                    actions.push(ReadAction::Sense { step: step + 1 });
+                }
+                actions
+            }
+            Phase::AwaitReduce | Phase::AwaitFallbackRestore => {
+                unreachable!("no sensing can complete while SET FEATURE is in flight")
+            }
+        }
+    }
+
+    fn on_decode_done(
+        &mut self,
+        ctx: &ReadContext,
+        step: u32,
+        success: bool,
+        _margin: u32,
+    ) -> Vec<ReadAction> {
+        let s = *self.state(ctx.txn);
+        if success {
+            let mut actions = Vec::new();
+            if s.sensing.is_some() {
+                actions.push(ReadAction::Reset);
+            }
+            actions.push(ReadAction::CompleteSuccess { step });
+            if s.phase == Phase::Pipelined {
+                // ④ roll back the reduced timing (queued after the RESET).
+                actions.push(ReadAction::SetFeature { phases: None });
+            }
+            return actions;
+        }
+        match s.phase {
+            Phase::Initial => {
+                let reduced = self.rpt.reduced_phases(ctx.condition);
+                self.state(ctx.txn).phase = Phase::AwaitReduce;
+                vec![ReadAction::SetFeature { phases: Some(reduced) }]
+            }
+            Phase::Pipelined => {
+                if step == ctx.max_step && s.sensing.is_none() {
+                    // Outlier fallback (§6.2): restore and re-walk once.
+                    self.state(ctx.txn).phase = Phase::AwaitFallbackRestore;
+                    vec![ReadAction::SetFeature { phases: None }]
+                } else {
+                    Vec::new() // pipeline already sensing ahead
+                }
+            }
+            Phase::FallbackPipelined => {
+                if step == ctx.max_step && s.sensing.is_none() {
+                    vec![ReadAction::CompleteFailure]
+                } else {
+                    Vec::new()
+                }
+            }
+            Phase::AwaitReduce | Phase::AwaitFallbackRestore => {
+                unreachable!("no decode can complete while SET FEATURE is in flight")
+            }
+        }
+    }
+
+    fn on_feature_applied(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+        let s = self.state(ctx.txn);
+        match s.phase {
+            Phase::AwaitReduce => {
+                s.phase = Phase::Pipelined;
+                s.sensing = Some(1);
+                vec![ReadAction::Sense { step: 1 }]
+            }
+            Phase::AwaitFallbackRestore => {
+                s.phase = Phase::FallbackPipelined;
+                s.sensing = Some(1);
+                vec![ReadAction::Sense { step: 1 }]
+            }
+            _ => unreachable!("unexpected SET FEATURE completion"),
+        }
+    }
+
+    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Vec<ReadAction> {
+        Vec::new()
+    }
+
+    fn on_end(&mut self, ctx: &ReadContext, _successful_step: Option<u32>) {
+        self.states.remove(&ctx.txn);
+    }
+
+    fn name(&self) -> &str {
+        "PnAR2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_flash::calibration::OperatingCondition;
+
+    fn controller() -> PnAr2Controller {
+        PnAr2Controller::new(ReadTimingParamTable::default())
+    }
+
+    fn ctx(max_step: u32) -> ReadContext {
+        ReadContext {
+            txn: TxnId(9),
+            die: 2,
+            condition: OperatingCondition::new(1000.0, 6.0, 30.0),
+            cold: true,
+            max_step,
+        }
+    }
+
+    #[test]
+    fn fig13_flow_reduce_then_pipeline_then_reset_and_restore() {
+        let mut c = controller();
+        let x = ctx(40);
+        c.on_start(&x);
+        // Initial read: no speculation before the timing switch.
+        assert_eq!(c.on_sense_done(&x, 0), vec![ReadAction::Transfer { step: 0 }]);
+        // ECC fail → ② SET FEATURE (reduced).
+        let acts = c.on_decode_done(&x, 0, false, 0);
+        assert!(matches!(acts[0], ReadAction::SetFeature { phases: Some(_) }));
+        // ③ pipelined retries at reduced tR.
+        assert_eq!(c.on_feature_applied(&x), vec![ReadAction::Sense { step: 1 }]);
+        assert_eq!(
+            c.on_sense_done(&x, 1),
+            vec![ReadAction::Transfer { step: 1 }, ReadAction::Sense { step: 2 }]
+        );
+        assert_eq!(c.on_decode_done(&x, 1, false, 0), vec![]);
+        // Success while step 2 is being sensed: RESET + complete + ④ restore.
+        assert_eq!(c.on_sense_done(&x, 2), vec![
+            ReadAction::Transfer { step: 2 },
+            ReadAction::Sense { step: 3 },
+        ]);
+        assert_eq!(
+            c.on_decode_done(&x, 2, true, 25),
+            vec![
+                ReadAction::Reset,
+                ReadAction::CompleteSuccess { step: 2 },
+                ReadAction::SetFeature { phases: None },
+            ]
+        );
+    }
+
+    #[test]
+    fn initial_success_completes_without_feature_traffic() {
+        let mut c = controller();
+        let x = ctx(40);
+        c.on_start(&x);
+        c.on_sense_done(&x, 0);
+        assert_eq!(
+            c.on_decode_done(&x, 0, true, 64),
+            vec![ReadAction::CompleteSuccess { step: 0 }]
+        );
+    }
+
+    #[test]
+    fn outlier_fallback_re_walks_with_default_timing() {
+        let mut c = controller();
+        let x = ctx(2);
+        c.on_start(&x);
+        c.on_sense_done(&x, 0);
+        c.on_decode_done(&x, 0, false, 0);
+        c.on_feature_applied(&x);
+        c.on_sense_done(&x, 1);
+        assert_eq!(c.on_decode_done(&x, 1, false, 0), vec![]);
+        // Last entry sensed, decode fails with nothing in flight: restore.
+        assert_eq!(c.on_sense_done(&x, 2), vec![ReadAction::Transfer { step: 2 }]);
+        assert_eq!(
+            c.on_decode_done(&x, 2, false, 0),
+            vec![ReadAction::SetFeature { phases: None }]
+        );
+        // Fallback pipeline at default timing.
+        assert_eq!(c.on_feature_applied(&x), vec![ReadAction::Sense { step: 1 }]);
+        c.on_sense_done(&x, 1);
+        c.on_sense_done(&x, 2);
+        // Second exhaustion is a read failure; no restore needed (already
+        // at default timing).
+        assert_eq!(c.on_decode_done(&x, 1, false, 0), vec![]);
+        assert_eq!(c.on_decode_done(&x, 2, false, 0), vec![ReadAction::CompleteFailure]);
+    }
+}

@@ -1,0 +1,175 @@
+//! PR² — Pipelined Read-Retry (paper §6.1, Fig. 12(b)).
+//!
+//! PR² starts the next retry step *right after the chip completes page
+//! sensing of the current step*, using `CACHE READ`, without waiting for the
+//! current step's data transfer and ECC decode. This removes
+//! `tDMA + tECC` from the critical path of every retry step:
+//!
+//! ```text
+//! tRETRY = N_RR · tR + tDMA + tECC        (Eq. 4)
+//! ```
+//!
+//! versus the baseline's `N_RR · (tR + tDMA + tECC)` (Eq. 3). Because each
+//! next step starts speculatively, one extra step is in flight when ECC
+//! finally succeeds; PR² kills it with `RESET` (tRST = 5 µs).
+
+use rr_sim::readflow::{ReadAction, ReadContext, RetryController};
+use rr_sim::request::TxnId;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+struct Pr2State {
+    /// The step currently being sensed (speculatively), if any.
+    sensing: Option<u32>,
+}
+
+/// The PR² controller.
+#[derive(Debug, Default)]
+pub struct Pr2Controller {
+    states: HashMap<TxnId, Pr2State>,
+}
+
+impl Pr2Controller {
+    /// Creates the controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn state(&mut self, txn: TxnId) -> &mut Pr2State {
+        self.states.get_mut(&txn).expect("event for an unknown PR2 read")
+    }
+}
+
+impl RetryController for Pr2Controller {
+    fn on_start(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+        self.states.insert(ctx.txn, Pr2State { sensing: Some(0) });
+        vec![ReadAction::Sense { step: 0 }]
+    }
+
+    fn on_sense_done(&mut self, ctx: &ReadContext, step: u32) -> Vec<ReadAction> {
+        let max_step = ctx.max_step;
+        let s = self.state(ctx.txn);
+        s.sensing = None;
+        let mut actions = vec![ReadAction::Transfer { step }];
+        if step < max_step {
+            // Speculatively sense the next entry while this one transfers
+            // and decodes (the CACHE READ pipelining of Fig. 12(b)).
+            s.sensing = Some(step + 1);
+            actions.push(ReadAction::Sense { step: step + 1 });
+        }
+        actions
+    }
+
+    fn on_decode_done(
+        &mut self,
+        ctx: &ReadContext,
+        step: u32,
+        success: bool,
+        _margin: u32,
+    ) -> Vec<ReadAction> {
+        let speculating = self.state(ctx.txn).sensing.is_some();
+        if success {
+            if speculating {
+                // Kill the unnecessarily-started extra step (§6.1).
+                vec![ReadAction::Reset, ReadAction::CompleteSuccess { step }]
+            } else {
+                vec![ReadAction::CompleteSuccess { step }]
+            }
+        } else if !speculating && step == ctx.max_step {
+            vec![ReadAction::CompleteFailure]
+        } else {
+            // The pipeline is already sensing ahead; nothing to do on failure.
+            Vec::new()
+        }
+    }
+
+    fn on_feature_applied(&mut self, _ctx: &ReadContext) -> Vec<ReadAction> {
+        unreachable!("PR2 never issues SET FEATURE")
+    }
+
+    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Vec<ReadAction> {
+        Vec::new()
+    }
+
+    fn on_end(&mut self, ctx: &ReadContext, _successful_step: Option<u32>) {
+        self.states.remove(&ctx.txn);
+    }
+
+    fn name(&self) -> &str {
+        "PR2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_flash::calibration::OperatingCondition;
+
+    fn ctx(max_step: u32) -> ReadContext {
+        ReadContext {
+            txn: TxnId(7),
+            die: 1,
+            condition: OperatingCondition::new(1000.0, 6.0, 30.0),
+            cold: true,
+            max_step,
+        }
+    }
+
+    #[test]
+    fn pipelines_next_sense_at_sense_done() {
+        let mut c = Pr2Controller::new();
+        let x = ctx(40);
+        assert_eq!(c.on_start(&x), vec![ReadAction::Sense { step: 0 }]);
+        // Sensing of step 0 completes: transfer it AND start step 1 at once.
+        assert_eq!(
+            c.on_sense_done(&x, 0),
+            vec![ReadAction::Transfer { step: 0 }, ReadAction::Sense { step: 1 }]
+        );
+        // Decode failure needs no action: step 1 already runs.
+        assert_eq!(c.on_decode_done(&x, 0, false, 0), vec![]);
+    }
+
+    #[test]
+    fn success_resets_speculative_step() {
+        let mut c = Pr2Controller::new();
+        let x = ctx(40);
+        c.on_start(&x);
+        c.on_sense_done(&x, 0);
+        c.on_sense_done(&x, 1); // step 2 speculation starts
+        assert_eq!(c.on_decode_done(&x, 0, false, 0), vec![]);
+        // Step 1 decodes successfully while step 2 is sensing: RESET it.
+        assert_eq!(
+            c.on_decode_done(&x, 1, true, 20),
+            vec![ReadAction::Reset, ReadAction::CompleteSuccess { step: 1 }]
+        );
+        assert_eq!(c.on_reset_done(&x), vec![]);
+        c.on_end(&x, Some(1));
+    }
+
+    #[test]
+    fn no_speculation_past_table_end() {
+        let mut c = Pr2Controller::new();
+        let x = ctx(2);
+        c.on_start(&x);
+        c.on_sense_done(&x, 0);
+        c.on_sense_done(&x, 1);
+        // Last entry: transfer only, no further speculation.
+        assert_eq!(c.on_sense_done(&x, 2), vec![ReadAction::Transfer { step: 2 }]);
+        // Success with no speculation in flight: no RESET needed.
+        assert_eq!(
+            c.on_decode_done(&x, 2, true, 5),
+            vec![ReadAction::CompleteSuccess { step: 2 }]
+        );
+    }
+
+    #[test]
+    fn exhaustion_fails_without_speculation() {
+        let mut c = Pr2Controller::new();
+        let x = ctx(1);
+        c.on_start(&x);
+        c.on_sense_done(&x, 0);
+        c.on_sense_done(&x, 1);
+        assert_eq!(c.on_decode_done(&x, 0, false, 0), vec![]);
+        assert_eq!(c.on_decode_done(&x, 1, false, 0), vec![ReadAction::CompleteFailure]);
+    }
+}

@@ -1,0 +1,254 @@
+//! A compact bit vector used for codewords and GF(2) polynomials.
+
+/// A growable, indexable vector of bits packed into `u64` words.
+///
+/// Bit `i` of the vector corresponds to the coefficient of x^i when the
+/// vector represents a polynomial over GF(2).
+///
+/// # Example
+///
+/// ```
+/// use rr_ecc::bits::BitVec;
+/// let mut b = BitVec::zeros(100);
+/// b.set(63, true);
+/// b.set(64, true);
+/// assert!(b.get(63) && b.get(64) && !b.get(65));
+/// assert_eq!(b.count_ones(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    /// Builds a vector from a byte slice, LSB-first within each byte
+    /// (bit `i` = bit `i % 8` of byte `i / 8`).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut v = Self::zeros(bytes.len() * 8);
+        for (i, &byte) in bytes.iter().enumerate() {
+            for bit in 0..8 {
+                if byte & (1 << bit) != 0 {
+                    v.set(i * 8 + bit, true);
+                }
+            }
+        }
+        v
+    }
+
+    /// Serializes back to bytes (length rounded up; LSB-first).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len.div_ceil(8)];
+        for i in 0..self.len {
+            if self.get(i) {
+                out[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// XORs `other << shift` into `self` (polynomial addition of a shifted
+    /// polynomial). Bits shifted beyond `self.len` are an error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other`'s highest set bit shifted by `shift` would exceed
+    /// `self.len`.
+    pub fn xor_shifted(&mut self, other: &BitVec, shift: usize) {
+        if let Some(high) = other.highest_set_bit() {
+            assert!(
+                high + shift < self.len,
+                "xor_shifted overflow: bit {high} + shift {shift} >= len {}",
+                self.len
+            );
+        }
+        let word_shift = shift / 64;
+        let bit_shift = shift % 64;
+        for (i, &w) in other.words.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            let lo = i + word_shift;
+            if bit_shift == 0 {
+                self.words[lo] ^= w;
+            } else {
+                self.words[lo] ^= w << bit_shift;
+                if lo + 1 < self.words.len() {
+                    self.words[lo + 1] ^= w >> (64 - bit_shift);
+                }
+            }
+        }
+    }
+
+    /// Index of the highest set bit, or `None` if all zero.
+    pub fn highest_set_bit(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return Some(i * 64 + 63 - w.leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Iterates the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rem = w;
+            std::iter::from_fn(move || {
+                if rem == 0 {
+                    None
+                } else {
+                    let bit = rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// XOR of two equal-length vectors (bitwise difference — used to compare
+    /// a corrupted word against the original).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor(&self, other: &BitVec) -> BitVec {
+        assert_eq!(self.len, other.len, "xor requires equal lengths");
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a ^ b)
+            .collect();
+        BitVec { len: self.len, words }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_flip() {
+        let mut b = BitVec::zeros(130);
+        assert!(!b.get(129));
+        b.set(129, true);
+        assert!(b.get(129));
+        b.flip(129);
+        assert!(!b.get(129));
+        b.flip(0);
+        assert!(b.get(0));
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let bytes = [0xDE, 0xAD, 0xBE, 0xEF, 0x01];
+        let b = BitVec::from_bytes(&bytes);
+        assert_eq!(b.len(), 40);
+        assert_eq!(b.to_bytes(), bytes.to_vec());
+    }
+
+    #[test]
+    fn highest_set_bit_and_count() {
+        let mut b = BitVec::zeros(200);
+        assert_eq!(b.highest_set_bit(), None);
+        b.set(3, true);
+        b.set(77, true);
+        b.set(199, true);
+        assert_eq!(b.highest_set_bit(), Some(199));
+        assert_eq!(b.count_ones(), 3);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![3, 77, 199]);
+    }
+
+    #[test]
+    fn xor_shifted_across_word_boundary() {
+        let mut a = BitVec::zeros(192);
+        let mut g = BitVec::zeros(10);
+        g.set(0, true);
+        g.set(9, true); // g = x^9 + 1
+        a.xor_shifted(&g, 60); // sets bits 60 and 69
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![60, 69]);
+        a.xor_shifted(&g, 60); // cancels
+        assert_eq!(a.count_ones(), 0);
+    }
+
+    #[test]
+    fn xor_same_length() {
+        let a = BitVec::from_bytes(&[0b1010]);
+        let b = BitVec::from_bytes(&[0b0110]);
+        assert_eq!(a.xor(&b).to_bytes(), vec![0b1100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        BitVec::zeros(8).get(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "xor_shifted overflow")]
+    fn xor_shift_overflow_panics() {
+        let mut a = BitVec::zeros(8);
+        let mut g = BitVec::zeros(4);
+        g.set(3, true);
+        a.xor_shifted(&g, 6);
+    }
+}

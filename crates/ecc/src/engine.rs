@@ -1,0 +1,206 @@
+//! The SSD controller's ECC engine, at two fidelities.
+//!
+//! * [`EccEngineModel`] — the threshold model the discrete-event simulator
+//!   uses: a codeword with `errors ≤ capability` decodes successfully in
+//!   `tECC`; otherwise decoding fails and the controller must start a
+//!   read-retry (§2.4). This is exactly the abstraction the paper's MQSim
+//!   extension uses.
+//! * [`BchEccEngine`] — the same interface backed by the real
+//!   [`BchCode`](crate::bch::BchCode) codec, for bit-accurate demos.
+
+use crate::bch::{BchCode, BchError};
+use crate::bits::BitVec;
+use rr_util::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of decoding one codeword (or a whole page, judged by its worst
+/// codeword).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EccOutcome {
+    /// All errors corrected; `margin` = capability − errors (footnote 5's
+    /// "ECC-capability margin").
+    Corrected {
+        /// Remaining correction headroom in bits per codeword.
+        margin: u32,
+    },
+    /// More errors than the capability: decode failure → read-retry.
+    Uncorrectable,
+}
+
+impl EccOutcome {
+    /// Whether decoding succeeded.
+    pub fn is_success(&self) -> bool {
+        matches!(self, EccOutcome::Corrected { .. })
+    }
+}
+
+/// Threshold ECC engine model (the paper's §7.1 configuration by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EccEngineModel {
+    /// Correctable raw bit errors per codeword (72 per 1 KiB).
+    pub capability: u32,
+    /// Codewords per page (16 KiB page / 1 KiB codeword = 16).
+    pub codewords_per_page: u32,
+    /// Decode latency per page.
+    pub t_ecc: SimTime,
+}
+
+impl EccEngineModel {
+    /// The paper's configuration: 72 b / 1 KiB codeword, 16 codewords per
+    /// 16-KiB page, tECC = 20 µs.
+    pub const fn asplos21() -> Self {
+        Self {
+            capability: 72,
+            codewords_per_page: 16,
+            t_ecc: SimTime::from_us(20),
+        }
+    }
+
+    /// Judges a page read by its worst codeword's raw bit error count.
+    pub fn decode_page(&self, worst_codeword_errors: u32) -> EccOutcome {
+        if worst_codeword_errors <= self.capability {
+            EccOutcome::Corrected { margin: self.capability - worst_codeword_errors }
+        } else {
+            EccOutcome::Uncorrectable
+        }
+    }
+
+    /// The ECC-capability margin for an error count, or `None` if
+    /// uncorrectable.
+    pub fn margin(&self, errors: u32) -> Option<u32> {
+        self.capability.checked_sub(errors)
+    }
+}
+
+impl Default for EccEngineModel {
+    fn default() -> Self {
+        Self::asplos21()
+    }
+}
+
+/// An ECC engine backed by the real BCH codec.
+///
+/// # Example
+///
+/// ```
+/// use rr_ecc::engine::BchEccEngine;
+///
+/// let engine = BchEccEngine::small_for_tests().expect("valid parameters");
+/// let data = vec![7u8; engine.data_bytes()];
+/// let encoded = engine.encode(&data).expect("payload sized correctly");
+/// let (decoded, corrected) = engine.decode_with_errors(&encoded, 5).expect("within t");
+/// assert_eq!(decoded, data);
+/// assert_eq!(corrected, 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BchEccEngine {
+    code: BchCode,
+}
+
+impl BchEccEngine {
+    /// Full-size engine matching the paper (t = 72 per 1-KiB codeword).
+    pub fn asplos21() -> Result<Self, BchError> {
+        Ok(Self { code: BchCode::nand_72_per_kib()? })
+    }
+
+    /// A small engine for fast unit tests (t = 8 over 16-byte payloads).
+    pub fn small_for_tests() -> Result<Self, BchError> {
+        Ok(Self { code: BchCode::small_test_code()? })
+    }
+
+    /// Payload size in bytes.
+    pub fn data_bytes(&self) -> usize {
+        self.code.data_bits() / 8
+    }
+
+    /// The wrapped code.
+    pub fn code(&self) -> &BchCode {
+        &self.code
+    }
+
+    /// Encodes a payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BchError::WrongLength`] for mis-sized payloads.
+    pub fn encode(&self, data: &[u8]) -> Result<BitVec, BchError> {
+        self.code.encode_bytes(data)
+    }
+
+    /// Injects `n_errors` deterministic bit flips and decodes, returning the
+    /// recovered payload and the number of corrected bits.
+    ///
+    /// # Errors
+    ///
+    /// [`BchError::TooManyErrors`] when `n_errors` exceeds the capability.
+    pub fn decode_with_errors(
+        &self,
+        codeword: &BitVec,
+        n_errors: usize,
+    ) -> Result<(Vec<u8>, u32), BchError> {
+        let mut corrupted = codeword.clone();
+        let len = corrupted.len();
+        // Spread deterministic flips with a stride co-prime to the length.
+        let stride = (len / n_errors.max(1)).max(1) | 1;
+        let mut seen = std::collections::BTreeSet::new();
+        let mut pos = 3usize;
+        while seen.len() < n_errors {
+            if seen.insert(pos % len) {
+                corrupted.flip(pos % len);
+            }
+            pos += stride;
+        }
+        let report = self.code.decode(&mut corrupted)?;
+        Ok((self.code.extract_data_bytes(&corrupted), report.corrected))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_model_matches_paper_constants() {
+        let e = EccEngineModel::asplos21();
+        assert_eq!(e.capability, 72);
+        assert_eq!(e.codewords_per_page, 16);
+        assert_eq!(e.t_ecc, SimTime::from_us(20));
+    }
+
+    #[test]
+    fn decode_page_threshold() {
+        let e = EccEngineModel::asplos21();
+        assert_eq!(e.decode_page(0), EccOutcome::Corrected { margin: 72 });
+        assert_eq!(e.decode_page(72), EccOutcome::Corrected { margin: 0 });
+        assert_eq!(e.decode_page(73), EccOutcome::Uncorrectable);
+        assert!(e.decode_page(40).is_success());
+        assert_eq!(e.margin(40), Some(32));
+        assert_eq!(e.margin(73), None);
+    }
+
+    #[test]
+    fn fig7_margin_example() {
+        // §5.1: M_ERR(2K, 12) at 30 °C = 40 ⇒ margin = 32 = 44.4 % of 72.
+        let e = EccEngineModel::asplos21();
+        let EccOutcome::Corrected { margin } = e.decode_page(40) else {
+            panic!("40 errors must be correctable");
+        };
+        assert!((margin as f64 / e.capability as f64 - 0.444).abs() < 0.001);
+    }
+
+    #[test]
+    fn bch_engine_roundtrip_with_errors() {
+        let engine = BchEccEngine::small_for_tests().unwrap();
+        let data: Vec<u8> = (0..engine.data_bytes() as u8).collect();
+        let cw = engine.encode(&data).unwrap();
+        for n in [0usize, 1, 4, 8] {
+            let (decoded, corrected) = engine.decode_with_errors(&cw, n).unwrap();
+            assert_eq!(decoded, data, "n = {n}");
+            assert_eq!(corrected as usize, n);
+        }
+        assert!(matches!(
+            engine.decode_with_errors(&cw, 9),
+            Err(BchError::TooManyErrors) | Ok(_)
+        ));
+    }
+}

@@ -1,0 +1,281 @@
+//! Arithmetic in the finite field GF(2^m), 3 ≤ m ≤ 14.
+//!
+//! Implemented with log/antilog tables over a primitive element α, the
+//! standard construction for BCH codecs. Elements are represented as `u16`
+//! bit-vectors of polynomial coefficients over GF(2).
+
+/// Primitive polynomials (bit `i` = coefficient of x^i) for each supported m.
+/// These are the conventional choices from Lin & Costello, "Error Control
+/// Coding", Appendix B.
+const PRIMITIVE_POLYS: [(u32, u32); 12] = [
+    (3, 0b1011),
+    (4, 0b1_0011),
+    (5, 0b10_0101),
+    (6, 0b100_0011),
+    (7, 0b1000_1001),
+    (8, 0b1_0001_1101),
+    (9, 0b10_0001_0001),
+    (10, 0b100_0000_1001),
+    (11, 0b1000_0000_0101),
+    (12, 0b1_0000_0101_0011),
+    (13, 0b10_0000_0001_1011),
+    (14, 0b100_0100_0100_0011),
+];
+
+/// The field GF(2^m) with precomputed log/antilog tables.
+///
+/// # Example
+///
+/// ```
+/// use rr_ecc::gf::GaloisField;
+/// let gf = GaloisField::new(8).expect("supported field size");
+/// let a = 0x53;
+/// let b = 0xCA;
+/// // Multiplication distributes over addition (= XOR in GF(2^m)).
+/// let lhs = gf.mul(a, b ^ 0x11);
+/// let rhs = gf.mul(a, b) ^ gf.mul(a, 0x11);
+/// assert_eq!(lhs, rhs);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaloisField {
+    m: u32,
+    /// Field size minus one: the order of the multiplicative group.
+    n: u32,
+    /// `exp[i] = α^i`, doubled length so `mul` can skip one modulo.
+    exp: Vec<u16>,
+    /// `log[x]` for x ≠ 0.
+    log: Vec<u32>,
+}
+
+impl GaloisField {
+    /// Constructs GF(2^m).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::UnsupportedM`] unless `3 <= m <= 14`.
+    pub fn new(m: u32) -> Result<Self, GfError> {
+        let poly = PRIMITIVE_POLYS
+            .iter()
+            .find(|&&(mm, _)| mm == m)
+            .map(|&(_, p)| p)
+            .ok_or(GfError::UnsupportedM(m))?;
+        let n = (1u32 << m) - 1;
+        let mut exp = vec![0u16; 2 * n as usize];
+        let mut log = vec![0u32; (n + 1) as usize];
+        let mut x: u32 = 1;
+        for i in 0..n {
+            exp[i as usize] = x as u16;
+            log[x as usize] = i;
+            x <<= 1;
+            if x & (1 << m) != 0 {
+                x ^= poly;
+            }
+        }
+        for i in n..2 * n {
+            exp[i as usize] = exp[(i - n) as usize];
+        }
+        Ok(Self { m, n, exp, log })
+    }
+
+    /// Field extension degree m.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Multiplicative group order `2^m - 1` (= code length of a primitive
+    /// BCH code over this field).
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// α^i (exponent taken modulo `n`).
+    #[inline]
+    pub fn alpha_pow(&self, i: u64) -> u16 {
+        self.exp[(i % self.n as u64) as usize]
+    }
+
+    /// The discrete log of `x` base α.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is zero (zero has no logarithm).
+    #[inline]
+    pub fn log(&self, x: u16) -> u32 {
+        assert!(x != 0, "log of zero is undefined");
+        self.log[x as usize]
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[(self.log[a as usize] + self.log[b as usize]) as usize]
+        }
+    }
+
+    /// Field division `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is zero.
+    #[inline]
+    pub fn div(&self, a: u16, b: u16) -> u16 {
+        assert!(b != 0, "division by zero in GF(2^m)");
+        if a == 0 {
+            0
+        } else {
+            self.exp[(self.log[a as usize] + self.n - self.log[b as usize]) as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is zero.
+    #[inline]
+    pub fn inv(&self, x: u16) -> u16 {
+        assert!(x != 0, "zero has no inverse");
+        self.exp[(self.n - self.log[x as usize]) as usize]
+    }
+
+    /// `x` raised to the integer power `e` (e may exceed the group order).
+    pub fn pow(&self, x: u16, e: u64) -> u16 {
+        if x == 0 {
+            return if e == 0 { 1 } else { 0 };
+        }
+        let l = self.log[x as usize] as u64;
+        self.exp[((l * e) % self.n as u64) as usize]
+    }
+
+    /// Evaluates a polynomial with GF coefficients (`coeffs[i]` = coefficient
+    /// of x^i) at the point `x`, by Horner's rule.
+    pub fn poly_eval(&self, coeffs: &[u16], x: u16) -> u16 {
+        let mut acc = 0u16;
+        for &c in coeffs.iter().rev() {
+            acc = self.mul(acc, x) ^ c;
+        }
+        acc
+    }
+}
+
+/// Errors from field construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GfError {
+    /// Only 3 ≤ m ≤ 14 are supported.
+    UnsupportedM(u32),
+}
+
+impl core::fmt::Display for GfError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GfError::UnsupportedM(m) => write!(f, "unsupported field degree m = {m} (need 3..=14)"),
+        }
+    }
+}
+
+impl std::error::Error for GfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_supported_fields_construct() {
+        for m in 3..=14 {
+            let gf = GaloisField::new(m).unwrap();
+            assert_eq!(gf.n(), (1 << m) - 1);
+        }
+    }
+
+    #[test]
+    fn unsupported_m_rejected() {
+        assert_eq!(GaloisField::new(2).unwrap_err(), GfError::UnsupportedM(2));
+        assert_eq!(GaloisField::new(15).unwrap_err(), GfError::UnsupportedM(15));
+    }
+
+    #[test]
+    fn alpha_generates_whole_group() {
+        let gf = GaloisField::new(8).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..gf.n() {
+            assert!(seen.insert(gf.alpha_pow(i as u64)), "α powers must be distinct");
+        }
+        assert_eq!(seen.len(), 255);
+        assert!(!seen.contains(&0), "zero is not a power of α");
+    }
+
+    #[test]
+    fn mul_matches_schoolbook_gf16() {
+        // GF(16) with x^4 + x + 1: schoolbook carry-less multiply + reduce.
+        let gf = GaloisField::new(4).unwrap();
+        let reduce = |mut v: u32| {
+            for bit in (4..8).rev() {
+                if v & (1 << bit) != 0 {
+                    v ^= 0b1_0011 << (bit - 4);
+                }
+            }
+            v as u16
+        };
+        for a in 0u32..16 {
+            for b in 0u32..16 {
+                let mut prod = 0u32;
+                for i in 0..4 {
+                    if b & (1 << i) != 0 {
+                        prod ^= a << i;
+                    }
+                }
+                assert_eq!(gf.mul(a as u16, b as u16), reduce(prod), "{a} × {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_and_division() {
+        let gf = GaloisField::new(10).unwrap();
+        for x in 1..=gf.n() as u16 {
+            let inv = gf.inv(x);
+            assert_eq!(gf.mul(x, inv), 1, "x · x⁻¹ = 1 for x = {x}");
+            assert_eq!(gf.div(x, x), 1);
+        }
+    }
+
+    #[test]
+    fn pow_laws() {
+        let gf = GaloisField::new(7).unwrap();
+        let x = 0x45;
+        assert_eq!(gf.pow(x, 0), 1);
+        assert_eq!(gf.pow(x, 1), x);
+        assert_eq!(gf.pow(x, 2), gf.mul(x, x));
+        // x^(n) = x^0 = 1 by Lagrange.
+        assert_eq!(gf.pow(x, gf.n() as u64), 1);
+        assert_eq!(gf.pow(0, 5), 0);
+        assert_eq!(gf.pow(0, 0), 1);
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        let gf = GaloisField::new(8).unwrap();
+        // p(x) = 1 + x ⇒ p(α) = 1 ^ α.
+        let a = gf.alpha_pow(1);
+        assert_eq!(gf.poly_eval(&[1, 1], a), 1 ^ a);
+        // Constant polynomial.
+        assert_eq!(gf.poly_eval(&[0x37], 0x99), 0x37);
+        // Empty polynomial is zero.
+        assert_eq!(gf.poly_eval(&[], 0x12), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "log of zero")]
+    fn log_zero_panics() {
+        GaloisField::new(4).unwrap().log(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        GaloisField::new(4).unwrap().div(3, 0);
+    }
+}

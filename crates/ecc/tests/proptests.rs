@@ -1,0 +1,94 @@
+//! Property-based tests: GF(2^m) field axioms and bit-vector algebra.
+
+use proptest::prelude::*;
+use rr_ecc::bits::BitVec;
+use rr_ecc::gf::GaloisField;
+
+proptest! {
+    #[test]
+    fn gf_field_axioms(m in 3u32..=10, a in any::<u16>(), b in any::<u16>(), c in any::<u16>()) {
+        let gf = GaloisField::new(m).expect("supported m");
+        let mask = gf.n() as u16; // n = 2^m − 1 is an all-ones mask
+        let (a, b, c) = (a & mask, b & mask, c & mask);
+        // Commutativity and associativity of multiplication.
+        prop_assert_eq!(gf.mul(a, b), gf.mul(b, a));
+        prop_assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+        // Distributivity over addition (XOR).
+        prop_assert_eq!(gf.mul(a, b ^ c), gf.mul(a, b) ^ gf.mul(a, c));
+        // Multiplicative identity and zero.
+        prop_assert_eq!(gf.mul(a, 1), a);
+        prop_assert_eq!(gf.mul(a, 0), 0);
+        // Inverses.
+        if a != 0 {
+            prop_assert_eq!(gf.mul(a, gf.inv(a)), 1);
+            prop_assert_eq!(gf.div(b, a), gf.mul(b, gf.inv(a)));
+        }
+    }
+
+    #[test]
+    fn gf_pow_is_repeated_mul(m in 3u32..=10, x in any::<u16>(), e in 0u64..32) {
+        let gf = GaloisField::new(m).expect("supported m");
+        let x = x & gf.n() as u16;
+        let mut expect = 1u16;
+        for _ in 0..e {
+            expect = gf.mul(expect, x);
+        }
+        prop_assert_eq!(gf.pow(x, e), expect);
+    }
+
+    #[test]
+    fn bitvec_byte_roundtrip(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let b = BitVec::from_bytes(&bytes);
+        prop_assert_eq!(b.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn bitvec_xor_shift_cancels(len in 64usize..512, shift in 0usize..256, gbits in 1usize..32) {
+        prop_assume!(shift + gbits < len);
+        let mut target = BitVec::zeros(len);
+        let mut g = BitVec::zeros(gbits);
+        for i in 0..gbits {
+            if i % 3 == 0 {
+                g.set(i, true);
+            }
+        }
+        let before = target.clone();
+        target.xor_shifted(&g, shift);
+        target.xor_shifted(&g, shift);
+        prop_assert_eq!(target, before, "double XOR must cancel");
+    }
+
+    #[test]
+    fn bitvec_count_matches_iter(positions in prop::collection::btree_set(0usize..500, 0..64)) {
+        let mut b = BitVec::zeros(500);
+        for &p in &positions {
+            b.set(p, true);
+        }
+        prop_assert_eq!(b.count_ones() as usize, positions.len());
+        let listed: Vec<usize> = b.iter_ones().collect();
+        prop_assert_eq!(listed, positions.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn poly_eval_is_linear_in_coefficients(
+        m in 3u32..=8,
+        coeffs_a in prop::collection::vec(any::<u16>(), 1..8),
+        coeffs_b in prop::collection::vec(any::<u16>(), 1..8),
+        x in any::<u16>(),
+    ) {
+        let gf = GaloisField::new(m).expect("supported m");
+        let mask = gf.n() as u16;
+        let a: Vec<u16> = coeffs_a.iter().map(|c| c & mask).collect();
+        let b: Vec<u16> = coeffs_b.iter().map(|c| c & mask).collect();
+        let x = x & mask;
+        // (a + b)(x) = a(x) + b(x) with zero-padded addition.
+        let len = a.len().max(b.len());
+        let sum: Vec<u16> = (0..len)
+            .map(|i| a.get(i).copied().unwrap_or(0) ^ b.get(i).copied().unwrap_or(0))
+            .collect();
+        prop_assert_eq!(
+            gf.poly_eval(&sum, x),
+            gf.poly_eval(&a, x) ^ gf.poly_eval(&b, x)
+        );
+    }
+}

@@ -1,0 +1,673 @@
+//! NAND chip command state machine (§2.2, §3.2.1).
+//!
+//! Models one chip: per-die busy state, the page-cache register that
+//! `CACHE READ` pipelining relies on, `SET FEATURE` timing overrides,
+//! `RESET` termination, and program/erase suspension. The state machine is
+//! time-explicit but engine-agnostic: callers (the discrete-event simulator,
+//! the characterization platform, unit tests) pass in "now" and get back
+//! completion times; nothing here owns an event loop.
+//!
+//! Legality checking is strict on purpose — erase-before-write, sequential
+//! page programming within a block, and single-operation-per-die are the
+//! invariants an FTL must uphold, and violating them is a bug we want to
+//! surface, not absorb.
+
+use crate::geometry::{BlockAddr, ChipGeometry, PageAddr, PageKind};
+use crate::timing::{NandTimings, SensePhases};
+use rr_util::time::SimTime;
+
+/// What a die is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DieOp {
+    /// Sensing a page into the internal page buffer.
+    Read {
+        /// The page being sensed.
+        addr: PageAddr,
+    },
+    /// Programming a page from the page buffer.
+    Program {
+        /// The page being programmed.
+        addr: PageAddr,
+    },
+    /// Erasing a block.
+    Erase {
+        /// The block being erased.
+        block: BlockAddr,
+    },
+    /// Executing `SET FEATURE`.
+    SetFeature,
+    /// Executing `RESET` (terminating a previous operation).
+    Reset,
+}
+
+impl DieOp {
+    /// Whether this operation may be suspended to let a read through
+    /// (program/erase suspension, §7.2).
+    pub fn suspendable(&self) -> bool {
+        matches!(self, DieOp::Program { .. } | DieOp::Erase { .. })
+    }
+}
+
+/// A suspended program/erase awaiting resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SuspendedOp {
+    op: DieOp,
+    /// Work remaining when suspended.
+    remaining: SimTime,
+}
+
+/// Per-die state.
+#[derive(Debug, Clone)]
+struct DieState {
+    busy_until: SimTime,
+    current: Option<DieOp>,
+    suspended: Option<SuspendedOp>,
+    /// Sensed page sitting in the cache register, available for transfer.
+    cache: Option<PageAddr>,
+    /// Active sensing-phase override installed by `SET FEATURE` (AR²).
+    sense_override: Option<SensePhases>,
+}
+
+impl DieState {
+    fn new() -> Self {
+        Self {
+            busy_until: SimTime::ZERO,
+            current: None,
+            suspended: None,
+            cache: None,
+            sense_override: None,
+        }
+    }
+
+    fn is_busy(&self, now: SimTime) -> bool {
+        self.current.is_some() && now < self.busy_until
+    }
+
+    fn settle(&mut self, now: SimTime) {
+        if self.current.is_some() && now >= self.busy_until {
+            // A completed read leaves its page in the cache register.
+            if let Some(DieOp::Read { addr }) = self.current {
+                self.cache = Some(addr);
+            }
+            self.current = None;
+        }
+    }
+}
+
+/// Per-block bookkeeping the chip itself maintains.
+#[derive(Debug, Clone, Default)]
+struct BlockState {
+    /// Number of pages programmed so far (NAND requires sequential
+    /// programming within a block).
+    programmed_pages: u32,
+    /// Program/erase cycles endured.
+    pec: u32,
+}
+
+/// One NAND flash chip.
+///
+/// # Example
+///
+/// ```
+/// use rr_flash::chip::Chip;
+/// use rr_flash::geometry::{ChipGeometry, PageAddr};
+/// use rr_util::time::SimTime;
+///
+/// let mut chip = Chip::new(ChipGeometry::tiny());
+/// let addr = PageAddr::new(0, 0, 0, 0);
+/// let t0 = SimTime::ZERO;
+/// let done = chip.begin_program(addr, t0)?;
+/// let done_read = chip.begin_read(addr, done)?;
+/// assert!(done_read > done);
+/// # Ok::<(), rr_flash::chip::ChipError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chip {
+    geometry: ChipGeometry,
+    timings: NandTimings,
+    dies: Vec<DieState>,
+    blocks: Vec<BlockState>,
+}
+
+impl Chip {
+    /// Creates a chip with Table-1 timings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid.
+    pub fn new(geometry: ChipGeometry) -> Self {
+        Self::with_timings(geometry, NandTimings::table1())
+    }
+
+    /// Creates a chip with explicit timings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid.
+    pub fn with_timings(geometry: ChipGeometry, timings: NandTimings) -> Self {
+        geometry.validate().expect("chip geometry must be valid");
+        let dies = (0..geometry.dies).map(|_| DieState::new()).collect();
+        let blocks = vec![BlockState::default(); geometry.blocks_per_chip() as usize];
+        Self { geometry, timings, dies, blocks }
+    }
+
+    /// The chip geometry.
+    pub fn geometry(&self) -> &ChipGeometry {
+        &self.geometry
+    }
+
+    /// The chip's default timings.
+    pub fn timings(&self) -> &NandTimings {
+        &self.timings
+    }
+
+    fn block_index(&self, b: BlockAddr) -> usize {
+        b.block_key(&self.geometry) as usize
+    }
+
+    fn die_mut(&mut self, die: u32, now: SimTime) -> Result<&mut DieState, ChipError> {
+        let state = self
+            .dies
+            .get_mut(die as usize)
+            .ok_or(ChipError::BadAddress)?;
+        state.settle(now);
+        Ok(state)
+    }
+
+    /// Effective sensing phases for a die (`SET FEATURE` override or default).
+    pub fn sense_phases(&self, die: u32) -> SensePhases {
+        self.dies
+            .get(die as usize)
+            .and_then(|d| d.sense_override)
+            .unwrap_or(self.timings.sense)
+    }
+
+    /// When the die frees up (for schedulers probing availability).
+    pub fn die_busy_until(&self, die: u32) -> SimTime {
+        self.dies
+            .get(die as usize)
+            .map(|d| d.busy_until)
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Whether the die is busy at `now`.
+    pub fn die_is_busy(&self, die: u32, now: SimTime) -> bool {
+        self.dies
+            .get(die as usize)
+            .map(|d| d.is_busy(now))
+            .unwrap_or(false)
+    }
+
+    /// Program/erase cycle count of a block.
+    pub fn block_pec(&self, block: BlockAddr) -> u32 {
+        self.blocks[self.block_index(block)].pec
+    }
+
+    /// Number of sequentially programmed pages in a block.
+    pub fn block_programmed_pages(&self, block: BlockAddr) -> u32 {
+        self.blocks[self.block_index(block)].programmed_pages
+    }
+
+    /// Whether a page currently holds data.
+    pub fn page_is_programmed(&self, addr: PageAddr) -> bool {
+        addr.page < self.blocks[self.block_index(addr.block_addr())].programmed_pages
+    }
+
+    /// Starts a `PAGE READ` (sensing) on the page's die.
+    ///
+    /// Returns the sensing completion time; afterwards the page sits in the
+    /// die's cache register awaiting transfer.
+    ///
+    /// # Errors
+    ///
+    /// [`ChipError::DieBusy`] if the die is mid-operation,
+    /// [`ChipError::BadAddress`] for an out-of-range address,
+    /// [`ChipError::ReadUnwritten`] when the page was never programmed.
+    pub fn begin_read(&mut self, addr: PageAddr, now: SimTime) -> Result<SimTime, ChipError> {
+        addr.check(&self.geometry).map_err(|_| ChipError::BadAddress)?;
+        if !self.page_is_programmed(addr) {
+            return Err(ChipError::ReadUnwritten);
+        }
+        let kind = self.geometry.page_kind(addr.page);
+        let phases = self.sense_phases(addr.die);
+        let die = self.die_mut(addr.die, now)?;
+        if die.is_busy(now) {
+            return Err(ChipError::DieBusy);
+        }
+        let done = now + phases.t_r(kind);
+        die.current = Some(DieOp::Read { addr });
+        die.busy_until = done;
+        Ok(done)
+    }
+
+    /// Starts a `CACHE READ`: identical sensing cost, but legal while the
+    /// *previous* page still occupies the cache register being transferred —
+    /// the pipelining PR² exploits (Fig. 6). The previously cached page is
+    /// returned so the caller can account the overlap.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Chip::begin_read`]; additionally requires that a previous
+    /// read's data is (or was) in the cache register, which is what makes it
+    /// a *cache* read.
+    pub fn begin_cache_read(
+        &mut self,
+        addr: PageAddr,
+        now: SimTime,
+    ) -> Result<CacheReadStart, ChipError> {
+        addr.check(&self.geometry).map_err(|_| ChipError::BadAddress)?;
+        if !self.page_is_programmed(addr) {
+            return Err(ChipError::ReadUnwritten);
+        }
+        let kind = self.geometry.page_kind(addr.page);
+        let phases = self.sense_phases(addr.die);
+        let die = self.die_mut(addr.die, now)?;
+        if die.is_busy(now) {
+            return Err(ChipError::DieBusy);
+        }
+        let previous = die.cache.take().ok_or(ChipError::CacheEmpty)?;
+        let done = now + phases.t_r(kind);
+        die.current = Some(DieOp::Read { addr });
+        die.busy_until = done;
+        Ok(CacheReadStart { sense_done: done, transferable: previous })
+    }
+
+    /// Starts a page program.
+    ///
+    /// # Errors
+    ///
+    /// [`ChipError::DieBusy`], [`ChipError::BadAddress`], or
+    /// [`ChipError::ProgramOutOfOrder`] when skipping pages or re-programming
+    /// without an erase (erase-before-write, §2.2).
+    pub fn begin_program(&mut self, addr: PageAddr, now: SimTime) -> Result<SimTime, ChipError> {
+        addr.check(&self.geometry).map_err(|_| ChipError::BadAddress)?;
+        let block_idx = self.block_index(addr.block_addr());
+        let next = self.blocks[block_idx].programmed_pages;
+        if addr.page != next {
+            return Err(ChipError::ProgramOutOfOrder { expected: next, got: addr.page });
+        }
+        let t_prog = self.timings.t_prog;
+        let die = self.die_mut(addr.die, now)?;
+        if die.is_busy(now) {
+            return Err(ChipError::DieBusy);
+        }
+        let done = now + t_prog;
+        die.current = Some(DieOp::Program { addr });
+        die.busy_until = done;
+        self.blocks[block_idx].programmed_pages += 1;
+        Ok(done)
+    }
+
+    /// Starts a block erase.
+    ///
+    /// # Errors
+    ///
+    /// [`ChipError::DieBusy`] or [`ChipError::BadAddress`].
+    pub fn begin_erase(&mut self, block: BlockAddr, now: SimTime) -> Result<SimTime, ChipError> {
+        block
+            .page(0)
+            .check(&self.geometry)
+            .map_err(|_| ChipError::BadAddress)?;
+        let t_bers = self.timings.t_bers;
+        let die = self.die_mut(block.die, now)?;
+        if die.is_busy(now) {
+            return Err(ChipError::DieBusy);
+        }
+        let done = now + t_bers;
+        die.current = Some(DieOp::Erase { block });
+        die.busy_until = done;
+        let b = self.block_index(block);
+        self.blocks[b].programmed_pages = 0;
+        self.blocks[b].pec += 1;
+        Ok(done)
+    }
+
+    /// Suspends an in-flight program/erase so a read can be served
+    /// (program/erase suspension, §7.2). Returns when the die becomes free.
+    ///
+    /// # Errors
+    ///
+    /// [`ChipError::NothingToSuspend`] if the die is idle or running a
+    /// non-suspendable operation, [`ChipError::AlreadySuspended`] if a
+    /// suspended operation is already pending.
+    pub fn suspend(&mut self, die_idx: u32, now: SimTime) -> Result<SimTime, ChipError> {
+        let t_suspend = self.timings.t_suspend;
+        let die = self.die_mut(die_idx, now)?;
+        let Some(op) = die.current else {
+            return Err(ChipError::NothingToSuspend);
+        };
+        if !op.suspendable() {
+            return Err(ChipError::NothingToSuspend);
+        }
+        if die.suspended.is_some() {
+            return Err(ChipError::AlreadySuspended);
+        }
+        let remaining = die.busy_until.saturating_sub(now);
+        die.suspended = Some(SuspendedOp { op, remaining });
+        die.current = None;
+        let free_at = now + t_suspend;
+        die.busy_until = free_at;
+        Ok(free_at)
+    }
+
+    /// Resumes a previously suspended program/erase; returns its completion.
+    ///
+    /// # Errors
+    ///
+    /// [`ChipError::DieBusy`] or [`ChipError::NothingToResume`].
+    pub fn resume(&mut self, die_idx: u32, now: SimTime) -> Result<SimTime, ChipError> {
+        let die = self.die_mut(die_idx, now)?;
+        if die.is_busy(now) {
+            return Err(ChipError::DieBusy);
+        }
+        let s = die.suspended.take().ok_or(ChipError::NothingToResume)?;
+        let done = now + s.remaining;
+        die.current = Some(s.op);
+        die.busy_until = done;
+        Ok(done)
+    }
+
+    /// Whether the die has a suspended program/erase pending resume.
+    pub fn has_suspended(&self, die: u32) -> bool {
+        self.dies
+            .get(die as usize)
+            .map(|d| d.suspended.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Issues `RESET`, terminating whatever the die is doing (PR² uses this to
+    /// kill the speculatively started extra retry step, §6.1). Returns when
+    /// the die is usable again (`now + tRST`). A terminated read leaves no
+    /// data in the cache register.
+    pub fn reset(&mut self, die_idx: u32, now: SimTime) -> Result<SimTime, ChipError> {
+        let t_rst = self.timings.t_rst_read;
+        let die = self.die_mut(die_idx, now)?;
+        die.current = Some(DieOp::Reset);
+        die.cache = None;
+        let done = now + t_rst;
+        die.busy_until = done;
+        Ok(done)
+    }
+
+    /// Issues `SET FEATURE` to install (or with `None`, clear) a sensing-phase
+    /// override on a die — AR²'s step ② / ④ (Fig. 13). Takes `tSET`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChipError::DieBusy`] if the die is mid-operation.
+    pub fn set_feature(
+        &mut self,
+        die_idx: u32,
+        phases: Option<SensePhases>,
+        now: SimTime,
+    ) -> Result<SimTime, ChipError> {
+        let t_set = self.timings.t_set;
+        let die = self.die_mut(die_idx, now)?;
+        if die.is_busy(now) {
+            return Err(ChipError::DieBusy);
+        }
+        die.sense_override = phases;
+        die.current = Some(DieOp::SetFeature);
+        let done = now + t_set;
+        die.busy_until = done;
+        Ok(done)
+    }
+
+    /// The sensing latency a read of `addr` would take right now on its die,
+    /// honouring any `SET FEATURE` override (Eq. 1).
+    pub fn read_latency(&self, addr: PageAddr) -> SimTime {
+        let kind = self.geometry.page_kind(addr.page);
+        self.sense_phases(addr.die).t_r(kind)
+    }
+
+    /// The page kind (LSB/CSB/MSB) of an address.
+    pub fn page_kind(&self, addr: PageAddr) -> PageKind {
+        self.geometry.page_kind(addr.page)
+    }
+}
+
+/// Result of starting a `CACHE READ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheReadStart {
+    /// When the new page's sensing completes.
+    pub sense_done: SimTime,
+    /// The previously sensed page, now free to transfer over the channel
+    /// while the new sensing proceeds.
+    pub transferable: PageAddr,
+}
+
+/// Errors from chip command issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChipError {
+    /// The target die is executing another operation.
+    DieBusy,
+    /// Address out of range for this chip's geometry.
+    BadAddress,
+    /// Attempt to read a page that was never programmed.
+    ReadUnwritten,
+    /// NAND pages must be programmed sequentially within a block, once,
+    /// between erases.
+    ProgramOutOfOrder {
+        /// The next programmable page index in the block.
+        expected: u32,
+        /// The requested page index.
+        got: u32,
+    },
+    /// `CACHE READ` requires previously sensed data in the cache register.
+    CacheEmpty,
+    /// Suspend requested with no suspendable operation in flight.
+    NothingToSuspend,
+    /// A suspended operation is already pending on this die.
+    AlreadySuspended,
+    /// Resume requested with nothing suspended.
+    NothingToResume,
+}
+
+impl core::fmt::Display for ChipError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ChipError::DieBusy => write!(f, "die is busy"),
+            ChipError::BadAddress => write!(f, "address out of range"),
+            ChipError::ReadUnwritten => write!(f, "read of an unprogrammed page"),
+            ChipError::ProgramOutOfOrder { expected, got } => {
+                write!(f, "out-of-order program: expected page {expected}, got {got}")
+            }
+            ChipError::CacheEmpty => write!(f, "cache read with empty cache register"),
+            ChipError::NothingToSuspend => write!(f, "no suspendable operation in flight"),
+            ChipError::AlreadySuspended => write!(f, "a suspended operation is already pending"),
+            ChipError::NothingToResume => write!(f, "no suspended operation to resume"),
+        }
+    }
+}
+
+impl std::error::Error for ChipError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> Chip {
+        Chip::new(ChipGeometry::tiny())
+    }
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_us(v)
+    }
+
+    /// Program pages 0..n of block (0,0,0) back-to-back; returns finish time.
+    fn program_block_prefix(c: &mut Chip, n: u32) -> SimTime {
+        let mut t = SimTime::ZERO;
+        for p in 0..n {
+            t = c.begin_program(PageAddr::new(0, 0, 0, p), t).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn read_takes_eq1_latency() {
+        let mut c = chip();
+        let t0 = program_block_prefix(&mut c, 3);
+        // Page 0 is LSB: 2 × 39 = 78 µs; page 1 CSB: 117 µs.
+        let done = c.begin_read(PageAddr::new(0, 0, 0, 0), t0).unwrap();
+        assert_eq!(done - t0, us(78));
+        let done2 = c.begin_read(PageAddr::new(0, 0, 0, 1), done).unwrap();
+        assert_eq!(done2 - done, us(117));
+    }
+
+    #[test]
+    fn die_busy_rejected_then_free_after_completion() {
+        let mut c = chip();
+        let t0 = program_block_prefix(&mut c, 2);
+        let done = c.begin_read(PageAddr::new(0, 0, 0, 0), t0).unwrap();
+        assert_eq!(
+            c.begin_read(PageAddr::new(0, 0, 0, 1), t0).unwrap_err(),
+            ChipError::DieBusy
+        );
+        assert!(c.begin_read(PageAddr::new(0, 0, 0, 1), done).is_ok());
+    }
+
+    #[test]
+    fn dies_operate_independently() {
+        let mut c = chip();
+        // Program one page on each die (legal: different blocks).
+        let d0 = c.begin_program(PageAddr::new(0, 0, 0, 0), SimTime::ZERO).unwrap();
+        let d1 = c.begin_program(PageAddr::new(1, 0, 0, 0), SimTime::ZERO).unwrap();
+        assert_eq!(d0, d1, "both dies run concurrently");
+    }
+
+    #[test]
+    fn read_unwritten_page_is_an_error() {
+        let mut c = chip();
+        assert_eq!(
+            c.begin_read(PageAddr::new(0, 0, 0, 0), SimTime::ZERO).unwrap_err(),
+            ChipError::ReadUnwritten
+        );
+    }
+
+    #[test]
+    fn sequential_program_enforced_and_reset_by_erase() {
+        let mut c = chip();
+        let t = c.begin_program(PageAddr::new(0, 0, 0, 0), SimTime::ZERO).unwrap();
+        // Skipping page 1 is illegal.
+        assert_eq!(
+            c.begin_program(PageAddr::new(0, 0, 0, 2), t).unwrap_err(),
+            ChipError::ProgramOutOfOrder { expected: 1, got: 2 }
+        );
+        // Rewriting page 0 without erase is illegal.
+        assert!(matches!(
+            c.begin_program(PageAddr::new(0, 0, 0, 0), t),
+            Err(ChipError::ProgramOutOfOrder { .. })
+        ));
+        // After erase, page 0 is programmable again and PEC is counted.
+        let b = BlockAddr::new(0, 0, 0);
+        let t = c.begin_erase(b, t).unwrap();
+        assert_eq!(c.block_pec(b), 1);
+        assert!(c.begin_program(PageAddr::new(0, 0, 0, 0), t).is_ok());
+    }
+
+    #[test]
+    fn erase_latency_is_tbers() {
+        let mut c = chip();
+        let done = c.begin_erase(BlockAddr::new(0, 0, 0), SimTime::ZERO).unwrap();
+        assert_eq!(done, SimTime::from_ms(5));
+    }
+
+    #[test]
+    fn cache_read_requires_prior_sensing_then_pipelines() {
+        let mut c = chip();
+        let t0 = program_block_prefix(&mut c, 6);
+        let a0 = PageAddr::new(0, 0, 0, 0);
+        let a3 = PageAddr::new(0, 0, 0, 3);
+        // No sensed data yet → cache read illegal.
+        assert_eq!(c.begin_cache_read(a3, t0).unwrap_err(), ChipError::CacheEmpty);
+        // Regular read first...
+        let s1 = c.begin_read(a0, t0).unwrap();
+        // ...then a CACHE READ of *any* page (random cache read, §3.2.1):
+        // returns the previous page for concurrent transfer.
+        let start = c.begin_cache_read(a3, s1).unwrap();
+        assert_eq!(start.transferable, a0);
+        assert_eq!(start.sense_done - s1, us(78)); // page 3 is LSB
+    }
+
+    #[test]
+    fn reset_terminates_read_in_trst() {
+        let mut c = chip();
+        let t0 = program_block_prefix(&mut c, 1);
+        let a = PageAddr::new(0, 0, 0, 0);
+        let _sensing_done = c.begin_read(a, t0).unwrap();
+        // Mid-sensing, PR² decides the step is unnecessary: RESET.
+        let mid = t0 + us(10);
+        let free = c.reset(0, mid).unwrap();
+        assert_eq!(free - mid, us(5)); // tRST = 5 µs for reads (Table 1)
+        // The cache register is cleared: a subsequent CACHE READ is illegal.
+        assert_eq!(c.begin_cache_read(a, free).unwrap_err(), ChipError::CacheEmpty);
+    }
+
+    #[test]
+    fn set_feature_overrides_sensing_latency_and_rolls_back() {
+        let mut c = chip();
+        let t0 = program_block_prefix(&mut c, 1);
+        let a = PageAddr::new(0, 0, 0, 0);
+        let reduced = SensePhases::table1().with_reduction(0.40, 0.0, 0.0);
+        let t1 = c.set_feature(0, Some(reduced), t0).unwrap();
+        assert_eq!(t1 - t0, us(1)); // tSET = 1 µs
+        let done = c.begin_read(a, t1).unwrap();
+        // tR with tPRE −40 %: 2 × (14.4 + 5 + 10) = 58.8 µs.
+        assert_eq!(done - t1, SimTime::from_ns(58_800));
+        // Roll back to defaults (AR² step ④).
+        let t2 = c.set_feature(0, None, done).unwrap();
+        let done2 = c.begin_read(a, t2).unwrap();
+        assert_eq!(done2 - t2, us(78));
+    }
+
+    #[test]
+    fn suspension_lets_read_preempt_program() {
+        let mut c = chip();
+        let t0 = program_block_prefix(&mut c, 1);
+        // Start a long program of the next page.
+        let _prog_done = c.begin_program(PageAddr::new(0, 0, 0, 1), t0).unwrap();
+        // A read arrives 100 µs in; suspend the program.
+        let t_read = t0 + us(100);
+        let free = c.suspend(0, t_read).unwrap();
+        assert_eq!(free - t_read, c.timings().t_suspend);
+        // Read proceeds.
+        let read_done = c.begin_read(PageAddr::new(0, 0, 0, 0), free).unwrap();
+        // Resume finishes the remaining 600 µs of the program.
+        assert!(c.has_suspended(0));
+        let resumed_done = c.resume(0, read_done).unwrap();
+        assert_eq!(resumed_done - read_done, us(600));
+        assert!(!c.has_suspended(0));
+    }
+
+    #[test]
+    fn suspend_requires_suspendable_op() {
+        let mut c = chip();
+        let t0 = program_block_prefix(&mut c, 1);
+        assert_eq!(c.suspend(0, t0).unwrap_err(), ChipError::NothingToSuspend);
+        let _ = c.begin_read(PageAddr::new(0, 0, 0, 0), t0).unwrap();
+        // Reads are not suspendable.
+        assert_eq!(
+            c.suspend(0, t0 + us(1)).unwrap_err(),
+            ChipError::NothingToSuspend
+        );
+    }
+
+    #[test]
+    fn resume_without_suspend_is_error() {
+        let mut c = chip();
+        assert_eq!(c.resume(0, SimTime::ZERO).unwrap_err(), ChipError::NothingToResume);
+    }
+
+    #[test]
+    fn bad_addresses_rejected() {
+        let mut c = chip();
+        assert_eq!(
+            c.begin_read(PageAddr::new(9, 0, 0, 0), SimTime::ZERO).unwrap_err(),
+            ChipError::BadAddress
+        );
+        assert_eq!(
+            c.begin_erase(BlockAddr::new(0, 0, 99), SimTime::ZERO).unwrap_err(),
+            ChipError::BadAddress
+        );
+    }
+}

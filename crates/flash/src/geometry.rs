@@ -1,0 +1,379 @@
+//! NAND flash organization and physical addressing (paper §2.1, Fig. 1).
+//!
+//! A chip contains dies (independent), each die contains planes (concurrent
+//! under row-decoder constraints), each plane contains blocks (erase unit),
+//! each block contains wordlines, and in TLC NAND each wordline stores three
+//! 16-KiB pages (LSB / CSB / MSB).
+
+use serde::{Deserialize, Serialize};
+
+/// Bits stored per cell; determines pages per wordline and sensing counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellTech {
+    /// 1 bit/cell: one page per wordline, single sensing.
+    Slc,
+    /// 2 bits/cell.
+    Mlc,
+    /// 3 bits/cell — the paper's 48-layer 3D TLC chips.
+    Tlc,
+    /// 4 bits/cell.
+    Qlc,
+}
+
+impl CellTech {
+    /// Bits stored per cell.
+    pub const fn bits_per_cell(self) -> u32 {
+        match self {
+            CellTech::Slc => 1,
+            CellTech::Mlc => 2,
+            CellTech::Tlc => 3,
+            CellTech::Qlc => 4,
+        }
+    }
+
+    /// Number of threshold-voltage states (2^bits).
+    pub const fn vth_states(self) -> u32 {
+        1 << self.bits_per_cell()
+    }
+
+    /// Pages stored per wordline (= bits per cell).
+    pub const fn pages_per_wordline(self) -> u32 {
+        self.bits_per_cell()
+    }
+}
+
+/// Which page of a TLC wordline a physical page is (paper footnote 14).
+///
+/// The number of sensing operations `N_SENSE` in Eq. (1) depends on this:
+/// `⟨2, 3, 2⟩` for `⟨LSB, CSB, MSB⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageKind {
+    /// Least-significant-bit page (2 sensing levels).
+    Lsb,
+    /// Central-significant-bit page (3 sensing levels).
+    Csb,
+    /// Most-significant-bit page (2 sensing levels).
+    Msb,
+}
+
+impl PageKind {
+    /// `N_SENSE`: how many read-reference sensings this page needs (TLC).
+    pub const fn n_sense(self) -> u32 {
+        match self {
+            PageKind::Lsb => 2,
+            PageKind::Csb => 3,
+            PageKind::Msb => 2,
+        }
+    }
+
+    /// All kinds in wordline order.
+    pub const ALL: [PageKind; 3] = [PageKind::Lsb, PageKind::Csb, PageKind::Msb];
+}
+
+/// Geometry of one NAND flash chip.
+///
+/// The paper's simulated SSD (§7.1) uses 4 dies/chip-channel, 2 planes/die,
+/// 1,888 blocks/plane, 576 16-KiB pages/block. [`ChipGeometry::asplos21`]
+/// returns exactly that; tests use [`ChipGeometry::tiny`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChipGeometry {
+    /// Independent dies in the chip.
+    pub dies: u32,
+    /// Planes per die.
+    pub planes_per_die: u32,
+    /// Blocks per plane.
+    pub blocks_per_plane: u32,
+    /// Pages per block (must be divisible by pages-per-wordline).
+    pub pages_per_block: u32,
+    /// Page payload size in bytes.
+    pub page_bytes: u32,
+    /// Cell technology (pages per wordline, V_TH states).
+    pub cell_tech: CellTech,
+}
+
+impl ChipGeometry {
+    /// The paper's evaluation geometry (§7.1): 4 dies × 2 planes ×
+    /// 1,888 blocks × 576 pages × 16 KiB, TLC.
+    pub const fn asplos21() -> Self {
+        Self {
+            dies: 4,
+            planes_per_die: 2,
+            blocks_per_plane: 1888,
+            pages_per_block: 576,
+            page_bytes: 16 * 1024,
+            cell_tech: CellTech::Tlc,
+        }
+    }
+
+    /// A small geometry for unit tests and fast integration runs.
+    pub const fn tiny() -> Self {
+        Self {
+            dies: 2,
+            planes_per_die: 2,
+            blocks_per_plane: 8,
+            pages_per_block: 24,
+            page_bytes: 16 * 1024,
+            cell_tech: CellTech::Tlc,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any dimension is zero or `pages_per_block` is not
+    /// a multiple of the pages-per-wordline implied by the cell technology.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dies == 0
+            || self.planes_per_die == 0
+            || self.blocks_per_plane == 0
+            || self.pages_per_block == 0
+            || self.page_bytes == 0
+        {
+            return Err("all geometry dimensions must be non-zero".into());
+        }
+        let ppw = self.cell_tech.pages_per_wordline();
+        if self.pages_per_block % ppw != 0 {
+            return Err(format!(
+                "pages_per_block ({}) must be a multiple of pages per wordline ({ppw})",
+                self.pages_per_block
+            ));
+        }
+        Ok(())
+    }
+
+    /// Wordlines per block.
+    pub const fn wordlines_per_block(&self) -> u32 {
+        self.pages_per_block / self.cell_tech.pages_per_wordline()
+    }
+
+    /// Total blocks in the chip.
+    pub const fn blocks_per_chip(&self) -> u64 {
+        self.dies as u64 * self.planes_per_die as u64 * self.blocks_per_plane as u64
+    }
+
+    /// Total pages in the chip.
+    pub const fn pages_per_chip(&self) -> u64 {
+        self.blocks_per_chip() * self.pages_per_block as u64
+    }
+
+    /// Chip capacity in bytes.
+    pub const fn capacity_bytes(&self) -> u64 {
+        self.pages_per_chip() * self.page_bytes as u64
+    }
+
+    /// The [`PageKind`] of a page index within its block.
+    ///
+    /// Pages are striped across wordlines in LSB/CSB/MSB order, the common
+    /// shared-page programming order in 3D TLC NAND.
+    pub const fn page_kind(&self, page_in_block: u32) -> PageKind {
+        match self.cell_tech {
+            CellTech::Slc | CellTech::Mlc | CellTech::Qlc => PageKind::Lsb,
+            CellTech::Tlc => match page_in_block % 3 {
+                0 => PageKind::Lsb,
+                1 => PageKind::Csb,
+                _ => PageKind::Msb,
+            },
+        }
+    }
+
+    /// The wordline index of a page within its block.
+    pub const fn wordline_of(&self, page_in_block: u32) -> u32 {
+        page_in_block / self.cell_tech.pages_per_wordline()
+    }
+}
+
+/// Physical address of a page within one chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageAddr {
+    /// Die index within the chip.
+    pub die: u32,
+    /// Plane index within the die.
+    pub plane: u32,
+    /// Block index within the plane.
+    pub block: u32,
+    /// Page index within the block.
+    pub page: u32,
+}
+
+impl PageAddr {
+    /// Creates an address; validity against a geometry is checked separately
+    /// with [`PageAddr::check`].
+    pub const fn new(die: u32, plane: u32, block: u32, page: u32) -> Self {
+        Self { die, plane, block, page }
+    }
+
+    /// Validates this address against `geometry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddrError`] naming the first out-of-range component.
+    pub fn check(&self, g: &ChipGeometry) -> Result<(), AddrError> {
+        if self.die >= g.dies {
+            return Err(AddrError::Die(self.die));
+        }
+        if self.plane >= g.planes_per_die {
+            return Err(AddrError::Plane(self.plane));
+        }
+        if self.block >= g.blocks_per_plane {
+            return Err(AddrError::Block(self.block));
+        }
+        if self.page >= g.pages_per_block {
+            return Err(AddrError::Page(self.page));
+        }
+        Ok(())
+    }
+
+    /// The address of the block containing this page.
+    pub const fn block_addr(&self) -> BlockAddr {
+        BlockAddr { die: self.die, plane: self.plane, block: self.block }
+    }
+
+    /// A stable 64-bit key identifying this page within its chip, used for
+    /// deterministic per-page noise in the error model.
+    pub fn page_key(&self, g: &ChipGeometry) -> u64 {
+        self.block_addr().block_key(g) * g.pages_per_block as u64 + self.page as u64
+    }
+}
+
+/// Physical address of a block within one chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockAddr {
+    /// Die index within the chip.
+    pub die: u32,
+    /// Plane index within the die.
+    pub plane: u32,
+    /// Block index within the plane.
+    pub block: u32,
+}
+
+impl BlockAddr {
+    /// Creates a block address.
+    pub const fn new(die: u32, plane: u32, block: u32) -> Self {
+        Self { die, plane, block }
+    }
+
+    /// A stable 64-bit key identifying this block within its chip.
+    pub fn block_key(&self, g: &ChipGeometry) -> u64 {
+        (self.die as u64 * g.planes_per_die as u64 + self.plane as u64)
+            * g.blocks_per_plane as u64
+            + self.block as u64
+    }
+
+    /// The address of `page` within this block.
+    pub const fn page(&self, page: u32) -> PageAddr {
+        PageAddr { die: self.die, plane: self.plane, block: self.block, page }
+    }
+}
+
+/// An out-of-range physical address component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrError {
+    /// Die index out of range.
+    Die(u32),
+    /// Plane index out of range.
+    Plane(u32),
+    /// Block index out of range.
+    Block(u32),
+    /// Page index out of range.
+    Page(u32),
+}
+
+impl core::fmt::Display for AddrError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AddrError::Die(v) => write!(f, "die index {v} out of range"),
+            AddrError::Plane(v) => write!(f, "plane index {v} out of range"),
+            AddrError::Block(v) => write!(f, "block index {v} out of range"),
+            AddrError::Page(v) => write!(f, "page index {v} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for AddrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asplos_geometry_matches_paper() {
+        let g = ChipGeometry::asplos21();
+        g.validate().unwrap();
+        assert_eq!(g.pages_per_block, 576); // §7.1
+        assert_eq!(g.page_bytes, 16 * 1024);
+        assert_eq!(g.wordlines_per_block(), 192);
+        // One chip = 4 dies × 2 planes × 1888 blocks × 576 pages × 16 KiB
+        // ≈ 132.7 GiB raw; 4 channels of these ≈ 531 GiB raw, exposing the
+        // paper's 512 GiB usable capacity after over-provisioning (§7.1).
+        assert_eq!(g.capacity_bytes(), 142_539_227_136);
+        let raw_4ch = 4 * g.capacity_bytes();
+        let usable = 512u64 * 1024 * 1024 * 1024;
+        assert!(raw_4ch > usable, "raw capacity must cover 512 GiB usable");
+        let op = raw_4ch as f64 / usable as f64 - 1.0;
+        assert!((0.0..0.1).contains(&op), "over-provisioning ratio {op}");
+    }
+
+    #[test]
+    fn tlc_page_kinds_stripe_lsb_csb_msb() {
+        let g = ChipGeometry::asplos21();
+        assert_eq!(g.page_kind(0), PageKind::Lsb);
+        assert_eq!(g.page_kind(1), PageKind::Csb);
+        assert_eq!(g.page_kind(2), PageKind::Msb);
+        assert_eq!(g.page_kind(3), PageKind::Lsb);
+        assert_eq!(g.wordline_of(0), 0);
+        assert_eq!(g.wordline_of(2), 0);
+        assert_eq!(g.wordline_of(3), 1);
+    }
+
+    #[test]
+    fn n_sense_matches_footnote_14() {
+        assert_eq!(PageKind::Lsb.n_sense(), 2);
+        assert_eq!(PageKind::Csb.n_sense(), 3);
+        assert_eq!(PageKind::Msb.n_sense(), 2);
+    }
+
+    #[test]
+    fn addr_validation() {
+        let g = ChipGeometry::tiny();
+        assert!(PageAddr::new(0, 0, 0, 0).check(&g).is_ok());
+        assert_eq!(PageAddr::new(2, 0, 0, 0).check(&g), Err(AddrError::Die(2)));
+        assert_eq!(PageAddr::new(0, 2, 0, 0).check(&g), Err(AddrError::Plane(2)));
+        assert_eq!(PageAddr::new(0, 0, 8, 0).check(&g), Err(AddrError::Block(8)));
+        assert_eq!(PageAddr::new(0, 0, 0, 24).check(&g), Err(AddrError::Page(24)));
+    }
+
+    #[test]
+    fn keys_are_unique_and_stable() {
+        let g = ChipGeometry::tiny();
+        let mut seen = std::collections::HashSet::new();
+        for die in 0..g.dies {
+            for plane in 0..g.planes_per_die {
+                for block in 0..g.blocks_per_plane {
+                    for page in 0..g.pages_per_block {
+                        let a = PageAddr::new(die, plane, block, page);
+                        assert!(seen.insert(a.page_key(&g)), "duplicate key for {a:?}");
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len() as u64, g.pages_per_chip());
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let mut g = ChipGeometry::tiny();
+        g.pages_per_block = 25; // not a multiple of 3 for TLC
+        assert!(g.validate().is_err());
+        g.pages_per_block = 0;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn cell_tech_properties() {
+        assert_eq!(CellTech::Tlc.vth_states(), 8);
+        assert_eq!(CellTech::Qlc.vth_states(), 16);
+        assert_eq!(CellTech::Slc.pages_per_wordline(), 1);
+        assert_eq!(CellTech::Tlc.pages_per_wordline(), 3);
+    }
+}

@@ -1,0 +1,254 @@
+//! ONFI-style command encoding (Open NAND Flash Interface 4.2 [90]).
+//!
+//! The paper's techniques ride on four chip commands — `PAGE READ`,
+//! `CACHE READ`, `RESET`, and `SET FEATURE` — all standard ONFI operations.
+//! This module encodes/decodes the byte-level command cycles a flash
+//! controller would actually put on the bus, so the repository is usable as a
+//! reference for what PR²/AR² require of real hardware: nothing beyond the
+//! standard command set (the paper's "no change to underlying NAND flash
+//! chips").
+//!
+//! Encoding covers the command/address cycles; data cycles are out of scope
+//! (the simulator models their latency, not their bytes).
+
+use crate::geometry::PageAddr;
+use serde::{Deserialize, Serialize};
+
+/// ONFI command opcodes used by the read-retry mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Opcode {
+    /// READ first cycle (00h).
+    Read = 0x00,
+    /// READ confirm (30h).
+    ReadConfirm = 0x30,
+    /// CACHE READ confirm (31h) — §3.2.1's pipelined read.
+    CacheReadConfirm = 0x31,
+    /// CACHE READ END (3Fh) — flush the last cached page.
+    CacheReadEnd = 0x3F,
+    /// PAGE PROGRAM first cycle (80h).
+    Program = 0x80,
+    /// PAGE PROGRAM confirm (10h).
+    ProgramConfirm = 0x10,
+    /// BLOCK ERASE first cycle (60h).
+    Erase = 0x60,
+    /// BLOCK ERASE confirm (D0h).
+    EraseConfirm = 0xD0,
+    /// SET FEATURES (EFh) — AR²'s timing-parameter knob.
+    SetFeatures = 0xEF,
+    /// GET FEATURES (EEh).
+    GetFeatures = 0xEE,
+    /// RESET (FFh) — PR²'s speculative-step terminator.
+    Reset = 0xFF,
+    /// READ STATUS (70h).
+    ReadStatus = 0x70,
+}
+
+/// The ONFI feature address vendors map read-timing trims to. The base ONFI
+/// spec reserves addresses 80h+ for vendor-specific features; timing trims
+/// live there on the parts the paper characterizes (§4: "dynamic change of
+/// timing parameters for a read by using the SET FEATURE command").
+pub const FEATURE_ADDR_READ_TIMING: u8 = 0x91;
+
+/// One bus cycle of an encoded command sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cycle {
+    /// Command latch cycle.
+    Cmd(u8),
+    /// Address latch cycle.
+    Addr(u8),
+    /// Data-out cycle (controller → chip), e.g. feature parameters.
+    DataOut(u8),
+}
+
+/// Encodes the 5-cycle row/column address of a page (2 column + 3 row cycles,
+/// the common 3D TLC layout: column always 0 for whole-page reads).
+///
+/// Row address packs `page | block | plane` little-endian; die selection is
+/// by chip-enable, not address cycles.
+pub fn encode_address(addr: PageAddr, pages_per_block: u32) -> Vec<Cycle> {
+    let row: u32 = addr.page + pages_per_block * (addr.block * 2 + addr.plane);
+    vec![
+        Cycle::Addr(0x00),
+        Cycle::Addr(0x00),
+        Cycle::Addr((row & 0xFF) as u8),
+        Cycle::Addr(((row >> 8) & 0xFF) as u8),
+        Cycle::Addr(((row >> 16) & 0xFF) as u8),
+    ]
+}
+
+/// Encodes a regular `PAGE READ` (00h – addr ×5 – 30h).
+pub fn encode_page_read(addr: PageAddr, pages_per_block: u32) -> Vec<Cycle> {
+    let mut seq = vec![Cycle::Cmd(Opcode::Read as u8)];
+    seq.extend(encode_address(addr, pages_per_block));
+    seq.push(Cycle::Cmd(Opcode::ReadConfirm as u8));
+    seq
+}
+
+/// Encodes a random `CACHE READ` of another page while the previous page's
+/// data drains from the cache register (00h – addr ×5 – 31h) — the §3.2.1
+/// extension to arbitrary page locations.
+pub fn encode_cache_read(addr: PageAddr, pages_per_block: u32) -> Vec<Cycle> {
+    let mut seq = vec![Cycle::Cmd(Opcode::Read as u8)];
+    seq.extend(encode_address(addr, pages_per_block));
+    seq.push(Cycle::Cmd(Opcode::CacheReadConfirm as u8));
+    seq
+}
+
+/// Encodes `SET FEATURES` of the read-timing trim register: EFh – feature
+/// address – 4 parameter bytes. We pack ⟨tPRE, tEVAL, tDISCH⟩ in µs plus a
+/// reserved byte, which is how the characterization platform of §4 drives
+/// its timing sweeps.
+///
+/// # Panics
+///
+/// Panics if any timing value exceeds 255 µs (the one-byte trim encoding).
+pub fn encode_set_read_timing(t_pre_us: u32, t_eval_us: u32, t_disch_us: u32) -> Vec<Cycle> {
+    for (name, v) in [("tPRE", t_pre_us), ("tEVAL", t_eval_us), ("tDISCH", t_disch_us)] {
+        assert!(v <= 0xFF, "{name} = {v} µs exceeds the one-byte trim encoding");
+    }
+    vec![
+        Cycle::Cmd(Opcode::SetFeatures as u8),
+        Cycle::Addr(FEATURE_ADDR_READ_TIMING),
+        Cycle::DataOut(t_pre_us as u8),
+        Cycle::DataOut(t_eval_us as u8),
+        Cycle::DataOut(t_disch_us as u8),
+        Cycle::DataOut(0x00),
+    ]
+}
+
+/// Encodes `RESET` (FFh).
+pub fn encode_reset() -> Vec<Cycle> {
+    vec![Cycle::Cmd(Opcode::Reset as u8)]
+}
+
+/// A decoded command, for controller-side tracing and sequence verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodedCommand {
+    /// A full PAGE READ with its packed row address.
+    PageRead {
+        /// Packed row address.
+        row: u32,
+    },
+    /// A CACHE READ with its packed row address.
+    CacheRead {
+        /// Packed row address.
+        row: u32,
+    },
+    /// SET FEATURES of the read-timing register.
+    SetReadTiming {
+        /// tPRE in µs.
+        t_pre_us: u8,
+        /// tEVAL in µs.
+        t_eval_us: u8,
+        /// tDISCH in µs.
+        t_disch_us: u8,
+    },
+    /// RESET.
+    Reset,
+}
+
+/// Decodes one command sequence (the inverse of the encoders above).
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed cycle.
+pub fn decode(cycles: &[Cycle]) -> Result<DecodedCommand, String> {
+    match cycles {
+        [Cycle::Cmd(0x00), addrs @ .., Cycle::Cmd(confirm)] if addrs.len() == 5 => {
+            let mut row: u32 = 0;
+            for (i, c) in addrs[2..].iter().enumerate() {
+                let Cycle::Addr(b) = c else {
+                    return Err("row cycles must be address cycles".into());
+                };
+                row |= (*b as u32) << (8 * i);
+            }
+            match confirm {
+                0x30 => Ok(DecodedCommand::PageRead { row }),
+                0x31 => Ok(DecodedCommand::CacheRead { row }),
+                other => Err(format!("unknown read confirm cycle {other:#04x}")),
+            }
+        }
+        [Cycle::Cmd(0xEF), Cycle::Addr(fa), Cycle::DataOut(p), Cycle::DataOut(e), Cycle::DataOut(d), Cycle::DataOut(_)] => {
+            if *fa != FEATURE_ADDR_READ_TIMING {
+                return Err(format!("unsupported feature address {fa:#04x}"));
+            }
+            Ok(DecodedCommand::SetReadTiming { t_pre_us: *p, t_eval_us: *e, t_disch_us: *d })
+        }
+        [Cycle::Cmd(0xFF)] => Ok(DecodedCommand::Reset),
+        _ => Err("unrecognized command sequence".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr() -> PageAddr {
+        PageAddr::new(0, 1, 100, 42)
+    }
+
+    #[test]
+    fn page_read_roundtrip() {
+        let seq = encode_page_read(addr(), 576);
+        assert_eq!(seq.len(), 7); // cmd + 5 addr + confirm
+        let row = 42 + 576 * (100 * 2 + 1);
+        assert_eq!(decode(&seq).unwrap(), DecodedCommand::PageRead { row });
+    }
+
+    #[test]
+    fn cache_read_differs_only_in_confirm() {
+        let pr = encode_page_read(addr(), 576);
+        let cr = encode_cache_read(addr(), 576);
+        assert_eq!(pr[..6], cr[..6]);
+        assert_eq!(pr[6], Cycle::Cmd(0x30));
+        assert_eq!(cr[6], Cycle::Cmd(0x31));
+        assert!(matches!(decode(&cr).unwrap(), DecodedCommand::CacheRead { .. }));
+    }
+
+    #[test]
+    fn set_feature_roundtrip_with_table1_and_ar2_values() {
+        // Default Table-1 trims.
+        let seq = encode_set_read_timing(24, 5, 10);
+        assert_eq!(
+            decode(&seq).unwrap(),
+            DecodedCommand::SetReadTiming { t_pre_us: 24, t_eval_us: 5, t_disch_us: 10 }
+        );
+        // AR²'s 40 %-reduced tPRE (24 µs → 14 µs, rounding to the µs trim).
+        let seq = encode_set_read_timing(14, 5, 10);
+        assert!(matches!(
+            decode(&seq).unwrap(),
+            DecodedCommand::SetReadTiming { t_pre_us: 14, .. }
+        ));
+    }
+
+    #[test]
+    fn reset_is_single_cycle() {
+        assert_eq!(decode(&encode_reset()).unwrap(), DecodedCommand::Reset);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(&[Cycle::Cmd(0x77)]).is_err());
+        assert!(decode(&[]).is_err());
+        let mut bad = encode_page_read(addr(), 576);
+        bad[6] = Cycle::Cmd(0x99);
+        assert!(decode(&bad).is_err());
+        let mut bad_feature = encode_set_read_timing(24, 5, 10);
+        bad_feature[1] = Cycle::Addr(0x01);
+        assert!(decode(&bad_feature).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the one-byte trim")]
+    fn oversized_timing_rejected() {
+        encode_set_read_timing(300, 5, 10);
+    }
+
+    #[test]
+    fn distinct_pages_have_distinct_rows() {
+        let a = encode_page_read(PageAddr::new(0, 0, 0, 0), 576);
+        let b = encode_page_read(PageAddr::new(0, 0, 0, 1), 576);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,320 @@
+//! A physical threshold-voltage (V_TH) distribution model of TLC NAND
+//! (paper §2.1/§2.3, Fig. 3 and Fig. 4a).
+//!
+//! The calibrated error model in [`crate::error_model`] is *phenomenological*
+//! (anchored directly to the paper's measured numbers). This module provides
+//! the *mechanistic* layer underneath it: eight Gaussian V_TH states whose
+//! means shift down and widths grow with retention loss and P/E cycling
+//! (retention loss dominating, as §2.3 reports for 3D NAND), read-reference
+//! voltages between adjacent states, and raw bit errors computed as Gaussian
+//! tail mass crossing each V_REF.
+//!
+//! It exists for three reasons:
+//!
+//! 1. it demonstrates *why* the paper's observations hold (retry tables
+//!    converge on V_OPT; RBER collapses near it; retention shifts V_OPT
+//!    down), rather than just reproducing *that* they hold;
+//! 2. cross-validation — tests check the mechanistic model reproduces the
+//!    same qualitative structure the calibration pins (see
+//!    `vth_matches_calibration_shape`);
+//! 3. it is the "accurate error model" §8 says future mechanisms could use
+//!    to predict near-optimal V_REF without reading first.
+//!
+//! Voltages are in millivolts. The absolute scale is representative of
+//! published 3D TLC characterization (V_TH window ≈ 0–6000 mV), not of any
+//! specific vendor's part.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of V_TH states in TLC (2³).
+pub const TLC_STATES: usize = 8;
+
+/// Gray coding of TLC states to (LSB, CSB, MSB) bits — Fig. 3(b)'s
+/// `111, 110, 100, 000, 010, 011, 001, 101` ladder.
+pub const TLC_GRAY: [(u8, u8, u8); TLC_STATES] = [
+    (1, 1, 1), // Erased
+    (0, 1, 1), // P1
+    (0, 0, 1), // P2
+    (0, 0, 0), // P3
+    (0, 1, 0), // P4
+    (1, 1, 0), // P5
+    (1, 0, 0), // P6
+    (1, 0, 1), // P7
+];
+
+/// One Gaussian V_TH state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VthState {
+    /// Mean threshold voltage (mV).
+    pub mean_mv: f64,
+    /// Standard deviation (mV).
+    pub sigma_mv: f64,
+}
+
+/// The V_TH distribution of one wordline under an operating condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VthModel {
+    states: [VthState; TLC_STATES],
+}
+
+impl VthModel {
+    /// The distribution right after programming a fresh wordline.
+    ///
+    /// State means are evenly spaced across a ~5.6 V window with the erased
+    /// state wide and low, programmed states narrow — the standard 3D TLC
+    /// picture (Fig. 3b).
+    pub fn programmed_fresh() -> Self {
+        let mut states = [VthState { mean_mv: 0.0, sigma_mv: 0.0 }; TLC_STATES];
+        for (i, s) in states.iter_mut().enumerate() {
+            if i == 0 {
+                *s = VthState { mean_mv: -800.0, sigma_mv: 220.0 };
+            } else {
+                *s = VthState {
+                    mean_mv: 400.0 + 700.0 * i as f64,
+                    sigma_mv: 105.0,
+                };
+            }
+        }
+        Self { states }
+    }
+
+    /// The distribution after wear and retention loss.
+    ///
+    /// * **Retention loss** (dominant, §2.3): charge leaks, shifting
+    ///   programmed states *down* proportionally to their charge level and to
+    ///   `ln(1 + t)`, and widening them. Higher P/E cycling damages the
+    ///   tunnel oxide, accelerating leakage.
+    /// * **P/E cycling** also widens every state (charge-trap damage).
+    /// * The erased state drifts slightly *up* (program/read disturb).
+    pub fn aged(pec: f64, retention_months: f64) -> Self {
+        let mut m = Self::programmed_fresh();
+        let wear = 1.0 + 0.65 * (pec / 1000.0);
+        let ret = (1.0 + retention_months / 0.75).ln();
+        for (i, s) in m.states.iter_mut().enumerate() {
+            if i == 0 {
+                // Disturb pushes the erased state up a little.
+                s.mean_mv += 18.0 * ret * wear;
+                s.sigma_mv += 12.0 * ret * wear;
+            } else {
+                // Leakage scales with stored charge (state level). The
+                // 110 mV/unit coefficient puts the worst-case V_OPT shift at
+                // ~18 retry-table steps (−25 mV each), the Fig. 5 range.
+                let charge = i as f64 / 7.0;
+                s.mean_mv -= 110.0 * charge * ret * wear;
+                s.sigma_mv += (6.0 + 9.0 * charge) * ret * wear.sqrt();
+            }
+        }
+        m
+    }
+
+    /// The states.
+    pub fn states(&self) -> &[VthState; TLC_STATES] {
+        &self.states
+    }
+
+    /// Default read-reference voltages: the fresh-distribution midpoints
+    /// between adjacent states (what the chip uses before any retry).
+    pub fn default_vrefs() -> [f64; TLC_STATES - 1] {
+        let fresh = Self::programmed_fresh();
+        let mut v = [0.0; TLC_STATES - 1];
+        for (i, vref) in v.iter_mut().enumerate() {
+            *vref = 0.5 * (fresh.states[i].mean_mv + fresh.states[i + 1].mean_mv);
+        }
+        v
+    }
+
+    /// The optimal read-reference voltage between states `i` and `i+1` for
+    /// *this* (aged) distribution: the equal-probability crossing point of
+    /// the two Gaussians, approximated by the sigma-weighted mean midpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boundary >= 7`.
+    pub fn optimal_vref(&self, boundary: usize) -> f64 {
+        assert!(boundary < TLC_STATES - 1, "TLC has 7 state boundaries");
+        let a = self.states[boundary];
+        let b = self.states[boundary + 1];
+        (a.mean_mv * b.sigma_mv + b.mean_mv * a.sigma_mv) / (a.sigma_mv + b.sigma_mv)
+    }
+
+    /// Probability that a cell programmed to `state` is mis-read across the
+    /// boundary at `vref_mv`: upper tail for the lower state, lower tail for
+    /// the upper state.
+    fn misread_probability(&self, state: usize, boundary: usize, vref_mv: f64) -> f64 {
+        let s = self.states[state];
+        if state <= boundary {
+            // Cell should stay below vref; error mass is the upper tail.
+            gaussian_upper_tail(s.mean_mv, s.sigma_mv, vref_mv)
+        } else {
+            1.0 - gaussian_upper_tail(s.mean_mv, s.sigma_mv, vref_mv)
+        }
+    }
+
+    /// Expected raw bit errors per 1-KiB codeword (8192 data bits ≈ 8192
+    /// cells' worth of one page bit) when sensing boundary `boundary` with
+    /// `vref_mv`, assuming uniformly distributed state usage (the data
+    /// randomizer of §4 footnote 6 guarantees this).
+    pub fn errors_per_kib_at(&self, boundary: usize, vref_mv: f64) -> f64 {
+        // Only the two states adjacent to the boundary contribute
+        // non-negligible error mass; each holds 1/8 of the cells.
+        let cells = 8192.0 / TLC_STATES as f64;
+        let low = self.misread_probability(boundary, boundary, vref_mv);
+        let high = self.misread_probability(boundary + 1, boundary, vref_mv);
+        cells * (low + high)
+    }
+
+    /// Expected raw bit errors per KiB for an LSB page read (boundaries 0
+    /// and 4 in the Gray ladder, 2 sensings) with given V_REF offsets
+    /// (mV, added to the default V_REFs — retry-table entries are negative
+    /// offsets).
+    pub fn lsb_errors_per_kib(&self, vref_offset_mv: f64) -> f64 {
+        let defaults = Self::default_vrefs();
+        [0usize, 4]
+            .iter()
+            .map(|&b| self.errors_per_kib_at(b, defaults[b] + vref_offset_mv))
+            .sum()
+    }
+}
+
+/// Upper-tail probability Q((x − µ)/σ) of a Gaussian.
+fn gaussian_upper_tail(mean: f64, sigma: f64, x: f64) -> f64 {
+    0.5 * erfc((x - mean) / (sigma * std::f64::consts::SQRT_2))
+}
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26, |ε| < 1.5e-7).
+pub fn erfc(x: f64) -> f64 {
+    let sign_neg = x < 0.0;
+    let x_abs = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x_abs);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let result = poly * (-x_abs * x_abs).exp();
+    if sign_neg {
+        2.0 - result
+    } else {
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::ECC_CAPABILITY_PER_KIB;
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!(erfc(5.0) < 2e-12);
+        assert!((erfc(-5.0) - 2.0).abs() < 2e-12);
+    }
+
+    #[test]
+    fn gray_code_adjacent_states_differ_in_one_bit() {
+        for w in TLC_GRAY.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let diff = (a.0 ^ b.0) + (a.1 ^ b.1) + (a.2 ^ b.2);
+            assert_eq!(diff, 1, "Gray ladder must flip exactly one bit per step");
+        }
+    }
+
+    #[test]
+    fn fresh_wordline_reads_almost_clean() {
+        let m = VthModel::programmed_fresh();
+        let errors = m.lsb_errors_per_kib(0.0);
+        assert!(errors < 2.0, "fresh page RBER should be tiny, got {errors}");
+    }
+
+    #[test]
+    fn retention_shifts_states_down_and_widens() {
+        let fresh = VthModel::programmed_fresh();
+        let aged = VthModel::aged(1000.0, 6.0);
+        for i in 1..TLC_STATES {
+            assert!(aged.states()[i].mean_mv < fresh.states()[i].mean_mv);
+            assert!(aged.states()[i].sigma_mv > fresh.states()[i].sigma_mv);
+        }
+        // Higher-charge states leak more (Fig. 3a's picture).
+        let drop_p1 = fresh.states()[1].mean_mv - aged.states()[1].mean_mv;
+        let drop_p7 = fresh.states()[7].mean_mv - aged.states()[7].mean_mv;
+        assert!(drop_p7 > drop_p1);
+    }
+
+    #[test]
+    fn default_vref_fails_after_retention_but_optimal_recovers() {
+        // The mechanistic version of Fig. 4: aged distribution under the
+        // default V_REF exceeds the ECC capability, but the per-distribution
+        // optimal V_REF brings it back under — this is exactly what the
+        // retry table's final entries achieve.
+        let aged = VthModel::aged(2000.0, 12.0);
+        let default_errors = aged.lsb_errors_per_kib(0.0);
+        assert!(
+            default_errors > ECC_CAPABILITY_PER_KIB as f64,
+            "aged default-V_REF read must fail: {default_errors}"
+        );
+        let defaults = VthModel::default_vrefs();
+        let optimal_errors: f64 = [0usize, 4]
+            .iter()
+            .map(|&b| aged.errors_per_kib_at(b, aged.optimal_vref(b)))
+            .sum();
+        assert!(
+            optimal_errors <= ECC_CAPABILITY_PER_KIB as f64,
+            "optimal-V_REF read must succeed: {optimal_errors}"
+        );
+        // And the optimal V_REF sits *below* the default (retention loss
+        // moves V_TH down) — why retry tables step downward.
+        assert!(aged.optimal_vref(4) < defaults[4]);
+    }
+
+    #[test]
+    fn error_curve_is_convex_around_optimum() {
+        // Fig. 4b's collapse: stepping the V_REF toward the optimum
+        // monotonically reduces errors; overshooting raises them again.
+        let aged = VthModel::aged(2000.0, 12.0);
+        let defaults = VthModel::default_vrefs();
+        let opt_offset = aged.optimal_vref(4) - defaults[4];
+        let at = |frac: f64| aged.errors_per_kib_at(4, defaults[4] + opt_offset * frac);
+        assert!(at(0.0) > at(0.5), "halfway to V_OPT must improve");
+        assert!(at(0.5) > at(1.0), "V_OPT is the best");
+        assert!(at(2.0) > at(1.0), "overshooting V_OPT hurts again");
+    }
+
+    #[test]
+    fn vth_matches_calibration_shape() {
+        // Cross-validation: the mechanistic model must agree with the
+        // calibrated anchors *qualitatively* — more wear/retention ⇒ more
+        // errors at default V_REF and deeper required retry (larger distance
+        // to V_OPT).
+        let mild = VthModel::aged(0.0, 3.0);
+        let worse = VthModel::aged(1000.0, 6.0);
+        let worst = VthModel::aged(2000.0, 12.0);
+        let defaults = VthModel::default_vrefs();
+        let err = |m: &VthModel| m.lsb_errors_per_kib(0.0);
+        assert!(err(&mild) < err(&worse));
+        assert!(err(&worse) < err(&worst));
+        let dist = |m: &VthModel| (m.optimal_vref(4) - defaults[4]).abs();
+        assert!(dist(&mild) < dist(&worse));
+        assert!(dist(&worse) < dist(&worst));
+        // With a −25 mV/step retry table (retry_table.rs), the worst-case
+        // V_OPT distance lands in the 15–25-step range Fig. 5 reports.
+        let steps_needed = dist(&worst) / 25.0;
+        assert!(
+            (10.0..=30.0).contains(&steps_needed),
+            "V_OPT distance ≈ {steps_needed} retry steps"
+        );
+    }
+
+    #[test]
+    fn erased_state_drifts_up_with_disturb() {
+        let fresh = VthModel::programmed_fresh();
+        let aged = VthModel::aged(1000.0, 6.0);
+        assert!(aged.states()[0].mean_mv > fresh.states()[0].mean_mv);
+    }
+
+    #[test]
+    #[should_panic(expected = "7 state boundaries")]
+    fn boundary_bounds_checked() {
+        VthModel::programmed_fresh().optimal_vref(7);
+    }
+}

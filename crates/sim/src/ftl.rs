@@ -1,0 +1,539 @@
+//! Flash Translation Layer: page-level mapping, write allocation, and
+//! greedy garbage collection bookkeeping.
+//!
+//! The FTL here is deliberately the *standard* design MQSim implements
+//! (page-level mapping, channel/die/plane-striped write allocation, greedy
+//! min-valid GC) — the paper's contribution sits below it, in how individual
+//! flash reads are retried. All timing lives in the event engine
+//! ([`crate::ssd`]); this module is pure bookkeeping.
+
+use crate::config::SsdConfig;
+
+/// A physical page number: flat index over the whole SSD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ppn(pub u32);
+
+const UNMAPPED: u32 = u32::MAX;
+const NO_LPN: u32 = u32::MAX;
+
+/// Where a physical page lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PpnLocation {
+    /// Channel index.
+    pub channel: u32,
+    /// Die index *within the channel's chip*.
+    pub die_in_chip: u32,
+    /// Global die index across the SSD (`channel·dies + die`).
+    pub die_global: u32,
+    /// Global plane index across the SSD.
+    pub plane_global: u32,
+    /// Global block index across the SSD (the error model's block key).
+    pub block_global: u64,
+    /// Page index within the block.
+    pub page_in_block: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockState {
+    Free,
+    Open,
+    Full,
+    GcVictim,
+}
+
+#[derive(Debug, Clone)]
+struct BlockMeta {
+    state: BlockState,
+    next_page: u32,
+    valid_count: u32,
+}
+
+/// Result of allocating a physical page for a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteAlloc {
+    /// The newly allocated physical page.
+    pub ppn: Ppn,
+    /// A plane whose free-block count dropped to the GC threshold, if any —
+    /// the engine should start garbage collection there.
+    pub gc_hint: Option<u32>,
+}
+
+/// Page-level FTL state.
+///
+/// # Example
+///
+/// ```
+/// use rr_sim::config::SsdConfig;
+/// use rr_sim::ftl::Ftl;
+///
+/// let cfg = SsdConfig::scaled_for_tests();
+/// let mut ftl = Ftl::new(&cfg, 1000).expect("footprint fits");
+/// ftl.precondition();
+/// let ppn = ftl.translate(42).expect("preconditioned LPN is mapped");
+/// assert!(ftl.is_cold(42));
+/// let alloc = ftl.allocate_for_write(42).expect("space available");
+/// assert_ne!(alloc.ppn, ppn, "overwrite moves the page");
+/// assert!(!ftl.is_cold(42));
+/// ```
+#[derive(Debug)]
+pub struct Ftl {
+    // Geometry (copied out of the config for locality).
+    channels: u32,
+    dies_per_chip: u32,
+    planes_per_die: u32,
+    blocks_per_plane: u32,
+    pages_per_block: u32,
+    gc_threshold: u32,
+
+    lpn_count: u64,
+    /// lpn → ppn.
+    map: Vec<u32>,
+    /// ppn → lpn.
+    rmap: Vec<u32>,
+    blocks: Vec<BlockMeta>,
+    /// Per plane: the block currently receiving writes (global block id).
+    open_block: Vec<Option<u32>>,
+    /// Per plane: free block list (global block ids).
+    free_blocks: Vec<Vec<u32>>,
+    /// Round-robin plane cursor for write striping (CWDP order).
+    next_plane: u32,
+    /// lpn bit: physically (re)programmed during the run ⇒ zero retention.
+    fresh: Vec<u64>,
+}
+
+impl Ftl {
+    /// Creates an FTL for `lpn_count` logical pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the footprint exceeds
+    /// [`SsdConfig::max_lpns`] or the config is invalid.
+    pub fn new(cfg: &SsdConfig, lpn_count: u64) -> Result<Self, String> {
+        cfg.validate()?;
+        if lpn_count == 0 {
+            return Err("lpn_count must be positive".into());
+        }
+        if lpn_count > cfg.max_lpns() {
+            return Err(format!(
+                "footprint of {lpn_count} pages exceeds usable capacity of {} pages",
+                cfg.max_lpns()
+            ));
+        }
+        let total_planes = cfg.total_planes();
+        let total_blocks = cfg.total_blocks() as usize;
+        let total_pages = cfg.total_pages();
+        if total_pages > u32::MAX as u64 || lpn_count > NO_LPN as u64 {
+            return Err("geometry exceeds 32-bit page indexing".into());
+        }
+        let blocks = vec![
+            BlockMeta { state: BlockState::Free, next_page: 0, valid_count: 0 };
+            total_blocks
+        ];
+        let free_blocks = (0..total_planes)
+            .map(|p| {
+                // Highest ids first so pops allocate in ascending order.
+                (0..cfg.chip.blocks_per_plane)
+                    .rev()
+                    .map(|b| p * cfg.chip.blocks_per_plane + b)
+                    .collect()
+            })
+            .collect();
+        Ok(Self {
+            channels: cfg.channels,
+            dies_per_chip: cfg.chip.dies,
+            planes_per_die: cfg.chip.planes_per_die,
+            blocks_per_plane: cfg.chip.blocks_per_plane,
+            pages_per_block: cfg.chip.pages_per_block,
+            gc_threshold: cfg.gc_threshold_blocks,
+            lpn_count,
+            map: vec![UNMAPPED; lpn_count as usize],
+            rmap: vec![NO_LPN; total_pages as usize],
+            blocks,
+            open_block: vec![None; total_planes as usize],
+            free_blocks,
+            next_plane: 0,
+            fresh: vec![0; (lpn_count as usize).div_ceil(64)],
+        })
+    }
+
+    /// Number of logical pages.
+    pub fn lpn_count(&self) -> u64 {
+        self.lpn_count
+    }
+
+    /// Decomposes a PPN into its physical location.
+    pub fn locate(&self, ppn: Ppn) -> PpnLocation {
+        let page_in_block = ppn.0 % self.pages_per_block;
+        let block_global = (ppn.0 / self.pages_per_block) as u64;
+        let plane_global = (block_global / self.blocks_per_plane as u64) as u32;
+        let die_global = plane_global / self.planes_per_die;
+        let channel = die_global / self.dies_per_chip;
+        PpnLocation {
+            channel,
+            die_in_chip: die_global % self.dies_per_chip,
+            die_global,
+            plane_global,
+            block_global,
+            page_in_block,
+        }
+    }
+
+    /// Current mapping of an LPN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpn` is outside the footprint.
+    pub fn translate(&self, lpn: u64) -> Option<Ppn> {
+        let v = self.map[lpn as usize];
+        (v != UNMAPPED).then_some(Ppn(v))
+    }
+
+    /// The LPN stored at a physical page, if the page is valid.
+    pub fn reverse(&self, ppn: Ppn) -> Option<u64> {
+        let v = self.rmap[ppn.0 as usize];
+        (v != NO_LPN).then_some(v as u64)
+    }
+
+    /// Whether the LPN still holds its preconditioned (long-retention) data —
+    /// i.e. it has not been physically reprogrammed during the run.
+    pub fn is_cold(&self, lpn: u64) -> bool {
+        self.fresh[(lpn / 64) as usize] >> (lpn % 64) & 1 == 0
+    }
+
+    fn mark_fresh(&mut self, lpn: u64) {
+        self.fresh[(lpn / 64) as usize] |= 1 << (lpn % 64);
+    }
+
+    /// Free blocks currently available in a plane.
+    pub fn free_blocks_in_plane(&self, plane: u32) -> u32 {
+        self.free_blocks[plane as usize].len() as u32
+    }
+
+    /// Whether a plane urgently needs GC to make progress.
+    pub fn plane_is_critical(&self, plane: u32) -> bool {
+        self.free_blocks_in_plane(plane) <= 1
+    }
+
+    /// Maps the whole footprint sequentially, striped across planes — the
+    /// "preconditioned SSD" starting state (§7.1: the retention age of this
+    /// data is the configured operating condition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-empty FTL.
+    pub fn precondition(&mut self) {
+        assert!(
+            self.map.iter().all(|&m| m == UNMAPPED),
+            "precondition requires an empty FTL"
+        );
+        for lpn in 0..self.lpn_count {
+            let alloc = self
+                .allocate_raw((lpn % self.total_planes() as u64) as u32)
+                .expect("footprint was validated to fit");
+            self.commit_write(lpn, alloc);
+        }
+        // Preconditioned data is cold, not fresh.
+        self.fresh.fill(0);
+    }
+
+    fn total_planes(&self) -> u32 {
+        self.channels * self.dies_per_chip * self.planes_per_die
+    }
+
+    /// Allocates the next physical page for a host write of `lpn`, striping
+    /// writes round-robin across planes, and invalidates the old copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no plane has a free page (GC has fallen
+    /// irrecoverably behind — a simulation configuration bug).
+    pub fn allocate_for_write(&mut self, lpn: u64) -> Result<WriteAlloc, String> {
+        assert!(lpn < self.lpn_count, "lpn {lpn} outside footprint");
+        // Round-robin over planes; skip planes with no space at all.
+        let planes = self.total_planes();
+        let mut alloc = None;
+        for offset in 0..planes {
+            let plane = (self.next_plane + offset) % planes;
+            if let Some(a) = self.allocate_raw(plane) {
+                self.next_plane = (plane + 1) % planes;
+                alloc = Some(a);
+                break;
+            }
+        }
+        let alloc = alloc.ok_or_else(|| "SSD out of free pages (GC starved)".to_string())?;
+        self.invalidate(lpn);
+        self.commit_write(lpn, alloc);
+        self.mark_fresh(lpn);
+        let plane = self.locate(alloc.0).plane_global;
+        Ok(WriteAlloc { ppn: alloc.0, gc_hint: self.gc_hint(plane) })
+    }
+
+    /// Allocates a page *in a specific plane* for a GC move of `lpn`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the plane is completely out of pages.
+    pub fn allocate_for_gc(&mut self, lpn: u64, plane: u32) -> Result<Ppn, String> {
+        let alloc = self
+            .allocate_raw(plane)
+            .ok_or_else(|| format!("plane {plane} out of free pages during GC"))?;
+        self.invalidate(lpn);
+        self.commit_write(lpn, alloc);
+        // A GC move physically reprograms the data: retention resets.
+        self.mark_fresh(lpn);
+        Ok(alloc.0)
+    }
+
+    /// `(ppn, block)` of a fresh page in `plane`, or `None` if exhausted.
+    fn allocate_raw(&mut self, plane: u32) -> Option<(Ppn, u32)> {
+        let open = match self.open_block[plane as usize] {
+            Some(b) if self.blocks[b as usize].next_page < self.pages_per_block => b,
+            _ => {
+                // Retire the filled open block and open a fresh one.
+                if let Some(b) = self.open_block[plane as usize] {
+                    self.blocks[b as usize].state = BlockState::Full;
+                }
+                let b = self.free_blocks[plane as usize].pop()?;
+                self.blocks[b as usize] = BlockMeta {
+                    state: BlockState::Open,
+                    next_page: 0,
+                    valid_count: 0,
+                };
+                self.open_block[plane as usize] = Some(b);
+                b
+            }
+        };
+        let meta = &mut self.blocks[open as usize];
+        let page = meta.next_page;
+        meta.next_page += 1;
+        meta.valid_count += 1;
+        Some((Ppn(open * self.pages_per_block + page), open))
+    }
+
+    fn commit_write(&mut self, lpn: u64, alloc: (Ppn, u32)) {
+        self.map[lpn as usize] = alloc.0 .0;
+        self.rmap[alloc.0 .0 as usize] = lpn as u32;
+    }
+
+    /// Invalidates the current copy of `lpn`, if any.
+    fn invalidate(&mut self, lpn: u64) {
+        let old = self.map[lpn as usize];
+        if old != UNMAPPED {
+            self.rmap[old as usize] = NO_LPN;
+            let block = (old / self.pages_per_block) as usize;
+            debug_assert!(self.blocks[block].valid_count > 0);
+            self.blocks[block].valid_count -= 1;
+        }
+    }
+
+    fn gc_hint(&self, plane: u32) -> Option<u32> {
+        (self.free_blocks_in_plane(plane) <= self.gc_threshold).then_some(plane)
+    }
+
+    /// Picks the greedy (min-valid) GC victim in a plane and marks it,
+    /// returning the block and the LPNs that must be moved. Returns `None`
+    /// when no Full block exists.
+    pub fn start_gc(&mut self, plane: u32) -> Option<GcJob> {
+        let base = plane * self.blocks_per_plane;
+        let mut best: Option<(u32, u32)> = None;
+        for b in base..base + self.blocks_per_plane {
+            let meta = &self.blocks[b as usize];
+            if meta.state == BlockState::Full {
+                let better = match best {
+                    None => true,
+                    Some((_, v)) => meta.valid_count < v,
+                };
+                if better {
+                    best = Some((b, meta.valid_count));
+                }
+            }
+        }
+        let (victim, _) = best?;
+        self.blocks[victim as usize].state = BlockState::GcVictim;
+        let first = victim * self.pages_per_block;
+        let moves: Vec<(u64, Ppn)> = (first..first + self.pages_per_block)
+            .filter_map(|p| self.reverse(Ppn(p)).map(|lpn| (lpn, Ppn(p))))
+            .collect();
+        Some(GcJob { plane, victim_block: victim, moves })
+    }
+
+    /// Whether a page still holds the same valid LPN it did when a GC job was
+    /// created (a host overwrite invalidates the move).
+    pub fn gc_move_still_needed(&self, lpn: u64, src: Ppn) -> bool {
+        self.map[lpn as usize] == src.0
+    }
+
+    /// Completes GC of a victim: returns the (now empty) block to the free
+    /// list. The engine calls this after the erase transaction finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block still holds valid pages (GC logic bug) or was not
+    /// marked as a victim.
+    pub fn finish_gc(&mut self, victim_block: u32) {
+        let meta = &mut self.blocks[victim_block as usize];
+        assert_eq!(meta.state, BlockState::GcVictim, "finish_gc on non-victim");
+        assert_eq!(meta.valid_count, 0, "erasing a block with valid pages");
+        meta.state = BlockState::Free;
+        meta.next_page = 0;
+        let plane = victim_block / self.blocks_per_plane;
+        self.free_blocks[plane as usize].push(victim_block);
+    }
+
+    /// Valid-page count of a block (test/diagnostic aid).
+    pub fn block_valid_count(&self, block: u32) -> u32 {
+        self.blocks[block as usize].valid_count
+    }
+}
+
+/// A garbage-collection unit of work: move the `moves`, then erase the victim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcJob {
+    /// The plane being collected.
+    pub plane: u32,
+    /// Victim block (global id).
+    pub victim_block: u32,
+    /// `(lpn, source ppn)` pairs that were valid when GC started.
+    pub moves: Vec<(u64, Ppn)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SsdConfig {
+        let mut cfg = SsdConfig::scaled_for_tests();
+        cfg.chip.blocks_per_plane = 16;
+        cfg.chip.pages_per_block = 12;
+        cfg
+    }
+
+    #[test]
+    fn precondition_maps_everything_cold() {
+        let cfg = small_cfg();
+        let mut ftl = Ftl::new(&cfg, 500).unwrap();
+        ftl.precondition();
+        for lpn in 0..500 {
+            assert!(ftl.translate(lpn).is_some());
+            assert!(ftl.is_cold(lpn));
+        }
+        // Mapping is injective.
+        let mut seen = std::collections::HashSet::new();
+        for lpn in 0..500 {
+            assert!(seen.insert(ftl.translate(lpn).unwrap()));
+        }
+    }
+
+    #[test]
+    fn precondition_stripes_across_planes() {
+        let cfg = small_cfg();
+        let planes = cfg.total_planes() as u64;
+        let mut ftl = Ftl::new(&cfg, 4 * planes).unwrap();
+        ftl.precondition();
+        // Consecutive LPNs land on different planes (CWDP striping).
+        let p0 = ftl.locate(ftl.translate(0).unwrap()).plane_global;
+        let p1 = ftl.locate(ftl.translate(1).unwrap()).plane_global;
+        assert_ne!(p0, p1);
+    }
+
+    #[test]
+    fn overwrite_moves_and_invalidates() {
+        let cfg = small_cfg();
+        let mut ftl = Ftl::new(&cfg, 100).unwrap();
+        ftl.precondition();
+        let old = ftl.translate(7).unwrap();
+        let old_block = ftl.locate(old).block_global as u32;
+        let before = ftl.block_valid_count(old_block);
+        let alloc = ftl.allocate_for_write(7).unwrap();
+        assert_ne!(alloc.ppn, old);
+        assert_eq!(ftl.block_valid_count(old_block), before - 1);
+        assert_eq!(ftl.reverse(old), None);
+        assert_eq!(ftl.reverse(alloc.ppn), Some(7));
+        assert!(!ftl.is_cold(7));
+    }
+
+    #[test]
+    fn locate_roundtrip_consistency() {
+        let cfg = small_cfg();
+        let ftl = Ftl::new(&cfg, 10).unwrap();
+        let pages_per_plane = (cfg.chip.blocks_per_plane * cfg.chip.pages_per_block) as u32;
+        // Page 0 of plane 1.
+        let ppn = Ppn(pages_per_plane);
+        let loc = ftl.locate(ppn);
+        assert_eq!(loc.plane_global, 1);
+        assert_eq!(loc.page_in_block, 0);
+        assert_eq!(loc.channel, 0);
+        // Last page of the SSD.
+        let last = Ppn(cfg.total_pages() as u32 - 1);
+        let loc = ftl.locate(last);
+        assert_eq!(loc.channel, cfg.channels - 1);
+        assert_eq!(loc.page_in_block, cfg.chip.pages_per_block - 1);
+    }
+
+    #[test]
+    fn gc_picks_min_valid_victim() {
+        let cfg = small_cfg();
+        let planes = cfg.total_planes() as u64;
+        let ppb = cfg.chip.pages_per_block as u64;
+        // Fill several blocks in plane 0 by writing LPNs striped there.
+        let mut ftl = Ftl::new(&cfg, planes * ppb * 4).unwrap();
+        ftl.precondition();
+        // Overwrite most of one early plane-0 block's LPNs to make it sparse:
+        // plane-0 pages hold LPNs ≡ 0 (mod planes) in precondition order.
+        for i in 0..ppb - 2 {
+            ftl.allocate_for_write(i * planes).unwrap();
+        }
+        let job = ftl.start_gc(0).expect("a full block exists");
+        assert_eq!(job.plane, 0);
+        assert!(
+            job.moves.len() as u64 <= 2,
+            "victim should be the sparsest block, had {} moves",
+            job.moves.len()
+        );
+    }
+
+    #[test]
+    fn gc_move_and_finish_cycle() {
+        let cfg = small_cfg();
+        let planes = cfg.total_planes() as u64;
+        let ppb = cfg.chip.pages_per_block as u64;
+        let mut ftl = Ftl::new(&cfg, planes * ppb * 3).unwrap();
+        ftl.precondition();
+        let job = ftl.start_gc(0).unwrap();
+        for &(lpn, src) in &job.moves {
+            assert!(ftl.gc_move_still_needed(lpn, src));
+            ftl.allocate_for_gc(lpn, job.plane).unwrap();
+            assert!(!ftl.gc_move_still_needed(lpn, src));
+            // Moved data is physically fresh now.
+            assert!(!ftl.is_cold(lpn));
+        }
+        assert_eq!(ftl.block_valid_count(job.victim_block), 0);
+        let free_before = ftl.free_blocks_in_plane(0);
+        ftl.finish_gc(job.victim_block);
+        assert_eq!(ftl.free_blocks_in_plane(0), free_before + 1);
+    }
+
+    #[test]
+    fn footprint_validation() {
+        let cfg = small_cfg();
+        assert!(Ftl::new(&cfg, 0).is_err());
+        assert!(Ftl::new(&cfg, cfg.max_lpns() + 1).is_err());
+        assert!(Ftl::new(&cfg, cfg.max_lpns()).is_ok());
+    }
+
+    #[test]
+    fn gc_hint_fires_at_threshold() {
+        let cfg = small_cfg();
+        let mut ftl = Ftl::new(&cfg, cfg.max_lpns()).unwrap();
+        ftl.precondition();
+        // Writing continuously must eventually produce a GC hint.
+        let mut hinted = false;
+        for lpn in 0..cfg.max_lpns() {
+            if ftl.allocate_for_write(lpn).unwrap().gc_hint.is_some() {
+                hinted = true;
+                break;
+            }
+        }
+        assert!(hinted, "filling the SSD should trigger a GC hint");
+    }
+}

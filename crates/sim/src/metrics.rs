@@ -1,0 +1,161 @@
+//! Simulation metrics and the per-run report.
+
+use rr_util::stats::{Histogram, OnlineStats, Percentiles};
+use rr_util::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct SimReport {
+    /// Mechanism name (from the retry controller).
+    pub mechanism: String,
+    /// Response-time statistics over all host requests (µs).
+    pub response_us: OnlineStats,
+    /// Response-time statistics over host *reads* only (µs).
+    pub read_response_us: OnlineStats,
+    /// Response-time statistics over host *writes* only (µs).
+    pub write_response_us: OnlineStats,
+    /// 99th-percentile read response time (µs).
+    pub read_p99_us: f64,
+    /// Histogram of retry steps per host read (Fig. 5's quantity, observed).
+    pub retry_steps: Histogram,
+    /// Number of host requests completed.
+    pub requests_completed: u64,
+    /// Number of host reads that exhausted the retry table (read failures).
+    pub read_failures: u64,
+    /// Total page sensings issued (including speculative ones).
+    pub senses: u64,
+    /// Sensings killed by `RESET` (PR²'s speculative overshoot).
+    pub resets: u64,
+    /// `SET FEATURE` commands issued (AR²'s timing changes).
+    pub set_features: u64,
+    /// Program/erase suspensions performed.
+    pub suspensions: u64,
+    /// GC victim blocks collected.
+    pub gc_collections: u64,
+    /// Total simulated time at the last completion.
+    pub makespan: SimTime,
+}
+
+impl SimReport {
+    /// Creates an empty report for a mechanism.
+    pub fn new(mechanism: &str) -> Self {
+        Self { mechanism: mechanism.to_string(), ..Self::default() }
+    }
+
+    /// Average response time in µs over all host requests.
+    pub fn avg_response_us(&self) -> f64 {
+        self.response_us.mean()
+    }
+
+    /// Average read response time in µs.
+    pub fn avg_read_response_us(&self) -> f64 {
+        self.read_response_us.mean()
+    }
+
+    /// Average retry steps per host read.
+    pub fn avg_retry_steps(&self) -> f64 {
+        self.retry_steps.mean()
+    }
+}
+
+/// Builder accumulating metrics during a run.
+#[derive(Debug, Default)]
+pub struct MetricsCollector {
+    pub(crate) response_us: OnlineStats,
+    pub(crate) read_response_us: OnlineStats,
+    pub(crate) write_response_us: OnlineStats,
+    pub(crate) read_latencies: Percentiles,
+    pub(crate) retry_steps: Histogram,
+    pub(crate) requests_completed: u64,
+    pub(crate) read_failures: u64,
+    pub(crate) senses: u64,
+    pub(crate) resets: u64,
+    pub(crate) set_features: u64,
+    pub(crate) suspensions: u64,
+    pub(crate) gc_collections: u64,
+    pub(crate) makespan: SimTime,
+}
+
+impl MetricsCollector {
+    /// Creates an empty collector (retry histogram sized to the table depth).
+    pub fn new(max_retry_steps: u32) -> Self {
+        Self {
+            retry_steps: Histogram::new(max_retry_steps as usize + 2),
+            ..Self::default()
+        }
+    }
+
+    /// Records a completed host request.
+    pub fn record_request(&mut self, is_read: bool, response: SimTime, now: SimTime) {
+        let us = response.as_us_f64();
+        self.response_us.push(us);
+        if is_read {
+            self.read_response_us.push(us);
+            self.read_latencies.push(us);
+        } else {
+            self.write_response_us.push(us);
+        }
+        self.requests_completed += 1;
+        self.makespan = self.makespan.max(now);
+    }
+
+    /// Records the retry-step count of one completed host read.
+    pub fn record_retry_steps(&mut self, steps: u32) {
+        self.retry_steps.record(steps as usize);
+    }
+
+    /// Finalizes into a report.
+    pub fn finish(mut self, mechanism: &str) -> SimReport {
+        let read_p99_us = self.read_latencies.quantile(0.99).unwrap_or(0.0);
+        SimReport {
+            mechanism: mechanism.to_string(),
+            response_us: self.response_us,
+            read_response_us: self.read_response_us,
+            write_response_us: self.write_response_us,
+            read_p99_us,
+            retry_steps: self.retry_steps,
+            requests_completed: self.requests_completed,
+            read_failures: self.read_failures,
+            senses: self.senses,
+            resets: self.resets,
+            set_features: self.set_features,
+            suspensions: self.suspensions,
+            gc_collections: self.gc_collections,
+            makespan: self.makespan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_aggregates_by_direction() {
+        let mut m = MetricsCollector::new(40);
+        m.record_request(true, SimTime::from_us(100), SimTime::from_us(100));
+        m.record_request(true, SimTime::from_us(300), SimTime::from_us(400));
+        m.record_request(false, SimTime::from_us(700), SimTime::from_us(1100));
+        m.record_retry_steps(3);
+        m.record_retry_steps(5);
+        let r = m.finish("Test");
+        assert_eq!(r.mechanism, "Test");
+        assert_eq!(r.requests_completed, 3);
+        assert_eq!(r.avg_read_response_us(), 200.0);
+        assert_eq!(r.write_response_us.mean(), 700.0);
+        assert!((r.avg_response_us() - (100.0 + 300.0 + 700.0) / 3.0).abs() < 1e-9);
+        assert_eq!(r.avg_retry_steps(), 4.0);
+        assert_eq!(r.makespan, SimTime::from_us(1100));
+    }
+
+    #[test]
+    fn p99_reflects_tail() {
+        let mut m = MetricsCollector::new(40);
+        for i in 1..=100 {
+            m.record_request(true, SimTime::from_us(i), SimTime::from_us(i));
+        }
+        let r = m.finish("T");
+        assert!(r.read_p99_us >= 99.0);
+    }
+}

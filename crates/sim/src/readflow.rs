@@ -1,0 +1,219 @@
+//! The read-retry policy interface and the regular (baseline) mechanism.
+//!
+//! The simulator is generic over *how* a read-retry operation is conducted —
+//! exactly the degree of freedom the paper's PR²/AR² exploit. A
+//! [`RetryController`] is a state machine driven by flash events; it responds
+//! with [`ReadAction`]s that the simulator executes against the die, channel,
+//! and ECC-decoder resources.
+//!
+//! This crate ships the [`BaselineController`] (the regular read-retry of
+//! Fig. 12(a), used by all prior work the paper compares against); the
+//! `rr-core` crate implements PR², AR², PnAR², and the PSO-augmented variants
+//! on the same interface.
+
+use rr_flash::calibration::OperatingCondition;
+use rr_flash::timing::SensePhases;
+use crate::request::TxnId;
+use std::collections::HashMap;
+
+/// What the controller wants the simulator to do next for one read.
+///
+/// Die-occupying actions (`Sense`, `SetFeature`, `Reset`) are executed in
+/// order, each starting when the die becomes free; `Transfer` enqueues on the
+/// channel immediately; `Complete*` finish the transaction immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadAction {
+    /// Sense the page at retry-table index `step` (a `PAGE READ` for the
+    /// first sensing, a `CACHE READ` for pipelined follow-ups — the
+    /// distinction is timing-neutral; both take tR).
+    Sense {
+        /// Retry-table index to sense with.
+        step: u32,
+    },
+    /// Issue `SET FEATURE`: `Some` installs reduced sensing phases, `None`
+    /// restores the default (AR² steps ② and ④).
+    SetFeature {
+        /// The phases to install, or `None` to restore defaults.
+        phases: Option<SensePhases>,
+    },
+    /// Transfer the sensed data of `step` over the channel and decode it.
+    Transfer {
+        /// Which step's data to transfer.
+        step: u32,
+    },
+    /// Issue `RESET`, killing any in-flight sensing on the die (PR² uses this
+    /// to cancel the speculatively started extra step).
+    Reset,
+    /// The read is done: data of `step` decoded successfully.
+    CompleteSuccess {
+        /// The step whose decode succeeded.
+        step: u32,
+    },
+    /// The read failed: the retry table is exhausted (§2.4 "read failure").
+    CompleteFailure,
+}
+
+/// Immutable facts about a read the controller may use.
+///
+/// Deliberately *excludes* the ground-truth required retry step — mechanisms
+/// must discover it through ECC outcomes, as real firmware does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadContext {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Global die index the page lives on (PSO clusters by die).
+    pub die: u32,
+    /// Operating condition of the *block* (P/E cycles, the data's retention
+    /// age, temperature) — all of which a real controller tracks (§6.2
+    /// footnote 12: wear leveling and refresh already need them).
+    pub condition: OperatingCondition,
+    /// Whether the page holds cold (preconditioned, long-retention) data.
+    pub cold: bool,
+    /// Highest retry-table index available.
+    pub max_step: u32,
+}
+
+/// A read-retry mechanism: a deterministic state machine over flash events.
+///
+/// One controller instance serves *all* reads of a simulation run (so
+/// mechanisms can keep cross-read state, e.g. PSO's per-die V_REF cache);
+/// per-read state is keyed by [`TxnId`].
+pub trait RetryController {
+    /// A read transaction reached the front of its die queue; the die is
+    /// free. Must emit at least one die action.
+    fn on_start(&mut self, ctx: &ReadContext) -> Vec<ReadAction>;
+
+    /// Sensing for `step` completed (data now in the page/cache register).
+    fn on_sense_done(&mut self, ctx: &ReadContext, step: u32) -> Vec<ReadAction>;
+
+    /// ECC decode for `step` completed. `success` is whether all errors were
+    /// corrected; `margin` is the remaining ECC capability (only meaningful
+    /// on success).
+    fn on_decode_done(
+        &mut self,
+        ctx: &ReadContext,
+        step: u32,
+        success: bool,
+        margin: u32,
+    ) -> Vec<ReadAction>;
+
+    /// A `SET FEATURE` issued by this read completed.
+    fn on_feature_applied(&mut self, ctx: &ReadContext) -> Vec<ReadAction>;
+
+    /// A `RESET` issued by this read completed. Usually no further action.
+    fn on_reset_done(&mut self, ctx: &ReadContext) -> Vec<ReadAction>;
+
+    /// The transaction is fully finished (after `Complete*`); drop any
+    /// per-transaction state. Mechanisms with cross-read state (PSO) update
+    /// their caches here via the recorded outcome.
+    fn on_end(&mut self, ctx: &ReadContext, successful_step: Option<u32>);
+
+    /// A short display name for reports ("Baseline", "PR2", ...).
+    fn name(&self) -> &str;
+}
+
+/// The regular read-retry mechanism (Fig. 12(a)): strictly sequential
+/// sense → transfer → decode → (on failure) next retry step, with default
+/// timing parameters throughout.
+#[derive(Debug, Default)]
+pub struct BaselineController {
+    /// Nothing to remember per read beyond what events carry, but we track
+    /// in-flight txns for debug assertions.
+    live: HashMap<TxnId, ()>,
+}
+
+impl BaselineController {
+    /// Creates the baseline controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RetryController for BaselineController {
+    fn on_start(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+        self.live.insert(ctx.txn, ());
+        vec![ReadAction::Sense { step: 0 }]
+    }
+
+    fn on_sense_done(&mut self, _ctx: &ReadContext, step: u32) -> Vec<ReadAction> {
+        vec![ReadAction::Transfer { step }]
+    }
+
+    fn on_decode_done(
+        &mut self,
+        ctx: &ReadContext,
+        step: u32,
+        success: bool,
+        _margin: u32,
+    ) -> Vec<ReadAction> {
+        if success {
+            vec![ReadAction::CompleteSuccess { step }]
+        } else if step < ctx.max_step {
+            vec![ReadAction::Sense { step: step + 1 }]
+        } else {
+            vec![ReadAction::CompleteFailure]
+        }
+    }
+
+    fn on_feature_applied(&mut self, _ctx: &ReadContext) -> Vec<ReadAction> {
+        unreachable!("baseline never issues SET FEATURE")
+    }
+
+    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Vec<ReadAction> {
+        unreachable!("baseline never issues RESET")
+    }
+
+    fn on_end(&mut self, ctx: &ReadContext, _successful_step: Option<u32>) {
+        self.live.remove(&ctx.txn);
+    }
+
+    fn name(&self) -> &str {
+        "Baseline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(max_step: u32) -> ReadContext {
+        ReadContext {
+            txn: TxnId(1),
+            die: 0,
+            condition: OperatingCondition::new(1000.0, 6.0, 30.0),
+            cold: true,
+            max_step,
+        }
+    }
+
+    #[test]
+    fn baseline_walks_steps_sequentially() {
+        let mut b = BaselineController::new();
+        let c = ctx(40);
+        assert_eq!(b.on_start(&c), vec![ReadAction::Sense { step: 0 }]);
+        assert_eq!(b.on_sense_done(&c, 0), vec![ReadAction::Transfer { step: 0 }]);
+        // Fail at step 0 → sense step 1.
+        assert_eq!(
+            b.on_decode_done(&c, 0, false, 0),
+            vec![ReadAction::Sense { step: 1 }]
+        );
+        assert_eq!(b.on_sense_done(&c, 1), vec![ReadAction::Transfer { step: 1 }]);
+        // Success at step 1 → complete.
+        assert_eq!(
+            b.on_decode_done(&c, 1, true, 30),
+            vec![ReadAction::CompleteSuccess { step: 1 }]
+        );
+        b.on_end(&c, Some(1));
+    }
+
+    #[test]
+    fn baseline_fails_when_table_exhausted() {
+        let mut b = BaselineController::new();
+        let c = ctx(2);
+        b.on_start(&c);
+        assert_eq!(
+            b.on_decode_done(&c, 2, false, 0),
+            vec![ReadAction::CompleteFailure]
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the simulator substrate: FTL mapping invariants
+//! under arbitrary operation sequences, and event-queue ordering.
+
+use proptest::prelude::*;
+use rr_sim::config::SsdConfig;
+use rr_sim::event::EventQueue;
+use rr_sim::ftl::Ftl;
+use rr_util::time::SimTime;
+
+fn small_cfg() -> SsdConfig {
+    let mut cfg = SsdConfig::scaled_for_tests();
+    cfg.chip.blocks_per_plane = 16;
+    cfg.chip.pages_per_block = 12;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// After any sequence of overwrites and GC cycles, the LPN → PPN map
+    /// stays a bijection onto valid pages and block valid-counts stay
+    /// consistent.
+    #[test]
+    fn ftl_mapping_stays_bijective(ops in prop::collection::vec((0u64..400, any::<bool>()), 1..400)) {
+        let cfg = small_cfg();
+        let mut ftl = Ftl::new(&cfg, 400).expect("footprint fits");
+        ftl.precondition();
+        for (lpn, run_gc) in ops {
+            ftl.allocate_for_write(lpn).expect("space available");
+            if run_gc {
+                // Opportunistic full GC cycle on the page's plane.
+                let plane = ftl.locate(ftl.translate(lpn).expect("mapped")).plane_global;
+                if let Some(job) = ftl.start_gc(plane) {
+                    for (mlpn, src) in job.moves {
+                        if ftl.gc_move_still_needed(mlpn, src) {
+                            ftl.allocate_for_gc(mlpn, job.plane).expect("reserve space");
+                        }
+                    }
+                    ftl.finish_gc(job.victim_block);
+                }
+            }
+        }
+        // Bijectivity + reverse-map consistency.
+        let mut seen = std::collections::HashSet::new();
+        for lpn in 0..400u64 {
+            let ppn = ftl.translate(lpn).expect("all LPNs stay mapped");
+            prop_assert!(seen.insert(ppn), "two LPNs map to {ppn:?}");
+            prop_assert_eq!(ftl.reverse(ppn), Some(lpn));
+        }
+        // Valid counts equal the number of mapped pages per block.
+        let total_blocks = cfg.total_blocks() as u32;
+        let mut per_block = vec![0u32; total_blocks as usize];
+        for lpn in 0..400u64 {
+            let loc = ftl.locate(ftl.translate(lpn).expect("mapped"));
+            per_block[loc.block_global as usize] += 1;
+        }
+        for b in 0..total_blocks {
+            prop_assert_eq!(
+                ftl.block_valid_count(b),
+                per_block[b as usize],
+                "valid count mismatch in block {}", b
+            );
+        }
+    }
+
+    /// The event queue pops in non-decreasing time order with FIFO ties,
+    /// for any insertion pattern.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..10_000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_us(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, id)) = q.pop() {
+            if let Some((lt, lid)) = last {
+                prop_assert!(t >= lt, "time order violated");
+                if t == lt {
+                    prop_assert!(id > lid, "FIFO tie-break violated");
+                }
+            }
+            last = Some((t, id));
+        }
+    }
+
+    /// Preconditioning then overwriting a subset leaves exactly that subset
+    /// hot (the cold/retention bookkeeping behind Table 2).
+    #[test]
+    fn cold_tracking_matches_overwrites(hot in prop::collection::btree_set(0u64..300, 0..80)) {
+        let cfg = small_cfg();
+        let mut ftl = Ftl::new(&cfg, 300).expect("footprint fits");
+        ftl.precondition();
+        for &lpn in &hot {
+            ftl.allocate_for_write(lpn).expect("space available");
+        }
+        for lpn in 0..300u64 {
+            prop_assert_eq!(ftl.is_cold(lpn), !hot.contains(&lpn));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # rr-workloads — block-I/O workloads for the read-retry evaluation
+//!
+//! The paper evaluates on twelve workloads (§7.1, Table 2): six MSRC
+//! enterprise block traces and six YCSB workloads, characterized by their
+//! **read ratio** and **cold ratio** (cold reads hit long-retention pages and
+//! therefore deep read-retry).
+//!
+//! * [`trace`] — the block-trace type and its Table-2 statistics;
+//! * [`synth`] — the shared generator engine that hits target read/cold
+//!   ratios by construction;
+//! * [`msrc`] — the six MSRC workloads: synthetic stand-ins matching Table 2
+//!   plus a parser for the real MSRC CSV format;
+//! * [`ycsb`] — YCSB A–F lowered to block I/O (zipfian / latest / scans /
+//!   read-modify-write shapes).
+//!
+//! # Example
+//!
+//! ```
+//! use rr_workloads::msrc::MsrcWorkload;
+//!
+//! let trace = MsrcWorkload::Mds1.synthesize(2_000, 42);
+//! let stats = trace.stats();
+//! // mds_1 is the most read-dominant, coldest MSRC workload in Table 2.
+//! assert!(stats.read_ratio > 0.85);
+//! assert!(stats.cold_ratio > 0.9);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod msrc;
+pub mod synth;
+pub mod trace;
+pub mod ycsb;
+
+pub use msrc::MsrcWorkload;
+pub use synth::SynthConfig;
+pub use trace::{Trace, TraceStats};
+pub use ycsb::YcsbWorkload;

@@ -1,0 +1,88 @@
+//! Property-based tests: the synthetic-trace generator must hit its target
+//! statistics and structural invariants for arbitrary parameterizations.
+
+use proptest::prelude::*;
+use rr_sim::request::IoOp;
+use rr_workloads::synth::{HotReadBias, SynthConfig};
+
+fn config(
+    rr: f64,
+    cr: f64,
+    n: usize,
+    seed: u64,
+    latest: bool,
+    rmw: bool,
+    scans: bool,
+) -> SynthConfig {
+    let mut cfg = SynthConfig::base("prop");
+    cfg.read_ratio = rr;
+    cfg.cold_ratio = cr;
+    cfg.n_requests = n;
+    cfg.seed = seed;
+    cfg.hot_read_bias = if latest { HotReadBias::Latest } else { HotReadBias::Popularity };
+    cfg.rmw = rmw;
+    cfg.scan_max_pages = scans.then_some(8);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_traces_hit_targets(
+        rr in 0.1f64..0.99,
+        cr in 0.05f64..0.98,
+        seed in any::<u64>(),
+        latest in any::<bool>(),
+        rmw in any::<bool>(),
+        scans in any::<bool>(),
+    ) {
+        let cfg = config(rr, cr, 4_000, seed, latest, rmw, scans);
+        let trace = cfg.generate();
+        let stats = trace.stats();
+        prop_assert!((stats.read_ratio - rr).abs() < 0.05,
+            "read ratio {} vs target {rr}", stats.read_ratio);
+        prop_assert!((stats.cold_ratio - cr).abs() < 0.08,
+            "cold ratio {} vs target {cr}", stats.cold_ratio);
+        // Structural invariants.
+        prop_assert_eq!(stats.requests as usize, 4_000);
+        for w in trace.requests.windows(2) {
+            prop_assert!(w[1].arrival >= w[0].arrival, "arrivals sorted");
+        }
+        for r in &trace.requests {
+            prop_assert!(r.lpn + r.len_pages as u64 <= trace.footprint_pages);
+            prop_assert!(r.len_pages >= 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(seed in any::<u64>()) {
+        let cfg = config(0.8, 0.6, 500, seed, false, false, false);
+        prop_assert_eq!(cfg.generate(), cfg.generate());
+    }
+
+    #[test]
+    fn cold_reads_really_target_unwritten_pages(
+        seed in any::<u64>(),
+        cr in 0.3f64..0.95,
+    ) {
+        // Every write in a generated trace must land in the hot region, so
+        // the measured cold ratio can never be *under*-delivered by writes
+        // leaking into the cold region.
+        let cfg = config(0.7, cr, 2_000, seed, false, false, false);
+        let trace = cfg.generate();
+        let max_write_page = trace
+            .requests
+            .iter()
+            .filter(|r| r.op == IoOp::Write)
+            .map(|r| r.lpn + r.len_pages as u64)
+            .max()
+            .unwrap_or(0);
+        let min_cold_read = trace
+            .requests
+            .iter()
+            .filter(|r| r.op == IoOp::Read && r.lpn >= max_write_page)
+            .count();
+        prop_assert!(min_cold_read > 0, "some reads must land beyond the write region");
+    }
+}

@@ -1,0 +1,68 @@
+//! Reproduce the paper's chip characterization on the virtual test platform:
+//! how often does read-retry happen (Fig. 5), how much ECC margin is left in
+//! the final retry step (Fig. 7), and how far can tPRE be cut (Fig. 11)?
+//!
+//! Run with: `cargo run --release --example characterize_chips`
+
+use ssd_readretry::charact::figures;
+use ssd_readretry::charact::platform::TestPlatform;
+use ssd_readretry::core::rpt::ReadTimingParamTable;
+use ssd_readretry::flash::calibration::ECC_CAPABILITY_PER_KIB;
+
+fn main() {
+    // A 32-chip population keeps the example fast; `repro` uses the paper's
+    // 160 chips.
+    let mut platform = TestPlatform::new(32, 2024);
+
+    println!("== Fig. 5 — retry steps per read ==");
+    println!("{:>10} {:>8} {:>10} {:>5} {:>5} {:>10}", "P/E", "months", "mean", "min", "max", "P(>=7)");
+    for cell in figures::fig5(&platform, 128) {
+        if [0.0, 3.0, 6.0, 12.0].contains(&cell.months) {
+            println!(
+                "{:>10} {:>8} {:>10.1} {:>5} {:>5} {:>9.1}%",
+                cell.pec as u64,
+                cell.months as u64,
+                cell.mean,
+                cell.min,
+                cell.max,
+                100.0 * cell.hist.fraction_at_least(7)
+            );
+        }
+    }
+
+    println!("\n== Fig. 7 — ECC-capability margin in the final retry step ==");
+    println!("{:>8} {:>10} {:>8} {:>8} {:>8}", "temp", "P/E", "months", "M_ERR", "margin");
+    for cell in figures::fig7(&mut platform, 128) {
+        if cell.months == 12.0 {
+            println!(
+                "{:>6}°C {:>10} {:>8} {:>8} {:>8}",
+                cell.temp_c, cell.pec as u64, cell.months as u64, cell.m_err, cell.margin
+            );
+        }
+    }
+    println!("(ECC capability: {ECC_CAPABILITY_PER_KIB} bits per 1-KiB codeword)");
+
+    println!("\n== Fig. 11 → RPT — how far AR2 may cut tPRE ==");
+    let rpt = ReadTimingParamTable::default();
+    println!("{:>12} {:>12} {:>10} {:>10}", "PEC bucket", "ret bucket", "ΔtPRE", "tR cut");
+    for row in rpt.rows().iter().take(12) {
+        let rho = {
+            use ssd_readretry::flash::timing::SensePhases;
+            let d = SensePhases::table1();
+            let r = d.with_reduction(row.pre_reduction, 0.0, 0.0);
+            1.0 - d.rho_vs(&r)
+        };
+        println!(
+            "{:>12} {:>12} {:>9.0}% {:>9.1}%",
+            if row.pec_max.is_finite() { format!("<{}", row.pec_max as u64) } else { "max".into() },
+            if row.retention_months_max.is_finite() {
+                format!("<{:.2}mo", row.retention_months_max)
+            } else {
+                "max".into()
+            },
+            row.pre_reduction * 100.0,
+            rho * 100.0,
+        );
+    }
+    println!("... ({} rows total, {} bytes on-device)", rpt.rows().len(), rpt.storage_bytes());
+}

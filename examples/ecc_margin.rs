@@ -1,0 +1,70 @@
+//! The ECC-capability margin is real: encode a 1-KiB codeword with the actual
+//! BCH codec (t = 72 over GF(2^14)), inject exactly the error counts the
+//! paper measures in the final retry step (Fig. 7), and watch the decoder
+//! absorb them with room to spare — the headroom AR² spends on faster
+//! sensing.
+//!
+//! Run with: `cargo run --release --example ecc_margin`
+
+use ssd_readretry::ecc::bch::BchCode;
+use ssd_readretry::flash::calibration::{Calibration, OperatingCondition};
+use ssd_readretry::util::rng::Rng;
+
+fn main() {
+    println!("constructing the paper's ECC: BCH, t = 72 per 1-KiB codeword, GF(2^14)...");
+    let code = BchCode::nand_72_per_kib().expect("parameters are valid");
+    println!(
+        "  {} data bits + {} parity bits ({:.1} % overhead)\n",
+        code.data_bits(),
+        code.parity_bits(),
+        100.0 * code.parity_bits() as f64 / code.data_bits() as f64
+    );
+
+    let mut rng = Rng::seed_from_u64(99);
+    let payload: Vec<u8> = (0..1024).map(|_| rng.next_u64() as u8).collect();
+    let clean = code.encode_bytes(&payload).expect("1-KiB payload");
+
+    let cal = Calibration::asplos21();
+    let scenarios = [
+        ("fresh page, final step", OperatingCondition::new(0.0, 0.0, 30.0)),
+        ("(1K P/E, 12 mo) @ 30 °C", OperatingCondition::new(1000.0, 12.0, 30.0)),
+        ("(2K P/E, 12 mo) @ 30 °C — worst case", OperatingCondition::new(2000.0, 12.0, 30.0)),
+    ];
+    println!("{:<40} {:>8} {:>10} {:>10}", "scenario", "errors", "corrected", "margin");
+    for (name, cond) in scenarios {
+        let m_err = cal.m_err(cond).round() as usize;
+        let mut corrupted = clean.clone();
+        // Flip M_ERR distinct random bits.
+        let mut flipped = std::collections::BTreeSet::new();
+        while flipped.len() < m_err {
+            let pos = rng.below_usize(corrupted.len());
+            if flipped.insert(pos) {
+                corrupted.flip(pos);
+            }
+        }
+        let report = code.decode(&mut corrupted).expect("within capability");
+        assert_eq!(code.extract_data_bytes(&corrupted), payload, "payload intact");
+        println!(
+            "{:<40} {:>8} {:>10} {:>10}",
+            name,
+            m_err,
+            report.corrected,
+            72 - report.corrected
+        );
+    }
+
+    // And the failure edge: one error beyond the capability.
+    let mut corrupted = clean.clone();
+    for i in 0..73 {
+        corrupted.flip(i * 101 + 7);
+    }
+    match code.decode(&mut corrupted) {
+        Err(e) => println!("\n73 errors: decode fails ({e}) → the SSD starts a read-retry."),
+        Ok(r) => println!("\n73 errors: bounded-distance decode mis-corrected ({} flips)", r.corrected),
+    }
+    println!(
+        "\nEven at the worst prescribed operating point the final retry step\n\
+         leaves a 44 % margin (32 of 72 bits) — AR2 converts it into a 40 %\n\
+         shorter bit-line precharge, cutting tR by ~25 % (paper §5.1, §6.2)."
+    );
+}

@@ -1,0 +1,47 @@
+//! Replay all six YCSB workloads under Baseline, PSO, and PSO+PnAR² — the
+//! paper's Fig. 15 story: PR²/AR² stack on top of the state-of-the-art
+//! retry-count reducer, because they shorten the steps PSO cannot remove.
+//!
+//! Run with: `cargo run --release --example ycsb_comparison`
+
+use ssd_readretry::prelude::*;
+
+fn main() {
+    let base = SsdConfig::scaled_for_tests();
+    let rpt = ReadTimingParamTable::default();
+    // A mid-life SSD with 6-month-old cold data (the condition §7.2
+    // highlights).
+    let point = OperatingPoint::new(2000.0, 6.0);
+
+    println!(
+        "YCSB A–F @ ({} P/E cycles, {} months), normalized avg response time:\n",
+        point.pec, point.retention_months
+    );
+    println!(
+        "{:<8} {:>10} {:>8} {:>12} {:>8} {:>22}",
+        "workload", "Baseline", "PSO", "PSO+PnAR2", "NoRR", "avg steps Base→PSO"
+    );
+    for w in YcsbWorkload::ALL {
+        let trace = w.synthesize(2_500, 11);
+        let baseline = run_one(&base, Mechanism::Baseline, point, &trace, &rpt);
+        let pso = run_one(&base, Mechanism::Pso, point, &trace, &rpt);
+        let combo = run_one(&base, Mechanism::PsoPnAr2, point, &trace, &rpt);
+        let norr = run_one(&base, Mechanism::NoRR, point, &trace, &rpt);
+        let b = baseline.avg_response_us();
+        println!(
+            "{:<8} {:>10.3} {:>8.3} {:>12.3} {:>8.3} {:>12.1} → {:>6.1}",
+            w.name(),
+            1.0,
+            pso.avg_response_us() / b,
+            combo.avg_response_us() / b,
+            norr.avg_response_us() / b,
+            baseline.avg_retry_steps(),
+            pso.avg_retry_steps(),
+        );
+    }
+    println!(
+        "\nPSO cuts the *number* of retry steps (never below its ~3-step guard);\n\
+         PnAR2 cuts the *latency of each remaining step* — which is why the\n\
+         combination beats either alone (paper §7.3)."
+    );
+}

@@ -1,0 +1,35 @@
+//! Geometry-scaling check: the evaluation uses a capacity-scaled SSD
+//! (64 blocks/plane instead of the paper's 1,888) for test-budget reasons;
+//! this test asserts the response-time *ratios* between mechanisms are
+//! insensitive to that scaling (DESIGN.md §7).
+
+use ssd_readretry::prelude::*;
+
+fn ratio_at(blocks_per_plane: u32) -> (f64, f64) {
+    let mut cfg = SsdConfig::scaled_for_tests();
+    cfg.chip.blocks_per_plane = blocks_per_plane;
+    let point = OperatingPoint::new(2000.0, 6.0);
+    let rpt = ReadTimingParamTable::default();
+    let trace = MsrcWorkload::Usr1.synthesize(1_500, 17);
+    let baseline = run_one(&cfg, Mechanism::Baseline, point, &trace, &rpt);
+    let pr2 = run_one(&cfg, Mechanism::Pr2, point, &trace, &rpt);
+    let pnar2 = run_one(&cfg, Mechanism::PnAr2, point, &trace, &rpt);
+    (
+        pr2.avg_response_us() / baseline.avg_response_us(),
+        pnar2.avg_response_us() / baseline.avg_response_us(),
+    )
+}
+
+#[test]
+fn normalized_response_times_are_geometry_insensitive() {
+    let (pr2_small, pnar2_small) = ratio_at(32);
+    let (pr2_large, pnar2_large) = ratio_at(128);
+    assert!(
+        (pr2_small - pr2_large).abs() < 0.05,
+        "PR2 ratio drifts with geometry: {pr2_small} vs {pr2_large}"
+    );
+    assert!(
+        (pnar2_small - pnar2_large).abs() < 0.05,
+        "PnAR2 ratio drifts with geometry: {pnar2_small} vs {pnar2_large}"
+    );
+}
