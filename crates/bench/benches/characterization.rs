@@ -96,12 +96,14 @@ fn fig11(c: &mut Criterion) {
         b.iter(|| black_box(figures::fig11(&mut platform, PAGES / 2)))
     });
     g.bench_function("rpt_from_calibration", |b| {
-        b.iter(|| black_box(ReadTimingParamTable::from_calibration(&Calibration::asplos21())))
+        b.iter(|| {
+            black_box(ReadTimingParamTable::from_calibration(
+                &Calibration::asplos21(),
+            ))
+        })
     });
     g.finish();
 }
 
-criterion_group!(
-    benches, table1, fig4b, fig5, fig7, fig8, fig9, fig10, fig11
-);
+criterion_group!(benches, table1, fig4b, fig5, fig7, fig8, fig9, fig10, fig11);
 criterion_main!(benches);

@@ -1,10 +1,11 @@
 //! Benches for the system-level evaluation figures: `fig14` (one group per
 //! mechanism) and `fig15` (PSO composition), plus `table2` (workload
-//! generation + statistics). Each iteration performs one full
+//! generation + statistics) and `matrix` (the serial vs. parallel
+//! experiment-matrix runner). Each iteration performs one full
 //! simulator run of a representative workload cell.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rr_bench::{run_mechanism, Mechanism};
+use rr_bench::{matrix_traces, run_bench_matrix, run_mechanism, Mechanism};
 use rr_workloads::msrc::MsrcWorkload;
 use rr_workloads::ycsb::YcsbWorkload;
 use std::hint::black_box;
@@ -59,5 +60,23 @@ fn fig15(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, table2, fig14, fig15);
+/// The Fig. 14 matrix on one thread vs. `--jobs`-style worker pools. The
+/// parallel runner is bit-identical to the serial one (asserted in rr-bench's
+/// tests); this group measures the wall-clock ratio, which approaches the
+/// machine's core count for the 8-group workload (≥ 1.5× at 4 threads on a
+/// 4-core host; on a single-core host all variants degenerate to serial
+/// speed).
+fn matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matrix");
+    g.sample_size(10);
+    let traces = matrix_traces(400);
+    for jobs in [1usize, 2, 4] {
+        g.bench_function(format!("fig14_grid/jobs={jobs}"), |b| {
+            b.iter(|| black_box(run_bench_matrix(&traces, jobs).len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, table2, fig14, fig15, matrix);
 criterion_main!(benches);

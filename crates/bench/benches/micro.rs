@@ -63,7 +63,9 @@ fn bch(c: &mut Criterion) {
     let small = BchCode::small_test_code().expect("valid parameters");
     let data = vec![0xA7u8; 16];
     let clean = small.encode_bytes(&data).expect("sized payload");
-    g.bench_function("encode_t8", |b| b.iter(|| black_box(small.encode_bytes(&data).unwrap())));
+    g.bench_function("encode_t8", |b| {
+        b.iter(|| black_box(small.encode_bytes(&data).unwrap()))
+    });
     g.bench_function("decode_t8_8errors", |b| {
         b.iter(|| {
             let mut cw = clean.clone();

@@ -6,11 +6,13 @@
 //! per table/figure (`table1`, `table2`, `fig4b` … `fig15`) plus micro-benches
 //! for the hot substrate paths.
 
-use rr_core::experiment::{run_one, OperatingPoint};
+use rr_core::experiment::{run_matrix_parallel, run_one, MatrixCell, OperatingPoint};
 use rr_core::rpt::ReadTimingParamTable;
 use rr_sim::config::SsdConfig;
 use rr_sim::metrics::SimReport;
+use rr_workloads::msrc::MsrcWorkload;
 use rr_workloads::trace::Trace;
+use rr_workloads::ycsb::YcsbWorkload;
 
 pub use rr_core::experiment::Mechanism;
 
@@ -32,6 +34,30 @@ pub fn run_mechanism(mechanism: Mechanism, trace: &Trace) -> SimReport {
     run_one(&cfg, mechanism, bench_point(), trace, &rpt)
 }
 
+/// A reduced Fig. 14-style workload set for the matrix-runner benches: four
+/// traces (two MSRC, two YCSB) with their read-dominance tags.
+pub fn matrix_traces(requests_per_trace: usize) -> Vec<(Trace, bool)> {
+    vec![
+        (MsrcWorkload::Mds1.synthesize(requests_per_trace, 11), true),
+        (MsrcWorkload::Stg0.synthesize(requests_per_trace, 12), false),
+        (YcsbWorkload::C.synthesize(requests_per_trace, 13), true),
+        (YcsbWorkload::A.synthesize(requests_per_trace, 14), false),
+    ]
+}
+
+/// Runs the Fig. 14 mechanism set over [`matrix_traces`] at two aged points
+/// on `jobs` threads (`1` falls back to the serial path inside
+/// [`run_matrix_parallel`]). Any `jobs` value returns bit-identical cells;
+/// the benches compare their wall-clock.
+pub fn run_bench_matrix(traces: &[(Trace, bool)], jobs: usize) -> Vec<MatrixCell> {
+    let cfg = bench_config();
+    let points = [
+        OperatingPoint::new(2000.0, 6.0),
+        OperatingPoint::new(2000.0, 12.0),
+    ];
+    run_matrix_parallel(&cfg, traces, &points, &Mechanism::FIG14, jobs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -42,5 +68,11 @@ mod tests {
         let trace = YcsbWorkload::C.synthesize(200, 1);
         let report = run_mechanism(Mechanism::PnAr2, &trace);
         assert_eq!(report.requests_completed, 200);
+    }
+
+    #[test]
+    fn bench_matrix_parallel_matches_serial() {
+        let traces = matrix_traces(120);
+        assert_eq!(run_bench_matrix(&traces, 1), run_bench_matrix(&traces, 4));
     }
 }

@@ -41,8 +41,12 @@ pub fn fig5_csv(cells: &[Fig5Cell]) -> String {
 pub fn fig7_csv(cells: &[Fig7Cell]) -> String {
     let mut out = String::from("temp_c,pec,months,m_err,margin\n");
     for c in cells {
-        writeln!(out, "{},{},{},{},{}", c.temp_c, c.pec, c.months, c.m_err, c.margin)
-            .expect("write to String");
+        writeln!(
+            out,
+            "{},{},{},{},{}",
+            c.temp_c, c.pec, c.months, c.m_err, c.margin
+        )
+        .expect("write to String");
     }
     out
 }
@@ -52,8 +56,16 @@ pub fn fig8_csv(series: &[Fig8Series]) -> String {
     let mut out = String::from("param,pec,months,reduction,delta_m_err\n");
     for s in series {
         for &(x, d) in &s.points {
-            writeln!(out, "{},{},{},{:.2},{}", s.param.name(), s.pec, s.months, x, d)
-                .expect("write to String");
+            writeln!(
+                out,
+                "{},{},{},{:.2},{}",
+                s.param.name(),
+                s.pec,
+                s.months,
+                x,
+                d
+            )
+            .expect("write to String");
         }
     }
     out

@@ -52,7 +52,10 @@ pub fn fig4b(
         let errors_by_distance = (0..=tail.min(n))
             .map(|d| (d, platform.errors_at(*page, pec, months, n - d, &default)))
             .collect();
-        out.push(Fig4bSeries { total_steps: n, errors_by_distance });
+        out.push(Fig4bSeries {
+            total_steps: n,
+            errors_by_distance,
+        });
     }
     out
 }
@@ -202,12 +205,16 @@ pub fn fig8(platform: &mut TestPlatform, per_chip: usize) -> Vec<Fig8Series> {
                     .iter()
                     .map(|&x| {
                         let phases = param.phases(x);
-                        let m =
-                            platform.measure_m_err_with_phases(&pages, pec, months, &phases);
+                        let m = platform.measure_m_err_with_phases(&pages, pec, months, &phases);
                         (x, m as i64 - base)
                     })
                     .collect();
-                out.push(Fig8Series { param, pec, months, points });
+                out.push(Fig8Series {
+                    param,
+                    pec,
+                    months,
+                    points,
+                });
             }
         }
     }
@@ -250,7 +257,13 @@ pub fn fig9(platform: &mut TestPlatform, per_chip: usize) -> Vec<Fig9Cell> {
             for &d_disch in &disch_sweep {
                 let phases = SensePhases::table1().with_reduction(d_pre, 0.0, d_disch);
                 let m_err = platform.measure_m_err_with_phases(&pages, pec, months, &phases);
-                out.push(Fig9Cell { pec, months, d_pre, d_disch, m_err });
+                out.push(Fig9Cell {
+                    pec,
+                    months,
+                    d_pre,
+                    d_disch,
+                    m_err,
+                });
             }
         }
     }
@@ -287,8 +300,7 @@ pub fn fig10(platform: &mut TestPlatform, per_chip: usize) -> Vec<Fig10Cell> {
                 let hot = platform.measure_m_err_with_phases(&pages, pec, months, &phases);
                 for &temp in &[55.0, 30.0] {
                     platform.set_temperature(temp);
-                    let cold =
-                        platform.measure_m_err_with_phases(&pages, pec, months, &phases);
+                    let cold = platform.measure_m_err_with_phases(&pages, pec, months, &phases);
                     out.push(Fig10Cell {
                         temp_c: temp,
                         pec,
@@ -331,7 +343,12 @@ pub fn fig11(platform: &mut TestPlatform, per_chip: usize) -> Vec<Fig11Cell> {
         for &months in &RETENTION_SWEEP {
             let (safe_reduction, m_err_at_reduction) =
                 max_safe_reduction(platform, &pages, pec, months);
-            out.push(Fig11Cell { pec, months, safe_reduction, m_err_at_reduction });
+            out.push(Fig11Cell {
+                pec,
+                months,
+                safe_reduction,
+                m_err_at_reduction,
+            });
         }
     }
     out

@@ -107,7 +107,10 @@ impl TestPlatform {
             for _ in 0..per_chip {
                 let block = rng.below(blocks);
                 let page = rng.below(pages) as u32;
-                out.push(TestPage { chip, page: PageId::new(block, page) });
+                out.push(TestPage {
+                    chip,
+                    page: PageId::new(block, page),
+                });
             }
         }
         out

@@ -3,7 +3,7 @@
 use crate::render::{markdown_table, pct, shade};
 use rr_charact::figures::{self, TimingParam};
 use rr_charact::platform::TestPlatform;
-use rr_core::experiment::{reduction_vs, run_matrix, Mechanism, OperatingPoint};
+use rr_core::experiment::{reduction_vs, run_matrix_parallel, Mechanism, OperatingPoint};
 use rr_core::rpt::ReadTimingParamTable;
 use rr_flash::calibration::ECC_CAPABILITY_PER_KIB;
 use rr_flash::timing::NandTimings;
@@ -18,19 +18,34 @@ pub struct Options {
     pub quick: bool,
     /// Deterministic seed.
     pub seed: u64,
+    /// Worker threads for the evaluation matrices (1 = serial; any value
+    /// produces identical results).
+    pub jobs: usize,
 }
 
 impl Options {
     fn chips(&self) -> usize {
-        if self.quick { 16 } else { 160 }
+        if self.quick {
+            16
+        } else {
+            160
+        }
     }
 
     fn pages_per_chip(&self) -> usize {
-        if self.quick { 64 } else { 256 }
+        if self.quick {
+            64
+        } else {
+            256
+        }
     }
 
     fn trace_len(&self) -> usize {
-        if self.quick { 2_000 } else { 5_000 }
+        if self.quick {
+            2_000
+        } else {
+            5_000
+        }
     }
 
     fn platform(&self) -> TestPlatform {
@@ -48,15 +63,31 @@ pub fn table1() {
     heading("Table 1 — NAND flash timing parameters", "§7.1, Table 1");
     let t = NandTimings::table1();
     let rows = vec![
-        vec!["tR (avg)".into(), format!("{}", t.sense.t_r_avg()), "90 µs".into()],
+        vec![
+            "tR (avg)".into(),
+            format!("{}", t.sense.t_r_avg()),
+            "90 µs".into(),
+        ],
         vec!["tPRE".into(), format!("{}", t.sense.t_pre), "24 µs".into()],
         vec!["tEVAL".into(), format!("{}", t.sense.t_eval), "5 µs".into()],
-        vec!["tDISCH".into(), format!("{}", t.sense.t_disch), "10 µs".into()],
+        vec![
+            "tDISCH".into(),
+            format!("{}", t.sense.t_disch),
+            "10 µs".into(),
+        ],
         vec!["tPROG".into(), format!("{}", t.t_prog), "700 µs".into()],
         vec!["tBERS".into(), format!("{}", t.t_bers), "5 ms".into()],
         vec!["tSET".into(), format!("{}", t.t_set), "1 µs".into()],
-        vec!["tRST (read)".into(), format!("{}", t.t_rst_read), "5 µs".into()],
-        vec!["tDMA (16 KiB)".into(), format!("{}", t.t_dma), "16 µs".into()],
+        vec![
+            "tRST (read)".into(),
+            format!("{}", t.t_rst_read),
+            "5 µs".into(),
+        ],
+        vec![
+            "tDMA (16 KiB)".into(),
+            format!("{}", t.t_dma),
+            "16 µs".into(),
+        ],
         vec!["tECC".into(), format!("{}", t.t_ecc), "20 µs".into()],
     ];
     print!(
@@ -72,18 +103,31 @@ fn all_traces(opts: &Options) -> Vec<(Trace, bool, f64, f64)> {
     let mut out = Vec::new();
     for w in MsrcWorkload::ALL {
         let (rr, cr) = w.table2_ratios();
-        out.push((w.synthesize(opts.trace_len(), opts.seed), w.read_dominant(), rr, cr));
+        out.push((
+            w.synthesize(opts.trace_len(), opts.seed),
+            w.read_dominant(),
+            rr,
+            cr,
+        ));
     }
     for w in YcsbWorkload::ALL {
         let (rr, cr) = w.table2_ratios();
-        out.push((w.synthesize(opts.trace_len(), opts.seed), w.read_dominant(), rr, cr));
+        out.push((
+            w.synthesize(opts.trace_len(), opts.seed),
+            w.read_dominant(),
+            rr,
+            cr,
+        ));
     }
     out
 }
 
 /// Table 2: workload read/cold ratios, measured on the synthesized traces.
 pub fn table2(opts: &Options) {
-    heading("Table 2 — I/O characteristics of the evaluated workloads", "§7.1, Table 2");
+    heading(
+        "Table 2 — I/O characteristics of the evaluated workloads",
+        "§7.1, Table 2",
+    );
     let mut rows = Vec::new();
     for (trace, _, paper_rr, paper_cr) in all_traces(opts) {
         let s = trace.stats();
@@ -127,16 +171,28 @@ pub fn fig4b(opts: &Options) {
             .iter()
             .map(|&(d, e)| {
                 vec![
-                    if d == 0 { "N (final)".into() } else { format!("N-{d}") },
+                    if d == 0 {
+                        "N (final)".into()
+                    } else {
+                        format!("N-{d}")
+                    },
                     e.to_string(),
-                    if e <= ECC_CAPABILITY_PER_KIB { "corrected ✓".into() } else { "fail".into() },
+                    if e <= ECC_CAPABILITY_PER_KIB {
+                        "corrected ✓".into()
+                    } else {
+                        "fail".into()
+                    },
                 ]
             })
             .collect();
         print!(
             "{}",
             markdown_table(
-                &["step".into(), "errors/KiB".into(), "vs. 72-bit capability".into()],
+                &[
+                    "step".into(),
+                    "errors/KiB".into(),
+                    "vs. 72-bit capability".into()
+                ],
                 &rows
             )
         );
@@ -178,7 +234,10 @@ pub fn fig5(opts: &Options) {
     );
     // The probability heat map itself, one panel per P/E count.
     for &pec in &figures::PEC_SWEEP {
-        println!("\nP(#retry steps) at {} P/E cycles (rows: steps 0-25, cols: months):", pec as u64);
+        println!(
+            "\nP(#retry steps) at {} P/E cycles (rows: steps 0-25, cols: months):",
+            pec as u64
+        );
         print!("      ");
         for &m in &figures::RETENTION_SWEEP {
             print!("{:>4}mo", m as u64);
@@ -268,8 +327,17 @@ pub fn fig9(opts: &Options) {
     );
     let mut platform = opts.platform();
     let cells = figures::fig9(&mut platform, opts.pages_per_chip() / 2);
-    for (pec, months) in [(1000.0, 0.0), (2000.0, 0.0), (0.0, 12.0), (1000.0, 12.0), (2000.0, 12.0)] {
-        println!("\ncondition (PEC = {}, t_RET = {} mo): M_ERR matrix", pec as u64, months as u64);
+    for (pec, months) in [
+        (1000.0, 0.0),
+        (2000.0, 0.0),
+        (0.0, 12.0),
+        (1000.0, 12.0),
+        (2000.0, 12.0),
+    ] {
+        println!(
+            "\ncondition (PEC = {}, t_RET = {} mo): M_ERR matrix",
+            pec as u64, months as u64
+        );
         let disch_levels: Vec<f64> = {
             let mut v: Vec<f64> = cells
                 .iter()
@@ -289,7 +357,9 @@ pub fn fig9(opts: &Options) {
             for &dd in &disch_levels {
                 let m = cells
                     .iter()
-                    .find(|c| c.pec == pec && c.months == months && c.d_pre == dp && c.d_disch == dd)
+                    .find(|c| {
+                        c.pec == pec && c.months == months && c.d_pre == dp && c.d_disch == dd
+                    })
                     .map(|c| c.m_err)
                     .unwrap_or(0);
                 row.push(if m > ECC_CAPABILITY_PER_KIB {
@@ -380,18 +450,24 @@ pub fn rpt(_opts: &Options) {
     let table = ReadTimingParamTable::default();
     let mut rows = Vec::new();
     for r in table.rows() {
-        let pec = if r.pec_max.is_finite() {
+        // The table's open-ended buckets use `f64::MAX` as their sentinel.
+        let pec = if r.pec_max < f64::MAX {
             format!("< {}", r.pec_max as u64)
         } else {
             "≥ 2000".into()
         };
-        let ret = if r.retention_months_max.is_finite() {
+        let ret = if r.retention_months_max < f64::MAX {
             format!("< {:.2} mo", r.retention_months_max)
         } else {
             "≥ 12 mo".into()
         };
         let t_pre_us = 24.0 * (1.0 - r.pre_reduction);
-        rows.push(vec![pec, ret, pct(r.pre_reduction), format!("{t_pre_us:.1} µs")]);
+        rows.push(vec![
+            pec,
+            ret,
+            pct(r.pre_reduction),
+            format!("{t_pre_us:.1} µs"),
+        ]);
     }
     print!(
         "{}",
@@ -400,7 +476,10 @@ pub fn rpt(_opts: &Options) {
             &rows
         )
     );
-    println!("table size: {} bytes (paper estimates 144 B)", table.storage_bytes());
+    println!(
+        "table size: {} bytes (paper estimates 144 B)",
+        table.storage_bytes()
+    );
 }
 
 fn run_eval(opts: &Options, mechanisms: &[Mechanism]) -> Vec<rr_core::experiment::MatrixCell> {
@@ -414,7 +493,7 @@ fn run_eval(opts: &Options, mechanisms: &[Mechanism]) -> Vec<rr_core::experiment
     } else {
         OperatingPoint::evaluation_grid()
     };
-    run_matrix(&base, &traces, &points, mechanisms)
+    run_matrix_parallel(&base, &traces, &points, mechanisms, opts.jobs)
 }
 
 fn print_matrix(cells: &[rr_core::experiment::MatrixCell], mechanisms: &[Mechanism]) {
@@ -427,7 +506,11 @@ fn print_matrix(cells: &[rr_core::experiment::MatrixCell], mechanisms: &[Mechani
     header.extend(mechanisms.iter().map(|m| m.name().to_string()));
     let mut rows = Vec::new();
     for (w, pec, months) in keys {
-        let mut row = vec![w.clone(), format!("{}", pec as u64), format!("{} mo", months as u64)];
+        let mut row = vec![
+            w.clone(),
+            format!("{}", pec as u64),
+            format!("{} mo", months as u64),
+        ];
         for m in mechanisms {
             let cell = cells
                 .iter()
@@ -463,7 +546,11 @@ pub fn fig14(opts: &Options) {
         );
     }
     let norr = reduction_vs(&cells, "NoRR", "Baseline", false);
-    println!("ideal NoRR bound: avg {} / max {}", pct(norr.mean), pct(norr.max));
+    println!(
+        "ideal NoRR bound: avg {} / max {}",
+        pct(norr.mean),
+        pct(norr.max)
+    );
 }
 
 /// Fig. 15: PSO and PSO+PnAR2.
@@ -505,12 +592,24 @@ pub fn extensions(opts: &Options) {
     ];
     let base = SsdConfig::scaled_for_tests().with_seed(opts.seed);
     let traces: Vec<(Trace, bool)> = vec![
-        (MsrcWorkload::Mds1.synthesize(opts.trace_len(), opts.seed), true),
-        (MsrcWorkload::Stg0.synthesize(opts.trace_len(), opts.seed), false),
-        (YcsbWorkload::C.synthesize(opts.trace_len(), opts.seed), true),
+        (
+            MsrcWorkload::Mds1.synthesize(opts.trace_len(), opts.seed),
+            true,
+        ),
+        (
+            MsrcWorkload::Stg0.synthesize(opts.trace_len(), opts.seed),
+            false,
+        ),
+        (
+            YcsbWorkload::C.synthesize(opts.trace_len(), opts.seed),
+            true,
+        ),
     ];
-    let points = [OperatingPoint::new(2000.0, 12.0), OperatingPoint::new(1000.0, 0.0)];
-    let cells = run_matrix(&base, &traces, &points, &mechanisms);
+    let points = [
+        OperatingPoint::new(2000.0, 12.0),
+        OperatingPoint::new(1000.0, 0.0),
+    ];
+    let cells = run_matrix_parallel(&base, &traces, &points, &mechanisms, opts.jobs);
     print_matrix(&cells, &mechanisms);
     println!();
     for m in ["Eager-PnAR2", "AR2-Regular"] {
@@ -525,12 +624,12 @@ pub fn extensions(opts: &Options) {
 
 /// Ablations of the design choices DESIGN.md calls out.
 pub fn ablation(opts: &Options) {
+    use rr_core::experiment::run_one;
     use rr_core::mechanisms::PnAr2Controller;
     use rr_core::pso::{PsoController, PsoPredictor};
-    use rr_core::experiment::run_one;
+    use rr_flash::calibration::OperatingCondition;
     use rr_sim::readflow::BaselineController;
     use rr_sim::ssd::Ssd;
-    use rr_flash::calibration::OperatingCondition;
 
     heading(
         "Ablation 1 — adaptive (RPT) vs. fixed tPRE reduction",
@@ -539,8 +638,17 @@ pub fn ablation(opts: &Options) {
     let base = SsdConfig::scaled_for_tests().with_seed(opts.seed);
     let trace = MsrcWorkload::Mds1.synthesize(opts.trace_len() / 2, opts.seed);
     let mut rows = Vec::new();
-    for point in [OperatingPoint::new(0.0, 1.0), OperatingPoint::new(2000.0, 12.0)] {
-        let baseline = run_one(&base, Mechanism::Baseline, point, &trace, &ReadTimingParamTable::default());
+    for point in [
+        OperatingPoint::new(0.0, 1.0),
+        OperatingPoint::new(2000.0, 12.0),
+    ] {
+        let baseline = run_one(
+            &base,
+            Mechanism::Baseline,
+            point,
+            &trace,
+            &ReadTimingParamTable::default(),
+        );
         let mut row_for = |label: &str, rpt: &ReadTimingParamTable| {
             let mut cfg = base.clone().with_condition(OperatingCondition::new(
                 point.pec,
@@ -556,10 +664,16 @@ pub fn ablation(opts: &Options) {
             .expect("valid config");
             let report = ssd.run(&trace.requests);
             rows.push(vec![
-                format!("({}, {} mo)", point.pec as u64, point.retention_months as u64),
+                format!(
+                    "({}, {} mo)",
+                    point.pec as u64, point.retention_months as u64
+                ),
                 label.to_string(),
                 format!("{:.1}", report.avg_response_us()),
-                format!("{:.3}", report.avg_response_us() / baseline.avg_response_us()),
+                format!(
+                    "{:.3}",
+                    report.avg_response_us() / baseline.avg_response_us()
+                ),
                 report.read_failures.to_string(),
             ]);
         };
@@ -598,8 +712,10 @@ pub fn ablation(opts: &Options) {
             30.0,
         ));
         cfg.ideal_no_retry = false;
-        let controller =
-            PsoController::with_predictor(BaselineController::new(), PsoPredictor::with_guard(guard));
+        let controller = PsoController::with_predictor(
+            BaselineController::new(),
+            PsoPredictor::with_guard(guard),
+        );
         let ssd = Ssd::new(cfg, Box::new(controller), trace.footprint_pages).expect("valid config");
         let report = ssd.run(&trace.requests);
         rows.push(vec![
@@ -644,9 +760,24 @@ pub fn export(opts: &Options) {
         csv::fig4b_csv(&figures::fig4b(&platform, 2000.0, 12.0, &[16, 21], 3)),
     );
     write("fig5.csv", csv::fig5_csv(&figures::fig5(&platform, pages)));
-    write("fig7.csv", csv::fig7_csv(&figures::fig7(&mut platform, pages)));
-    write("fig8.csv", csv::fig8_csv(&figures::fig8(&mut platform, pages / 2)));
-    write("fig9.csv", csv::fig9_csv(&figures::fig9(&mut platform, pages / 2)));
-    write("fig10.csv", csv::fig10_csv(&figures::fig10(&mut platform, pages / 2)));
-    write("fig11.csv", csv::fig11_csv(&figures::fig11(&mut platform, pages)));
+    write(
+        "fig7.csv",
+        csv::fig7_csv(&figures::fig7(&mut platform, pages)),
+    );
+    write(
+        "fig8.csv",
+        csv::fig8_csv(&figures::fig8(&mut platform, pages / 2)),
+    );
+    write(
+        "fig9.csv",
+        csv::fig9_csv(&figures::fig9(&mut platform, pages / 2)),
+    );
+    write(
+        "fig10.csv",
+        csv::fig10_csv(&figures::fig10(&mut platform, pages / 2)),
+    );
+    write(
+        "fig11.csv",
+        csv::fig11_csv(&figures::fig11(&mut platform, pages)),
+    );
 }

@@ -2,7 +2,7 @@
 //! paper from this repository's models and simulator.
 //!
 //! ```text
-//! repro <command> [--quick] [--seed N]
+//! repro <command> [--quick] [--seed N] [--jobs N]
 //!
 //! commands:
 //!   table1   NAND timing parameters
@@ -32,6 +32,7 @@ fn main() -> ExitCode {
     let mut command = None;
     let mut quick = false;
     let mut seed = 0x5EED_2021u64;
+    let mut jobs = 1usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -43,6 +44,18 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 seed = v;
+            }
+            "--jobs" | "-j" => {
+                i += 1;
+                let Some(v) = args
+                    .get(i)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&v| v >= 1)
+                else {
+                    eprintln!("--jobs requires an integer value >= 1");
+                    return ExitCode::FAILURE;
+                };
+                jobs = v;
             }
             "--help" | "-h" => {
                 print_help();
@@ -61,7 +74,7 @@ fn main() -> ExitCode {
         print_help();
         return ExitCode::FAILURE;
     };
-    let opts = commands::Options { quick, seed };
+    let opts = commands::Options { quick, seed, jobs };
     let run = |name: &str| -> bool {
         match name {
             "table1" => commands::table1(),
@@ -85,8 +98,20 @@ fn main() -> ExitCode {
     };
     if command == "all" {
         for name in [
-            "table1", "table2", "fig4b", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "rpt", "fig14", "fig15", "extensions", "ablation",
+            "table1",
+            "table2",
+            "fig4b",
+            "fig5",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "rpt",
+            "fig14",
+            "fig15",
+            "extensions",
+            "ablation",
         ] {
             run(name);
         }
@@ -104,11 +129,12 @@ fn print_help() {
     println!(
         "repro — regenerate the ASPLOS'21 read-retry paper's tables and figures\n\
          \n\
-         usage: repro <command> [--quick] [--seed N]\n\
+         usage: repro <command> [--quick] [--seed N] [--jobs N]\n\
          \n\
          commands: table1 table2 fig4b fig5 fig7 fig8 fig9 fig10 fig11 rpt fig14 fig15\n           extensions ablation export all\n\
          \n\
          --quick   smaller populations / traces (fast smoke run)\n\
-         --seed N  deterministic seed (default 0x5EED2021)"
+         --seed N  deterministic seed (default 0x5EED2021)\n\
+         --jobs N  worker threads for the fig14/fig15/extensions matrices\n           (default 1; any N produces results identical to the serial run)"
     );
 }

@@ -81,9 +81,7 @@ impl Mechanism {
             Mechanism::Ar2 => Box::new(Ar2Controller::new(rpt.clone())),
             Mechanism::PnAr2 => Box::new(PnAr2Controller::new(rpt.clone())),
             Mechanism::Pso => Box::new(PsoController::new(BaselineController::new())),
-            Mechanism::PsoPnAr2 => {
-                Box::new(PsoController::new(PnAr2Controller::new(rpt.clone())))
-            }
+            Mechanism::PsoPnAr2 => Box::new(PsoController::new(PnAr2Controller::new(rpt.clone()))),
             Mechanism::EagerPnAr2 => Box::new(EagerPnAr2Controller::new(
                 rpt.clone(),
                 ExpectedStepsTable::default(),
@@ -111,7 +109,10 @@ pub struct OperatingPoint {
 impl OperatingPoint {
     /// Creates an operating point.
     pub fn new(pec: f64, retention_months: f64) -> Self {
-        Self { pec, retention_months }
+        Self {
+            pec,
+            retention_months,
+        }
     }
 
     /// The grid used for the Fig. 14/15 reproduction (DESIGN.md §6): the
@@ -141,13 +142,11 @@ pub fn run_one(
     trace: &Trace,
     rpt: &ReadTimingParamTable,
 ) -> SimReport {
-    let mut cfg = base
-        .clone()
-        .with_condition(OperatingCondition::new(
-            point.pec,
-            point.retention_months,
-            base.condition.temp_c,
-        ));
+    let mut cfg = base.clone().with_condition(OperatingCondition::new(
+        point.pec,
+        point.retention_months,
+        base.condition.temp_c,
+    ));
     cfg.ideal_no_retry = mechanism.is_ideal();
     let ssd = Ssd::new(cfg, mechanism.make_controller(rpt), trace.footprint_pages)
         .expect("experiment configuration must be valid");
@@ -155,7 +154,7 @@ pub fn run_one(
 }
 
 /// One cell of a Fig. 14/15-style matrix.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MatrixCell {
     /// Workload name.
     pub workload: String,
@@ -174,6 +173,50 @@ pub struct MatrixCell {
     pub avg_retry_steps: f64,
 }
 
+/// Computes the cells of one (trace, operating-point) group: the `Baseline`
+/// reference run first (every other mechanism is normalized to it), then each
+/// requested mechanism.
+///
+/// This is the unit of work both [`run_matrix`] and [`run_matrix_parallel`]
+/// share: every cell is a pure function of `(base, mechanism, point, trace,
+/// rpt)` — the SSD seed comes from `base` and each [`run_one`] builds a fresh
+/// simulator — so the result is identical no matter which thread (or order)
+/// computes it.
+fn run_cell_group(
+    base: &SsdConfig,
+    trace: &Trace,
+    read_dominant: bool,
+    point: OperatingPoint,
+    mechanisms: &[Mechanism],
+    rpt: &ReadTimingParamTable,
+) -> Vec<MatrixCell> {
+    let baseline = run_one(base, Mechanism::Baseline, point, trace, rpt);
+    let base_rt = baseline.avg_response_us();
+    mechanisms
+        .iter()
+        .map(|&m| {
+            let report = if m == Mechanism::Baseline {
+                baseline.clone()
+            } else {
+                run_one(base, m, point, trace, rpt)
+            };
+            MatrixCell {
+                workload: trace.name.clone(),
+                read_dominant,
+                point,
+                mechanism: m.name().to_string(),
+                avg_response_us: report.avg_response_us(),
+                normalized: if base_rt > 0.0 {
+                    report.avg_response_us() / base_rt
+                } else {
+                    1.0
+                },
+                avg_retry_steps: report.avg_retry_steps(),
+            }
+        })
+        .collect()
+}
+
 /// Runs `mechanisms` × `points` over each trace, normalizing response times
 /// to the `Baseline` mechanism (which is therefore always included).
 ///
@@ -188,31 +231,70 @@ pub fn run_matrix(
     let mut cells = Vec::new();
     for (trace, read_dominant) in traces {
         for &point in points {
-            let baseline = run_one(base, Mechanism::Baseline, point, trace, &rpt);
-            let base_rt = baseline.avg_response_us();
-            for &m in mechanisms {
-                let report = if m == Mechanism::Baseline {
-                    baseline.clone()
-                } else {
-                    run_one(base, m, point, trace, &rpt)
-                };
-                cells.push(MatrixCell {
-                    workload: trace.name.clone(),
-                    read_dominant: *read_dominant,
-                    point,
-                    mechanism: m.name().to_string(),
-                    avg_response_us: report.avg_response_us(),
-                    normalized: if base_rt > 0.0 {
-                        report.avg_response_us() / base_rt
-                    } else {
-                        1.0
-                    },
-                    avg_retry_steps: report.avg_retry_steps(),
-                });
-            }
+            cells.extend(run_cell_group(
+                base,
+                trace,
+                *read_dominant,
+                point,
+                mechanisms,
+                &rpt,
+            ));
         }
     }
     cells
+}
+
+/// [`run_matrix`] spread across `jobs` worker threads.
+///
+/// The (trace × point) groups are distributed over a work-stealing index;
+/// each group's cells land in a slot keyed by the group's serial position, so
+/// the returned vector is **bit-identical to [`run_matrix`]'s output**
+/// regardless of thread count or scheduling: every cell is seeded
+/// deterministically from the config (not from any shared mutable state),
+/// and the output is reassembled in serial order.
+pub fn run_matrix_parallel(
+    base: &SsdConfig,
+    traces: &[(Trace, bool)],
+    points: &[OperatingPoint],
+    mechanisms: &[Mechanism],
+    jobs: usize,
+) -> Vec<MatrixCell> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let jobs = jobs.max(1);
+    if jobs == 1 {
+        return run_matrix(base, traces, points, mechanisms);
+    }
+    let rpt = ReadTimingParamTable::default();
+    let groups: Vec<(&Trace, bool, OperatingPoint)> = traces
+        .iter()
+        .flat_map(|(trace, rd)| points.iter().map(move |&p| (trace, *rd, p)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Vec<MatrixCell>>> =
+        (0..groups.len()).map(|_| Mutex::new(Vec::new())).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(groups.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(trace, read_dominant, point)) = groups.get(i) else {
+                    break;
+                };
+                let cells = run_cell_group(base, trace, read_dominant, point, mechanisms, &rpt);
+                *slots[i]
+                    .lock()
+                    .expect("no worker panicked holding the slot lock") = cells;
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .flat_map(|slot| {
+            slot.into_inner()
+                .expect("no worker panicked holding the slot lock")
+        })
+        .collect()
 }
 
 /// Aggregate reduction statistics the paper quotes in prose
@@ -252,7 +334,10 @@ pub fn reduction_vs(
         }
     }
     if reductions.is_empty() {
-        return ReductionSummary { mean: 0.0, max: 0.0 };
+        return ReductionSummary {
+            mean: 0.0,
+            max: 0.0,
+        };
     }
     ReductionSummary {
         mean: reductions.iter().sum::<f64>() / reductions.len() as f64,
@@ -263,8 +348,8 @@ pub fn reduction_vs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rr_util::time::SimTime;
     use rr_sim::request::{HostRequest, IoOp};
+    use rr_util::time::SimTime;
 
     fn tiny_trace(name: &str, reads: usize) -> Trace {
         let requests = (0..reads)
@@ -338,7 +423,49 @@ mod tests {
             pso_steps < 0.55 * base_steps,
             "PSO {pso_steps} vs baseline {base_steps}"
         );
-        assert!(pso_steps >= 3.0, "PSO keeps at least three steps, got {pso_steps}");
+        assert!(
+            pso_steps >= 3.0,
+            "PSO keeps at least three steps, got {pso_steps}"
+        );
+    }
+
+    #[test]
+    fn parallel_matrix_is_bit_identical_to_serial() {
+        let base = SsdConfig::scaled_for_tests();
+        let traces = vec![
+            (tiny_trace("a", 80), true),
+            (tiny_trace("b", 60), false),
+            (tiny_trace("c", 40), true),
+        ];
+        let points = [
+            OperatingPoint::new(1000.0, 6.0),
+            OperatingPoint::new(2000.0, 12.0),
+        ];
+        let serial = run_matrix(&base, &traces, &points, &Mechanism::FIG14);
+        for jobs in [2, 4, 16] {
+            let parallel = run_matrix_parallel(&base, &traces, &points, &Mechanism::FIG14, jobs);
+            assert_eq!(serial, parallel, "jobs = {jobs} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn parallel_matrix_degenerate_inputs() {
+        let base = SsdConfig::scaled_for_tests();
+        // More jobs than groups, and the jobs=1 serial fallback.
+        let traces = vec![(tiny_trace("only", 30), true)];
+        let points = [OperatingPoint::new(2000.0, 6.0)];
+        let serial = run_matrix(&base, &traces, &points, &[Mechanism::PnAr2]);
+        assert_eq!(
+            serial,
+            run_matrix_parallel(&base, &traces, &points, &[Mechanism::PnAr2], 8)
+        );
+        assert_eq!(
+            serial,
+            run_matrix_parallel(&base, &traces, &points, &[Mechanism::PnAr2], 1)
+        );
+        // Empty work lists must not hang or panic.
+        assert!(run_matrix_parallel(&base, &[], &points, &Mechanism::FIG14, 4).is_empty());
+        assert!(run_matrix_parallel(&base, &traces, &[], &Mechanism::FIG14, 4).is_empty());
     }
 
     #[test]

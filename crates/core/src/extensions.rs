@@ -46,7 +46,11 @@ impl ExpectedStepsTable {
                 means.push(cal.mean_retry_steps(cond));
             }
         }
-        Self { pec_buckets, ret_buckets, means }
+        Self {
+            pec_buckets,
+            ret_buckets,
+            means,
+        }
     }
 
     /// Expected retry steps at an operating condition (bucket upper corner —
@@ -109,12 +113,22 @@ impl EagerPnAr2Controller {
     /// which the initial default-timing read is skipped (the paper suggests
     /// "if a page ... is likely to exhibit high RBER").
     pub fn new(rpt: ReadTimingParamTable, expected: ExpectedStepsTable, threshold: f64) -> Self {
-        assert!(threshold >= 1.0, "a threshold below 1 would skip reads that need no retry");
-        Self { rpt, expected, threshold, states: HashMap::new() }
+        assert!(
+            threshold >= 1.0,
+            "a threshold below 1 would skip reads that need no retry"
+        );
+        Self {
+            rpt,
+            expected,
+            threshold,
+            states: HashMap::new(),
+        }
     }
 
     fn state(&mut self, txn: TxnId) -> &mut EagerState {
-        self.states.get_mut(&txn).expect("event for an unknown eager read")
+        self.states
+            .get_mut(&txn)
+            .expect("event for an unknown eager read")
     }
 }
 
@@ -126,14 +140,24 @@ impl RetryController for EagerPnAr2Controller {
             // entry 1 directly (entry 0 would fail like the initial read).
             self.states.insert(
                 ctx.txn,
-                EagerState { phase: EagerPhase::AwaitReduce, sensing: None, eager: true },
+                EagerState {
+                    phase: EagerPhase::AwaitReduce,
+                    sensing: None,
+                    eager: true,
+                },
             );
             let reduced = self.rpt.reduced_phases(ctx.condition);
-            vec![ReadAction::SetFeature { phases: Some(reduced) }]
+            vec![ReadAction::SetFeature {
+                phases: Some(reduced),
+            }]
         } else {
             self.states.insert(
                 ctx.txn,
-                EagerState { phase: EagerPhase::Initial, sensing: Some(0), eager: false },
+                EagerState {
+                    phase: EagerPhase::Initial,
+                    sensing: Some(0),
+                    eager: false,
+                },
             );
             vec![ReadAction::Sense { step: 0 }]
         }
@@ -180,7 +204,9 @@ impl RetryController for EagerPnAr2Controller {
             EagerPhase::Initial => {
                 let reduced = self.rpt.reduced_phases(ctx.condition);
                 self.state(ctx.txn).phase = EagerPhase::AwaitReduce;
-                vec![ReadAction::SetFeature { phases: Some(reduced) }]
+                vec![ReadAction::SetFeature {
+                    phases: Some(reduced),
+                }]
             }
             EagerPhase::Pipelined => {
                 if step == ctx.max_step && s.sensing.is_none() {
@@ -256,11 +282,17 @@ struct RegState {
 impl RegularAr2Controller {
     /// Creates the controller.
     pub fn new(rpt: ReadTimingParamTable) -> Self {
-        Self { rpt, states: HashMap::new(), dies_reduced: HashSet::new() }
+        Self {
+            rpt,
+            states: HashMap::new(),
+            dies_reduced: HashSet::new(),
+        }
     }
 
     fn state(&mut self, txn: TxnId) -> &mut RegState {
-        self.states.get_mut(&txn).expect("event for an unknown read")
+        self.states
+            .get_mut(&txn)
+            .expect("event for an unknown read")
     }
 }
 
@@ -270,11 +302,25 @@ impl RetryController for RegularAr2Controller {
             // First read on this die: install the reduction permanently.
             // Use the cold-data bucket — the most error-prone data this die
             // serves — so every page's final step keeps its margin.
-            self.states.insert(ctx.txn, RegState { sensing: None, await_feature: true });
+            self.states.insert(
+                ctx.txn,
+                RegState {
+                    sensing: None,
+                    await_feature: true,
+                },
+            );
             let reduced = self.rpt.reduced_phases(ctx.condition);
-            vec![ReadAction::SetFeature { phases: Some(reduced) }]
+            vec![ReadAction::SetFeature {
+                phases: Some(reduced),
+            }]
         } else {
-            self.states.insert(ctx.txn, RegState { sensing: Some(0), await_feature: false });
+            self.states.insert(
+                ctx.txn,
+                RegState {
+                    sensing: Some(0),
+                    await_feature: false,
+                },
+            );
             vec![ReadAction::Sense { step: 0 }]
         }
     }
@@ -355,7 +401,8 @@ mod tests {
         assert!(t.expected_steps(OperatingCondition::new(0.0, 0.1, 30.0)) < 2.0);
         assert!(t.expected_steps(OperatingCondition::new(2000.0, 12.0, 30.0)) > 18.0);
         // Bucketed lookups over-estimate (conservative).
-        let exact = Calibration::asplos21().mean_retry_steps(OperatingCondition::new(800.0, 5.0, 30.0));
+        let exact =
+            Calibration::asplos21().mean_retry_steps(OperatingCondition::new(800.0, 5.0, 30.0));
         assert!(t.expected_steps(OperatingCondition::new(800.0, 5.0, 30.0)) >= exact);
     }
 
@@ -372,7 +419,10 @@ mod tests {
             matches!(acts[0], ReadAction::SetFeature { phases: Some(_) }),
             "aged reads must start with the timing switch, got {acts:?}"
         );
-        assert_eq!(c.on_feature_applied(&x), vec![ReadAction::Sense { step: 1 }]);
+        assert_eq!(
+            c.on_feature_applied(&x),
+            vec![ReadAction::Sense { step: 1 }]
+        );
     }
 
     #[test]
@@ -406,7 +456,10 @@ mod tests {
             vec![ReadAction::SetFeature { phases: None }]
         );
         // ...and the fallback walk starts at entry 0 (it was skipped).
-        assert_eq!(c.on_feature_applied(&x), vec![ReadAction::Sense { step: 0 }]);
+        assert_eq!(
+            c.on_feature_applied(&x),
+            vec![ReadAction::Sense { step: 0 }]
+        );
     }
 
     #[test]
@@ -414,8 +467,14 @@ mod tests {
         let mut c = RegularAr2Controller::new(ReadTimingParamTable::default());
         let x = ctx(1, 1000.0, 6.0);
         let acts = c.on_start(&x);
-        assert!(matches!(acts[0], ReadAction::SetFeature { phases: Some(_) }));
-        assert_eq!(c.on_feature_applied(&x), vec![ReadAction::Sense { step: 0 }]);
+        assert!(matches!(
+            acts[0],
+            ReadAction::SetFeature { phases: Some(_) }
+        ));
+        assert_eq!(
+            c.on_feature_applied(&x),
+            vec![ReadAction::Sense { step: 0 }]
+        );
         c.on_decode_done(&x, 0, true, 30);
         c.on_end(&x, Some(0));
         // Second read on the same die goes straight to sensing.

@@ -44,11 +44,16 @@ pub struct Ar2Controller {
 impl Ar2Controller {
     /// Creates the controller around a profiled RPT.
     pub fn new(rpt: ReadTimingParamTable) -> Self {
-        Self { rpt, states: HashMap::new() }
+        Self {
+            rpt,
+            states: HashMap::new(),
+        }
     }
 
     fn phase(&mut self, txn: TxnId) -> &mut Phase {
-        self.states.get_mut(&txn).expect("event for an unknown AR2 read")
+        self.states
+            .get_mut(&txn)
+            .expect("event for an unknown AR2 read")
     }
 }
 
@@ -85,7 +90,9 @@ impl RetryController for Ar2Controller {
                 // ① query the RPT, ② adjust tPRE via SET FEATURE.
                 let reduced = self.rpt.reduced_phases(ctx.condition);
                 *self.phase(ctx.txn) = Phase::AwaitReduce;
-                vec![ReadAction::SetFeature { phases: Some(reduced) }]
+                vec![ReadAction::SetFeature {
+                    phases: Some(reduced),
+                }]
             }
             Phase::ReducedRetry => {
                 if step < ctx.max_step {
@@ -161,7 +168,10 @@ mod tests {
         let mut c = controller();
         let x = ctx(40);
         assert_eq!(c.on_start(&x), vec![ReadAction::Sense { step: 0 }]);
-        assert_eq!(c.on_sense_done(&x, 0), vec![ReadAction::Transfer { step: 0 }]);
+        assert_eq!(
+            c.on_sense_done(&x, 0),
+            vec![ReadAction::Transfer { step: 0 }]
+        );
         let acts = c.on_decode_done(&x, 0, false, 0);
         // SET FEATURE installs reduced tPRE (40 % at the worst-case bucket).
         let ReadAction::SetFeature { phases: Some(p) } = acts[0] else {
@@ -170,9 +180,15 @@ mod tests {
         let reduction = SensePhases::table1().pre_reduction_vs(&p);
         assert!((reduction - 0.40).abs() < 0.03, "reduction = {reduction}");
         // Retry steps begin after the feature is applied.
-        assert_eq!(c.on_feature_applied(&x), vec![ReadAction::Sense { step: 1 }]);
+        assert_eq!(
+            c.on_feature_applied(&x),
+            vec![ReadAction::Sense { step: 1 }]
+        );
         // Failed steps walk the table sequentially.
-        assert_eq!(c.on_decode_done(&x, 1, false, 0), vec![ReadAction::Sense { step: 2 }]);
+        assert_eq!(
+            c.on_decode_done(&x, 1, false, 0),
+            vec![ReadAction::Sense { step: 2 }]
+        );
         // Success restores the default timing after completing.
         assert_eq!(
             c.on_decode_done(&x, 2, true, 30),
@@ -208,7 +224,10 @@ mod tests {
             vec![ReadAction::SetFeature { phases: None }]
         );
         // ...and walk the table once more at default tPRE (§6.2).
-        assert_eq!(c.on_feature_applied(&x), vec![ReadAction::Sense { step: 1 }]);
+        assert_eq!(
+            c.on_feature_applied(&x),
+            vec![ReadAction::Sense { step: 1 }]
+        );
         assert_eq!(
             c.on_decode_done(&x, 1, true, 10),
             vec![ReadAction::CompleteSuccess { step: 1 }]
@@ -224,6 +243,9 @@ mod tests {
         c.on_feature_applied(&x);
         c.on_decode_done(&x, 1, false, 0); // reduced walk exhausted
         c.on_feature_applied(&x); // fallback begins
-        assert_eq!(c.on_decode_done(&x, 1, false, 0), vec![ReadAction::CompleteFailure]);
+        assert_eq!(
+            c.on_decode_done(&x, 1, false, 0),
+            vec![ReadAction::CompleteFailure]
+        );
     }
 }

@@ -44,11 +44,16 @@ pub struct PnAr2Controller {
 impl PnAr2Controller {
     /// Creates the controller around a profiled RPT.
     pub fn new(rpt: ReadTimingParamTable) -> Self {
-        Self { rpt, states: HashMap::new() }
+        Self {
+            rpt,
+            states: HashMap::new(),
+        }
     }
 
     fn state(&mut self, txn: TxnId) -> &mut PnAr2State {
-        self.states.get_mut(&txn).expect("event for an unknown PnAR2 read")
+        self.states
+            .get_mut(&txn)
+            .expect("event for an unknown PnAR2 read")
     }
 }
 
@@ -56,7 +61,10 @@ impl RetryController for PnAr2Controller {
     fn on_start(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
         self.states.insert(
             ctx.txn,
-            PnAr2State { phase: Phase::Initial, sensing: Some(0) },
+            PnAr2State {
+                phase: Phase::Initial,
+                sensing: Some(0),
+            },
         );
         vec![ReadAction::Sense { step: 0 }]
     }
@@ -107,7 +115,9 @@ impl RetryController for PnAr2Controller {
             Phase::Initial => {
                 let reduced = self.rpt.reduced_phases(ctx.condition);
                 self.state(ctx.txn).phase = Phase::AwaitReduce;
-                vec![ReadAction::SetFeature { phases: Some(reduced) }]
+                vec![ReadAction::SetFeature {
+                    phases: Some(reduced),
+                }]
             }
             Phase::Pipelined => {
                 if step == ctx.max_step && s.sensing.is_none() {
@@ -186,22 +196,37 @@ mod tests {
         let x = ctx(40);
         c.on_start(&x);
         // Initial read: no speculation before the timing switch.
-        assert_eq!(c.on_sense_done(&x, 0), vec![ReadAction::Transfer { step: 0 }]);
+        assert_eq!(
+            c.on_sense_done(&x, 0),
+            vec![ReadAction::Transfer { step: 0 }]
+        );
         // ECC fail → ② SET FEATURE (reduced).
         let acts = c.on_decode_done(&x, 0, false, 0);
-        assert!(matches!(acts[0], ReadAction::SetFeature { phases: Some(_) }));
+        assert!(matches!(
+            acts[0],
+            ReadAction::SetFeature { phases: Some(_) }
+        ));
         // ③ pipelined retries at reduced tR.
-        assert_eq!(c.on_feature_applied(&x), vec![ReadAction::Sense { step: 1 }]);
+        assert_eq!(
+            c.on_feature_applied(&x),
+            vec![ReadAction::Sense { step: 1 }]
+        );
         assert_eq!(
             c.on_sense_done(&x, 1),
-            vec![ReadAction::Transfer { step: 1 }, ReadAction::Sense { step: 2 }]
+            vec![
+                ReadAction::Transfer { step: 1 },
+                ReadAction::Sense { step: 2 }
+            ]
         );
         assert_eq!(c.on_decode_done(&x, 1, false, 0), vec![]);
         // Success while step 2 is being sensed: RESET + complete + ④ restore.
-        assert_eq!(c.on_sense_done(&x, 2), vec![
-            ReadAction::Transfer { step: 2 },
-            ReadAction::Sense { step: 3 },
-        ]);
+        assert_eq!(
+            c.on_sense_done(&x, 2),
+            vec![
+                ReadAction::Transfer { step: 2 },
+                ReadAction::Sense { step: 3 },
+            ]
+        );
         assert_eq!(
             c.on_decode_done(&x, 2, true, 25),
             vec![
@@ -235,18 +260,27 @@ mod tests {
         c.on_sense_done(&x, 1);
         assert_eq!(c.on_decode_done(&x, 1, false, 0), vec![]);
         // Last entry sensed, decode fails with nothing in flight: restore.
-        assert_eq!(c.on_sense_done(&x, 2), vec![ReadAction::Transfer { step: 2 }]);
+        assert_eq!(
+            c.on_sense_done(&x, 2),
+            vec![ReadAction::Transfer { step: 2 }]
+        );
         assert_eq!(
             c.on_decode_done(&x, 2, false, 0),
             vec![ReadAction::SetFeature { phases: None }]
         );
         // Fallback pipeline at default timing.
-        assert_eq!(c.on_feature_applied(&x), vec![ReadAction::Sense { step: 1 }]);
+        assert_eq!(
+            c.on_feature_applied(&x),
+            vec![ReadAction::Sense { step: 1 }]
+        );
         c.on_sense_done(&x, 1);
         c.on_sense_done(&x, 2);
         // Second exhaustion is a read failure; no restore needed (already
         // at default timing).
         assert_eq!(c.on_decode_done(&x, 1, false, 0), vec![]);
-        assert_eq!(c.on_decode_done(&x, 2, false, 0), vec![ReadAction::CompleteFailure]);
+        assert_eq!(
+            c.on_decode_done(&x, 2, false, 0),
+            vec![ReadAction::CompleteFailure]
+        );
     }
 }

@@ -36,7 +36,9 @@ impl Pr2Controller {
     }
 
     fn state(&mut self, txn: TxnId) -> &mut Pr2State {
-        self.states.get_mut(&txn).expect("event for an unknown PR2 read")
+        self.states
+            .get_mut(&txn)
+            .expect("event for an unknown PR2 read")
     }
 }
 
@@ -123,7 +125,10 @@ mod tests {
         // Sensing of step 0 completes: transfer it AND start step 1 at once.
         assert_eq!(
             c.on_sense_done(&x, 0),
-            vec![ReadAction::Transfer { step: 0 }, ReadAction::Sense { step: 1 }]
+            vec![
+                ReadAction::Transfer { step: 0 },
+                ReadAction::Sense { step: 1 }
+            ]
         );
         // Decode failure needs no action: step 1 already runs.
         assert_eq!(c.on_decode_done(&x, 0, false, 0), vec![]);
@@ -154,7 +159,10 @@ mod tests {
         c.on_sense_done(&x, 0);
         c.on_sense_done(&x, 1);
         // Last entry: transfer only, no further speculation.
-        assert_eq!(c.on_sense_done(&x, 2), vec![ReadAction::Transfer { step: 2 }]);
+        assert_eq!(
+            c.on_sense_done(&x, 2),
+            vec![ReadAction::Transfer { step: 2 }]
+        );
         // Success with no speculation in flight: no RESET needed.
         assert_eq!(
             c.on_decode_done(&x, 2, true, 5),
@@ -170,6 +178,9 @@ mod tests {
         c.on_sense_done(&x, 0);
         c.on_sense_done(&x, 1);
         assert_eq!(c.on_decode_done(&x, 0, false, 0), vec![]);
-        assert_eq!(c.on_decode_done(&x, 1, false, 0), vec![ReadAction::CompleteFailure]);
+        assert_eq!(
+            c.on_decode_done(&x, 1, false, 0),
+            vec![ReadAction::CompleteFailure]
+        );
     }
 }

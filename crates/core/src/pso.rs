@@ -50,7 +50,10 @@ impl PsoPredictor {
     /// Creates a predictor with an explicit guard band (ablation knob: a
     /// smaller guard means fewer retry steps but more overshoot fallbacks).
     pub fn with_guard(guard: u32) -> Self {
-        Self { guard, cache: HashMap::new() }
+        Self {
+            guard,
+            cache: HashMap::new(),
+        }
     }
 
     /// The configured guard band.
@@ -111,7 +114,12 @@ impl<C: RetryController> PsoController<C> {
         } else {
             format!("PSO+{}", inner.name())
         };
-        Self { inner, predictor, states: HashMap::new(), label }
+        Self {
+            inner,
+            predictor,
+            states: HashMap::new(),
+            label,
+        }
     }
 
     /// Read access to the predictor (diagnostics, tests).
@@ -125,25 +133,31 @@ impl<C: RetryController> PsoController<C> {
 
     fn inner_ctx(&self, ctx: &ReadContext) -> ReadContext {
         let offset = self.offset(ctx.txn);
-        ReadContext { max_step: ctx.max_step - offset, ..*ctx }
+        ReadContext {
+            max_step: ctx.max_step - offset,
+            ..*ctx
+        }
     }
 
     /// Maps the inner controller's virtual actions to physical table entries,
     /// intercepting `CompleteFailure` for the one-shot full-walk fallback.
     fn map_actions(&mut self, ctx: &ReadContext, actions: Vec<ReadAction>) -> Vec<ReadAction> {
-        let state = *self.states.get(&ctx.txn).expect("mapping for unknown PSO read");
+        let state = *self
+            .states
+            .get(&ctx.txn)
+            .expect("mapping for unknown PSO read");
         let mut out = Vec::with_capacity(actions.len());
         for a in actions {
             match a {
-                ReadAction::Sense { step } => {
-                    out.push(ReadAction::Sense { step: step + state.offset })
-                }
-                ReadAction::Transfer { step } => {
-                    out.push(ReadAction::Transfer { step: step + state.offset })
-                }
-                ReadAction::CompleteSuccess { step } => {
-                    out.push(ReadAction::CompleteSuccess { step: step + state.offset })
-                }
+                ReadAction::Sense { step } => out.push(ReadAction::Sense {
+                    step: step + state.offset,
+                }),
+                ReadAction::Transfer { step } => out.push(ReadAction::Transfer {
+                    step: step + state.offset,
+                }),
+                ReadAction::CompleteSuccess { step } => out.push(ReadAction::CompleteSuccess {
+                    step: step + state.offset,
+                }),
                 ReadAction::CompleteFailure if state.offset > 0 && !state.fell_back => {
                     // The prediction overshot: restart the inner mechanism on
                     // the full table from entry 0.
@@ -168,7 +182,13 @@ impl<C: RetryController> RetryController for PsoController<C> {
             .predictor
             .predict(ctx.die, ctx.cold)
             .min(ctx.max_step.saturating_sub(PSO_GUARD_STEPS));
-        self.states.insert(ctx.txn, PsoTxn { offset, fell_back: false });
+        self.states.insert(
+            ctx.txn,
+            PsoTxn {
+                offset,
+                fell_back: false,
+            },
+        );
         let inner_ctx = self.inner_ctx(ctx);
         let actions = self.inner.on_start(&inner_ctx);
         self.map_actions(ctx, actions)
@@ -212,7 +232,8 @@ impl<C: RetryController> RetryController for PsoController<C> {
         if let Some(p) = successful_step {
             self.predictor.record(ctx.die, ctx.cold, p);
         }
-        self.inner.on_end(&inner_ctx, successful_step.map(|p| p - offset));
+        self.inner
+            .on_end(&inner_ctx, successful_step.map(|p| p - offset));
         self.states.remove(&ctx.txn);
     }
 

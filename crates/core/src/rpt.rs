@@ -76,8 +76,7 @@ impl ReadTimingParamTable {
             // Profiling is done at 85 °C; the margin covers lower-temperature
             // and outlier-page extra errors (Fig. 11's 7 + 7 bits).
             let cond = OperatingCondition::new(pec, months, 85.0);
-            cal.m_err_with_timing(cond, reduction, 0.0, 0.0)
-                + RPT_SAFETY_MARGIN_BITS as f64
+            cal.m_err_with_timing(cond, reduction, 0.0, 0.0) + RPT_SAFETY_MARGIN_BITS as f64
                 <= ECC_CAPABILITY_PER_KIB as f64
         })
     }
@@ -203,7 +202,10 @@ mod tests {
         }
         let worst = t.pre_reduction(OperatingCondition::new(2000.0, 12.0, 30.0));
         let best = t.pre_reduction(OperatingCondition::new(0.0, 0.0, 30.0));
-        assert!((worst - 0.40).abs() < 0.03, "worst-case ≈ 40 %, got {worst}");
+        assert!(
+            (worst - 0.40).abs() < 0.03,
+            "worst-case ≈ 40 %, got {worst}"
+        );
         assert!((best - 0.54).abs() < 0.01, "best-case ≈ 54 %, got {best}");
     }
 

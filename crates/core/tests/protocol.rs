@@ -134,7 +134,11 @@ fn controllers() -> Vec<Box<dyn RetryController>> {
         Box::new(PnAr2Controller::new(rpt.clone())),
         Box::new(PsoController::new(BaselineController::new())),
         Box::new(PsoController::new(PnAr2Controller::new(rpt.clone()))),
-        Box::new(EagerPnAr2Controller::new(rpt.clone(), ExpectedStepsTable::default(), 2.0)),
+        Box::new(EagerPnAr2Controller::new(
+            rpt.clone(),
+            ExpectedStepsTable::default(),
+            2.0,
+        )),
         Box::new(RegularAr2Controller::new(rpt)),
     ]
 }

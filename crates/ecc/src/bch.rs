@@ -91,7 +91,14 @@ impl BchCode {
                 "payload + parity exceeds the code length 2^m - 1",
             ));
         }
-        Ok(Self { gf, t, n_full, data_bits, parity_bits, generator })
+        Ok(Self {
+            gf,
+            t,
+            n_full,
+            data_bits,
+            parity_bits,
+            generator,
+        })
     }
 
     /// g(x) = lcm over i ∈ 1..=2t of the minimal polynomial of α^i.
@@ -365,7 +372,9 @@ impl BchCode {
         if self.syndromes(received).is_some() {
             return Err(BchError::TooManyErrors);
         }
-        Ok(DecodeReport { corrected: nu as u32 })
+        Ok(DecodeReport {
+            corrected: nu as u32,
+        })
     }
 }
 
@@ -528,10 +537,16 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        assert!(matches!(BchCode::new(8, 0, 64), Err(BchError::InvalidParams(_))));
+        assert!(matches!(
+            BchCode::new(8, 0, 64),
+            Err(BchError::InvalidParams(_))
+        ));
         assert!(matches!(BchCode::new(2, 4, 64), Err(BchError::Field(_))));
         // Payload too large for the field.
-        assert!(matches!(BchCode::new(8, 8, 250), Err(BchError::InvalidParams(_))));
+        assert!(matches!(
+            BchCode::new(8, 8, 250),
+            Err(BchError::InvalidParams(_))
+        ));
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub struct BitVec {
 impl BitVec {
     /// Creates an all-zero vector of `len` bits.
     pub fn zeros(len: usize) -> Self {
-        Self { len, words: vec![0; len.div_ceil(64)] }
+        Self {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
     }
 
     /// Builds a vector from a byte slice, LSB-first within each byte
@@ -69,7 +72,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         self.words[i / 64] >> (i % 64) & 1 == 1
     }
 
@@ -80,7 +87,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         let mask = 1u64 << (i % 64);
         if value {
             self.words[i / 64] |= mask;
@@ -96,7 +107,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn flip(&mut self, i: usize) {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         self.words[i / 64] ^= 1u64 << (i % 64);
     }
 
@@ -178,7 +193,10 @@ impl BitVec {
             .zip(&other.words)
             .map(|(a, b)| a ^ b)
             .collect();
-        BitVec { len: self.len, words }
+        BitVec {
+            len: self.len,
+            words,
+        }
     }
 }
 

@@ -59,7 +59,9 @@ impl EccEngineModel {
     /// Judges a page read by its worst codeword's raw bit error count.
     pub fn decode_page(&self, worst_codeword_errors: u32) -> EccOutcome {
         if worst_codeword_errors <= self.capability {
-            EccOutcome::Corrected { margin: self.capability - worst_codeword_errors }
+            EccOutcome::Corrected {
+                margin: self.capability - worst_codeword_errors,
+            }
         } else {
             EccOutcome::Uncorrectable
         }
@@ -100,12 +102,16 @@ pub struct BchEccEngine {
 impl BchEccEngine {
     /// Full-size engine matching the paper (t = 72 per 1-KiB codeword).
     pub fn asplos21() -> Result<Self, BchError> {
-        Ok(Self { code: BchCode::nand_72_per_kib()? })
+        Ok(Self {
+            code: BchCode::nand_72_per_kib()?,
+        })
     }
 
     /// A small engine for fast unit tests (t = 8 over 16-byte payloads).
     pub fn small_for_tests() -> Result<Self, BchError> {
-        Ok(Self { code: BchCode::small_test_code()? })
+        Ok(Self {
+            code: BchCode::small_test_code()?,
+        })
     }
 
     /// Payload size in bytes.

@@ -201,7 +201,10 @@ mod tests {
         let gf = GaloisField::new(8).unwrap();
         let mut seen = std::collections::HashSet::new();
         for i in 0..gf.n() {
-            assert!(seen.insert(gf.alpha_pow(i as u64)), "α powers must be distinct");
+            assert!(
+                seen.insert(gf.alpha_pow(i as u64)),
+                "α powers must be distinct"
+            );
         }
         assert_eq!(seen.len(), 255);
         assert!(!seen.contains(&0), "zero is not a power of α");

@@ -87,7 +87,11 @@ impl OperatingCondition {
             temp_c.is_finite() && temp_c >= 0.0,
             "temperature must be finite and non-negative"
         );
-        Self { pec, retention_months, temp_c }
+        Self {
+            pec,
+            retention_months,
+            temp_c,
+        }
     }
 
     /// The paper's reference temperature for retention accounting (30 °C).
@@ -156,7 +160,10 @@ impl Calibration {
         )
         .expect("static anchor grid is well-formed");
 
-        Self { retry_mean, m_err_85c }
+        Self {
+            retry_mean,
+            m_err_85c,
+        }
     }
 
     /// Mean number of retry steps for a read at `cond` (Fig. 5).
@@ -447,7 +454,10 @@ mod tests {
         assert!((dp - 35.0).abs() < 10.0, "ΔM_ERR(tPRE 54 %) = {dp} ≈ 35");
         assert!((dd - 8.0).abs() < 3.0, "ΔM_ERR(tDISCH 20 %) = {dd} ≈ 8");
         let joint = c.m_err_with_timing(at, 0.54, 0.0, 0.20);
-        assert!(joint > ECC_CAPABILITY_PER_KIB as f64 + 10.0, "joint = {joint}");
+        assert!(
+            joint > ECC_CAPABILITY_PER_KIB as f64 + 10.0,
+            "joint = {joint}"
+        );
     }
 
     #[test]

@@ -148,7 +148,12 @@ impl Chip {
         geometry.validate().expect("chip geometry must be valid");
         let dies = (0..geometry.dies).map(|_| DieState::new()).collect();
         let blocks = vec![BlockState::default(); geometry.blocks_per_chip() as usize];
-        Self { geometry, timings, dies, blocks }
+        Self {
+            geometry,
+            timings,
+            dies,
+            blocks,
+        }
     }
 
     /// The chip geometry.
@@ -224,7 +229,8 @@ impl Chip {
     /// [`ChipError::BadAddress`] for an out-of-range address,
     /// [`ChipError::ReadUnwritten`] when the page was never programmed.
     pub fn begin_read(&mut self, addr: PageAddr, now: SimTime) -> Result<SimTime, ChipError> {
-        addr.check(&self.geometry).map_err(|_| ChipError::BadAddress)?;
+        addr.check(&self.geometry)
+            .map_err(|_| ChipError::BadAddress)?;
         if !self.page_is_programmed(addr) {
             return Err(ChipError::ReadUnwritten);
         }
@@ -255,7 +261,8 @@ impl Chip {
         addr: PageAddr,
         now: SimTime,
     ) -> Result<CacheReadStart, ChipError> {
-        addr.check(&self.geometry).map_err(|_| ChipError::BadAddress)?;
+        addr.check(&self.geometry)
+            .map_err(|_| ChipError::BadAddress)?;
         if !self.page_is_programmed(addr) {
             return Err(ChipError::ReadUnwritten);
         }
@@ -269,7 +276,10 @@ impl Chip {
         let done = now + phases.t_r(kind);
         die.current = Some(DieOp::Read { addr });
         die.busy_until = done;
-        Ok(CacheReadStart { sense_done: done, transferable: previous })
+        Ok(CacheReadStart {
+            sense_done: done,
+            transferable: previous,
+        })
     }
 
     /// Starts a page program.
@@ -280,11 +290,15 @@ impl Chip {
     /// [`ChipError::ProgramOutOfOrder`] when skipping pages or re-programming
     /// without an erase (erase-before-write, §2.2).
     pub fn begin_program(&mut self, addr: PageAddr, now: SimTime) -> Result<SimTime, ChipError> {
-        addr.check(&self.geometry).map_err(|_| ChipError::BadAddress)?;
+        addr.check(&self.geometry)
+            .map_err(|_| ChipError::BadAddress)?;
         let block_idx = self.block_index(addr.block_addr());
         let next = self.blocks[block_idx].programmed_pages;
         if addr.page != next {
-            return Err(ChipError::ProgramOutOfOrder { expected: next, got: addr.page });
+            return Err(ChipError::ProgramOutOfOrder {
+                expected: next,
+                got: addr.page,
+            });
         }
         let t_prog = self.timings.t_prog;
         let die = self.die_mut(addr.die, now)?;
@@ -470,7 +484,10 @@ impl core::fmt::Display for ChipError {
             ChipError::BadAddress => write!(f, "address out of range"),
             ChipError::ReadUnwritten => write!(f, "read of an unprogrammed page"),
             ChipError::ProgramOutOfOrder { expected, got } => {
-                write!(f, "out-of-order program: expected page {expected}, got {got}")
+                write!(
+                    f,
+                    "out-of-order program: expected page {expected}, got {got}"
+                )
             }
             ChipError::CacheEmpty => write!(f, "cache read with empty cache register"),
             ChipError::NothingToSuspend => write!(f, "no suspendable operation in flight"),
@@ -530,8 +547,12 @@ mod tests {
     fn dies_operate_independently() {
         let mut c = chip();
         // Program one page on each die (legal: different blocks).
-        let d0 = c.begin_program(PageAddr::new(0, 0, 0, 0), SimTime::ZERO).unwrap();
-        let d1 = c.begin_program(PageAddr::new(1, 0, 0, 0), SimTime::ZERO).unwrap();
+        let d0 = c
+            .begin_program(PageAddr::new(0, 0, 0, 0), SimTime::ZERO)
+            .unwrap();
+        let d1 = c
+            .begin_program(PageAddr::new(1, 0, 0, 0), SimTime::ZERO)
+            .unwrap();
         assert_eq!(d0, d1, "both dies run concurrently");
     }
 
@@ -539,7 +560,8 @@ mod tests {
     fn read_unwritten_page_is_an_error() {
         let mut c = chip();
         assert_eq!(
-            c.begin_read(PageAddr::new(0, 0, 0, 0), SimTime::ZERO).unwrap_err(),
+            c.begin_read(PageAddr::new(0, 0, 0, 0), SimTime::ZERO)
+                .unwrap_err(),
             ChipError::ReadUnwritten
         );
     }
@@ -547,11 +569,16 @@ mod tests {
     #[test]
     fn sequential_program_enforced_and_reset_by_erase() {
         let mut c = chip();
-        let t = c.begin_program(PageAddr::new(0, 0, 0, 0), SimTime::ZERO).unwrap();
+        let t = c
+            .begin_program(PageAddr::new(0, 0, 0, 0), SimTime::ZERO)
+            .unwrap();
         // Skipping page 1 is illegal.
         assert_eq!(
             c.begin_program(PageAddr::new(0, 0, 0, 2), t).unwrap_err(),
-            ChipError::ProgramOutOfOrder { expected: 1, got: 2 }
+            ChipError::ProgramOutOfOrder {
+                expected: 1,
+                got: 2
+            }
         );
         // Rewriting page 0 without erase is illegal.
         assert!(matches!(
@@ -568,7 +595,9 @@ mod tests {
     #[test]
     fn erase_latency_is_tbers() {
         let mut c = chip();
-        let done = c.begin_erase(BlockAddr::new(0, 0, 0), SimTime::ZERO).unwrap();
+        let done = c
+            .begin_erase(BlockAddr::new(0, 0, 0), SimTime::ZERO)
+            .unwrap();
         assert_eq!(done, SimTime::from_ms(5));
     }
 
@@ -579,7 +608,10 @@ mod tests {
         let a0 = PageAddr::new(0, 0, 0, 0);
         let a3 = PageAddr::new(0, 0, 0, 3);
         // No sensed data yet → cache read illegal.
-        assert_eq!(c.begin_cache_read(a3, t0).unwrap_err(), ChipError::CacheEmpty);
+        assert_eq!(
+            c.begin_cache_read(a3, t0).unwrap_err(),
+            ChipError::CacheEmpty
+        );
         // Regular read first...
         let s1 = c.begin_read(a0, t0).unwrap();
         // ...then a CACHE READ of *any* page (random cache read, §3.2.1):
@@ -599,8 +631,11 @@ mod tests {
         let mid = t0 + us(10);
         let free = c.reset(0, mid).unwrap();
         assert_eq!(free - mid, us(5)); // tRST = 5 µs for reads (Table 1)
-        // The cache register is cleared: a subsequent CACHE READ is illegal.
-        assert_eq!(c.begin_cache_read(a, free).unwrap_err(), ChipError::CacheEmpty);
+                                       // The cache register is cleared: a subsequent CACHE READ is illegal.
+        assert_eq!(
+            c.begin_cache_read(a, free).unwrap_err(),
+            ChipError::CacheEmpty
+        );
     }
 
     #[test]
@@ -655,18 +690,23 @@ mod tests {
     #[test]
     fn resume_without_suspend_is_error() {
         let mut c = chip();
-        assert_eq!(c.resume(0, SimTime::ZERO).unwrap_err(), ChipError::NothingToResume);
+        assert_eq!(
+            c.resume(0, SimTime::ZERO).unwrap_err(),
+            ChipError::NothingToResume
+        );
     }
 
     #[test]
     fn bad_addresses_rejected() {
         let mut c = chip();
         assert_eq!(
-            c.begin_read(PageAddr::new(9, 0, 0, 0), SimTime::ZERO).unwrap_err(),
+            c.begin_read(PageAddr::new(9, 0, 0, 0), SimTime::ZERO)
+                .unwrap_err(),
             ChipError::BadAddress
         );
         assert_eq!(
-            c.begin_erase(BlockAddr::new(0, 0, 99), SimTime::ZERO).unwrap_err(),
+            c.begin_erase(BlockAddr::new(0, 0, 99), SimTime::ZERO)
+                .unwrap_err(),
             ChipError::BadAddress
         );
     }

@@ -41,7 +41,10 @@ pub struct PageId {
 impl PageId {
     /// Creates a page identity.
     pub const fn new(block_key: u64, page_in_block: u32) -> Self {
-        Self { block_key, page_in_block }
+        Self {
+            block_key,
+            page_in_block,
+        }
     }
 
     fn page_key(&self) -> u64 {
@@ -136,7 +139,10 @@ impl ErrorModel {
     ///
     /// Panics if `rate` is not within `[0, 1]`.
     pub fn with_outlier_rate(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "outlier rate must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "outlier rate must be in [0, 1]"
+        );
         self.outlier_rate = rate;
         self
     }
@@ -371,7 +377,10 @@ mod tests {
             h.record(m.required_step_index(p, cond(2000.0, 12.0)) as usize);
         }
         let mean = h.mean();
-        assert!((mean - 19.9).abs() < 0.5, "mean steps = {mean}, expected ≈ 19.9");
+        assert!(
+            (mean - 19.9).abs() < 0.5,
+            "mean steps = {mean}, expected ≈ 19.9"
+        );
         // Fig. 4b shows pages needing 16 and 21 steps under aged conditions.
         assert!(h.count(16) > 0 && h.count(21) > 0);
     }
@@ -384,11 +393,17 @@ mod tests {
         let mut max_seen = 0;
         for p in sample_pages(20_000) {
             let e = m.final_step_errors(p, c);
-            assert!(e as f64 <= m_err + 0.5, "page errors {e} exceed M_ERR {m_err}");
+            assert!(
+                e as f64 <= m_err + 0.5,
+                "page errors {e} exceed M_ERR {m_err}"
+            );
             max_seen = max_seen.max(e);
         }
         // The spread should actually reach near the population max.
-        assert!(max_seen as f64 >= m_err - 2.0, "max seen {max_seen} vs M_ERR {m_err}");
+        assert!(
+            max_seen as f64 >= m_err - 2.0,
+            "max seen {max_seen} vs M_ERR {m_err}"
+        );
         // And every page still fits in the ECC capability at default timings.
         assert!(max_seen <= ECC_CAPABILITY_PER_KIB);
     }
@@ -425,7 +440,10 @@ mod tests {
         for p in sample_pages(300) {
             let n = m.required_step_index(p, c);
             for s in 0..n {
-                assert!(!m.read_succeeds(p, c, s, &dflt), "step {s} of {n} succeeded");
+                assert!(
+                    !m.read_succeeds(p, c, s, &dflt),
+                    "step {s} of {n} succeeded"
+                );
             }
             assert!(m.read_succeeds(p, c, n, &dflt));
         }

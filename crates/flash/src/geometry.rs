@@ -133,7 +133,7 @@ impl ChipGeometry {
             return Err("all geometry dimensions must be non-zero".into());
         }
         let ppw = self.cell_tech.pages_per_wordline();
-        if self.pages_per_block % ppw != 0 {
+        if !self.pages_per_block.is_multiple_of(ppw) {
             return Err(format!(
                 "pages_per_block ({}) must be a multiple of pages per wordline ({ppw})",
                 self.pages_per_block
@@ -200,7 +200,12 @@ impl PageAddr {
     /// Creates an address; validity against a geometry is checked separately
     /// with [`PageAddr::check`].
     pub const fn new(die: u32, plane: u32, block: u32, page: u32) -> Self {
-        Self { die, plane, block, page }
+        Self {
+            die,
+            plane,
+            block,
+            page,
+        }
     }
 
     /// Validates this address against `geometry`.
@@ -226,7 +231,11 @@ impl PageAddr {
 
     /// The address of the block containing this page.
     pub const fn block_addr(&self) -> BlockAddr {
-        BlockAddr { die: self.die, plane: self.plane, block: self.block }
+        BlockAddr {
+            die: self.die,
+            plane: self.plane,
+            block: self.block,
+        }
     }
 
     /// A stable 64-bit key identifying this page within its chip, used for
@@ -255,14 +264,18 @@ impl BlockAddr {
 
     /// A stable 64-bit key identifying this block within its chip.
     pub fn block_key(&self, g: &ChipGeometry) -> u64 {
-        (self.die as u64 * g.planes_per_die as u64 + self.plane as u64)
-            * g.blocks_per_plane as u64
+        (self.die as u64 * g.planes_per_die as u64 + self.plane as u64) * g.blocks_per_plane as u64
             + self.block as u64
     }
 
     /// The address of `page` within this block.
     pub const fn page(&self, page: u32) -> PageAddr {
-        PageAddr { die: self.die, plane: self.plane, block: self.block, page }
+        PageAddr {
+            die: self.die,
+            plane: self.plane,
+            block: self.block,
+            page,
+        }
     }
 }
 
@@ -338,9 +351,18 @@ mod tests {
         let g = ChipGeometry::tiny();
         assert!(PageAddr::new(0, 0, 0, 0).check(&g).is_ok());
         assert_eq!(PageAddr::new(2, 0, 0, 0).check(&g), Err(AddrError::Die(2)));
-        assert_eq!(PageAddr::new(0, 2, 0, 0).check(&g), Err(AddrError::Plane(2)));
-        assert_eq!(PageAddr::new(0, 0, 8, 0).check(&g), Err(AddrError::Block(8)));
-        assert_eq!(PageAddr::new(0, 0, 0, 24).check(&g), Err(AddrError::Page(24)));
+        assert_eq!(
+            PageAddr::new(0, 2, 0, 0).check(&g),
+            Err(AddrError::Plane(2))
+        );
+        assert_eq!(
+            PageAddr::new(0, 0, 8, 0).check(&g),
+            Err(AddrError::Block(8))
+        );
+        assert_eq!(
+            PageAddr::new(0, 0, 0, 24).check(&g),
+            Err(AddrError::Page(24))
+        );
     }
 
     #[test]

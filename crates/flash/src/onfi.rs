@@ -104,8 +104,15 @@ pub fn encode_cache_read(addr: PageAddr, pages_per_block: u32) -> Vec<Cycle> {
 ///
 /// Panics if any timing value exceeds 255 µs (the one-byte trim encoding).
 pub fn encode_set_read_timing(t_pre_us: u32, t_eval_us: u32, t_disch_us: u32) -> Vec<Cycle> {
-    for (name, v) in [("tPRE", t_pre_us), ("tEVAL", t_eval_us), ("tDISCH", t_disch_us)] {
-        assert!(v <= 0xFF, "{name} = {v} µs exceeds the one-byte trim encoding");
+    for (name, v) in [
+        ("tPRE", t_pre_us),
+        ("tEVAL", t_eval_us),
+        ("tDISCH", t_disch_us),
+    ] {
+        assert!(
+            v <= 0xFF,
+            "{name} = {v} µs exceeds the one-byte trim encoding"
+        );
     }
     vec![
         Cycle::Cmd(Opcode::SetFeatures as u8),
@@ -169,11 +176,16 @@ pub fn decode(cycles: &[Cycle]) -> Result<DecodedCommand, String> {
                 other => Err(format!("unknown read confirm cycle {other:#04x}")),
             }
         }
-        [Cycle::Cmd(0xEF), Cycle::Addr(fa), Cycle::DataOut(p), Cycle::DataOut(e), Cycle::DataOut(d), Cycle::DataOut(_)] => {
+        [Cycle::Cmd(0xEF), Cycle::Addr(fa), Cycle::DataOut(p), Cycle::DataOut(e), Cycle::DataOut(d), Cycle::DataOut(_)] =>
+        {
             if *fa != FEATURE_ADDR_READ_TIMING {
                 return Err(format!("unsupported feature address {fa:#04x}"));
             }
-            Ok(DecodedCommand::SetReadTiming { t_pre_us: *p, t_eval_us: *e, t_disch_us: *d })
+            Ok(DecodedCommand::SetReadTiming {
+                t_pre_us: *p,
+                t_eval_us: *e,
+                t_disch_us: *d,
+            })
         }
         [Cycle::Cmd(0xFF)] => Ok(DecodedCommand::Reset),
         _ => Err("unrecognized command sequence".into()),
@@ -203,7 +215,10 @@ mod tests {
         assert_eq!(pr[..6], cr[..6]);
         assert_eq!(pr[6], Cycle::Cmd(0x30));
         assert_eq!(cr[6], Cycle::Cmd(0x31));
-        assert!(matches!(decode(&cr).unwrap(), DecodedCommand::CacheRead { .. }));
+        assert!(matches!(
+            decode(&cr).unwrap(),
+            DecodedCommand::CacheRead { .. }
+        ));
     }
 
     #[test]
@@ -212,7 +227,11 @@ mod tests {
         let seq = encode_set_read_timing(24, 5, 10);
         assert_eq!(
             decode(&seq).unwrap(),
-            DecodedCommand::SetReadTiming { t_pre_us: 24, t_eval_us: 5, t_disch_us: 10 }
+            DecodedCommand::SetReadTiming {
+                t_pre_us: 24,
+                t_eval_us: 5,
+                t_disch_us: 10
+            }
         );
         // AR²'s 40 %-reduced tPRE (24 µs → 14 µs, rounding to the µs trim).
         let seq = encode_set_read_timing(14, 5, 10);

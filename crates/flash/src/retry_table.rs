@@ -27,7 +27,10 @@ impl RetryTable {
     /// The table assumed for the paper's 48-layer TLC generation: up to 40
     /// retry entries in ~−25 mV steps (Fig. 5 tops out around 25 used steps).
     pub const fn asplos21() -> Self {
-        Self { max_steps: 40, step_mv: -25.0 }
+        Self {
+            max_steps: 40,
+            step_mv: -25.0,
+        }
     }
 
     /// Creates a custom table.

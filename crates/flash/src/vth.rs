@@ -64,10 +64,16 @@ impl VthModel {
     /// state wide and low, programmed states narrow — the standard 3D TLC
     /// picture (Fig. 3b).
     pub fn programmed_fresh() -> Self {
-        let mut states = [VthState { mean_mv: 0.0, sigma_mv: 0.0 }; TLC_STATES];
+        let mut states = [VthState {
+            mean_mv: 0.0,
+            sigma_mv: 0.0,
+        }; TLC_STATES];
         for (i, s) in states.iter_mut().enumerate() {
             if i == 0 {
-                *s = VthState { mean_mv: -800.0, sigma_mv: 220.0 };
+                *s = VthState {
+                    mean_mv: -800.0,
+                    sigma_mv: 220.0,
+                };
             } else {
                 *s = VthState {
                     mean_mv: 400.0 + 700.0 * i as f64,
@@ -188,7 +194,8 @@ pub fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x_abs);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let result = poly * (-x_abs * x_abs).exp();
     if sign_neg {
         2.0 - result

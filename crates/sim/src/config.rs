@@ -138,7 +138,10 @@ impl SsdConfig {
         }
         self.chip.validate()?;
         if !(0.0..=1.0).contains(&self.outlier_rate) {
-            return Err(format!("outlier rate {} must be in [0, 1]", self.outlier_rate));
+            return Err(format!(
+                "outlier rate {} must be in [0, 1]",
+                self.outlier_rate
+            ));
         }
         if self.gc_threshold_blocks < 1 {
             return Err("gc threshold must be at least 1 block".into());

@@ -59,7 +59,11 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0, last_popped: SimTime::ZERO }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            last_popped: SimTime::ZERO,
+        }
     }
 
     /// Schedules `payload` at `time`.
@@ -74,7 +78,11 @@ impl<E> EventQueue<E> {
             "scheduling into the past: {time} < {}",
             self.last_popped
         );
-        let entry = Entry { time, seq: self.seq, payload };
+        let entry = Entry {
+            time,
+            seq: self.seq,
+            payload,
+        };
         self.seq += 1;
         self.heap.push(Reverse(entry));
     }

@@ -126,7 +126,11 @@ impl Ftl {
             return Err("geometry exceeds 32-bit page indexing".into());
         }
         let blocks = vec![
-            BlockMeta { state: BlockState::Free, next_page: 0, valid_count: 0 };
+            BlockMeta {
+                state: BlockState::Free,
+                next_page: 0,
+                valid_count: 0
+            };
             total_blocks
         ];
         let free_blocks = (0..total_planes)
@@ -265,7 +269,10 @@ impl Ftl {
         self.commit_write(lpn, alloc);
         self.mark_fresh(lpn);
         let plane = self.locate(alloc.0).plane_global;
-        Ok(WriteAlloc { ppn: alloc.0, gc_hint: self.gc_hint(plane) })
+        Ok(WriteAlloc {
+            ppn: alloc.0,
+            gc_hint: self.gc_hint(plane),
+        })
     }
 
     /// Allocates a page *in a specific plane* for a GC move of `lpn`.
@@ -354,7 +361,11 @@ impl Ftl {
         let moves: Vec<(u64, Ppn)> = (first..first + self.pages_per_block)
             .filter_map(|p| self.reverse(Ppn(p)).map(|lpn| (lpn, Ppn(p))))
             .collect();
-        Some(GcJob { plane, victim_block: victim, moves })
+        Some(GcJob {
+            plane,
+            victim_block: victim,
+            moves,
+        })
     }
 
     /// Whether a page still holds the same valid LPN it did when a GC job was
@@ -456,7 +467,7 @@ mod tests {
     fn locate_roundtrip_consistency() {
         let cfg = small_cfg();
         let ftl = Ftl::new(&cfg, 10).unwrap();
-        let pages_per_plane = (cfg.chip.blocks_per_plane * cfg.chip.pages_per_block) as u32;
+        let pages_per_plane = cfg.chip.blocks_per_plane * cfg.chip.pages_per_block;
         // Page 0 of plane 1.
         let ppn = Ppn(pages_per_plane);
         let loc = ftl.locate(ppn);

@@ -5,7 +5,11 @@ use rr_util::time::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Aggregated results of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+///
+/// `PartialEq` compares every field exactly (statistics included), so two
+/// reports are equal only if the runs behaved identically — the determinism
+/// regression tests rely on this.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct SimReport {
     /// Mechanism name (from the retry controller).
     pub mechanism: String,
@@ -40,7 +44,10 @@ pub struct SimReport {
 impl SimReport {
     /// Creates an empty report for a mechanism.
     pub fn new(mechanism: &str) -> Self {
-        Self { mechanism: mechanism.to_string(), ..Self::default() }
+        Self {
+            mechanism: mechanism.to_string(),
+            ..Self::default()
+        }
     }
 
     /// Average response time in µs over all host requests.

@@ -11,9 +11,9 @@
 //! `rr-core` crate implements PR², AR², PnAR², and the PSO-augmented variants
 //! on the same interface.
 
+use crate::request::TxnId;
 use rr_flash::calibration::OperatingCondition;
 use rr_flash::timing::SensePhases;
-use crate::request::TxnId;
 use std::collections::HashMap;
 
 /// What the controller wants the simulator to do next for one read.
@@ -191,13 +191,19 @@ mod tests {
         let mut b = BaselineController::new();
         let c = ctx(40);
         assert_eq!(b.on_start(&c), vec![ReadAction::Sense { step: 0 }]);
-        assert_eq!(b.on_sense_done(&c, 0), vec![ReadAction::Transfer { step: 0 }]);
+        assert_eq!(
+            b.on_sense_done(&c, 0),
+            vec![ReadAction::Transfer { step: 0 }]
+        );
         // Fail at step 0 → sense step 1.
         assert_eq!(
             b.on_decode_done(&c, 0, false, 0),
             vec![ReadAction::Sense { step: 1 }]
         );
-        assert_eq!(b.on_sense_done(&c, 1), vec![ReadAction::Transfer { step: 1 }]);
+        assert_eq!(
+            b.on_sense_done(&c, 1),
+            vec![ReadAction::Transfer { step: 1 }]
+        );
         // Success at step 1 → complete.
         assert_eq!(
             b.on_decode_done(&c, 1, true, 30),

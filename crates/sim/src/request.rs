@@ -33,7 +33,12 @@ impl HostRequest {
     /// Panics if `len_pages` is zero.
     pub fn new(arrival: SimTime, op: IoOp, lpn: u64, len_pages: u32) -> Self {
         assert!(len_pages > 0, "requests must cover at least one page");
-        Self { arrival, op, lpn, len_pages }
+        Self {
+            arrival,
+            op,
+            lpn,
+            len_pages,
+        }
     }
 
     /// Iterates over the LPNs this request touches.

@@ -58,12 +58,24 @@ enum QueuedOp {
 /// What a die is currently executing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum DieJob {
-    Sense { txn: TxnId, step: u32 },
-    SetFeature { txn: TxnId },
-    Reset { txn: TxnId },
+    Sense {
+        txn: TxnId,
+        step: u32,
+    },
+    SetFeature {
+        txn: TxnId,
+    },
+    Reset {
+        txn: TxnId,
+    },
     /// Write waiting for its data transfer (busy_until = MAX) or programming.
-    Program { txn: TxnId, data_loaded: bool },
-    Erase { txn: TxnId },
+    Program {
+        txn: TxnId,
+        data_loaded: bool,
+    },
+    Erase {
+        txn: TxnId,
+    },
     Suspending,
 }
 
@@ -293,7 +305,10 @@ impl Ssd {
                 d.job,
                 d.suspended.is_some(),
             );
-            assert!(d.suspended.is_none(), "die {i} left a suspended op unresumed");
+            assert!(
+                d.suspended.is_none(),
+                "die {i} left a suspended op unresumed"
+            );
             assert!(d.job.is_none(), "die {i} left job {:?} in flight", d.job);
             assert!(d.owner.is_none(), "die {i} still owned by {:?}", d.owner);
         }
@@ -334,7 +349,11 @@ impl Ssd {
 
     fn condition_for(&self, lpn: u64) -> (OperatingCondition, bool) {
         let cold = self.ftl.is_cold(lpn);
-        let retention = if cold { self.cfg.condition.retention_months } else { 0.0 };
+        let retention = if cold {
+            self.cfg.condition.retention_months
+        } else {
+            0.0
+        };
         (
             OperatingCondition::new(self.cfg.condition.pec, retention, self.cfg.condition.temp_c),
             cold,
@@ -531,7 +550,10 @@ impl Ssd {
         let die = &mut self.dies[die_idx as usize];
         let suspendable = matches!(
             die.job,
-            Some(DieJob::Program { data_loaded: true, .. }) | Some(DieJob::Erase { .. })
+            Some(DieJob::Program {
+                data_loaded: true,
+                ..
+            }) | Some(DieJob::Erase { .. })
         );
         if !suspendable || die.suspended.is_some() || die.busy_until == SimTime::MAX {
             return;
@@ -545,7 +567,10 @@ impl Ssd {
         die.job = Some(DieJob::Suspending);
         die.gen += 1;
         die.busy_until = self.now + t_suspend;
-        let ev = Event::DieDone { die: die_idx, gen: die.gen };
+        let ev = Event::DieDone {
+            die: die_idx,
+            gen: die.gen,
+        };
         self.events.push(die.busy_until, ev);
         self.metrics.suspensions += 1;
     }
@@ -577,7 +602,9 @@ impl Ssd {
             if let Some(&txn) = self.dies[die_idx as usize].p1.front() {
                 self.dies[die_idx as usize].p1.pop_front();
                 self.dies[die_idx as usize].owner = Some(txn);
-                let ctx = self.txns[txn.0 as usize].ctx.expect("reads carry a context");
+                let ctx = self.txns[txn.0 as usize]
+                    .ctx
+                    .expect("reads carry a context");
                 let actions = self.controller.on_start(&ctx);
                 self.execute_actions(txn, actions);
                 // Actions queued into P0; loop to start them.
@@ -589,7 +616,10 @@ impl Ssd {
                 die.job = Some(job);
                 die.gen += 1;
                 die.busy_until = self.now + remaining;
-                let ev = Event::DieDone { die: die_idx, gen: die.gen };
+                let ev = Event::DieDone {
+                    die: die_idx,
+                    gen: die.gen,
+                };
                 self.events.push(die.busy_until, ev);
                 return;
             }
@@ -645,7 +675,10 @@ impl Ssd {
                 die.job = Some(DieJob::Sense { txn, step });
                 die.gen += 1;
                 die.busy_until = self.now + phases.t_r(kind);
-                let ev = Event::DieDone { die: die_idx, gen: die.gen };
+                let ev = Event::DieDone {
+                    die: die_idx,
+                    gen: die.gen,
+                };
                 self.events.push(die.busy_until, ev);
             }
             QueuedOp::SetFeature { phases } => {
@@ -656,7 +689,10 @@ impl Ssd {
                 die.job = Some(DieJob::SetFeature { txn });
                 die.gen += 1;
                 die.busy_until = self.now + self.cfg.timings.t_set;
-                let ev = Event::DieDone { die: die_idx, gen: die.gen };
+                let ev = Event::DieDone {
+                    die: die_idx,
+                    gen: die.gen,
+                };
                 self.events.push(die.busy_until, ev);
             }
         }
@@ -669,15 +705,20 @@ impl Ssd {
                 // Reserve the die, then move the data over the channel;
                 // programming starts when the transfer lands.
                 let die = &mut self.dies[die_idx as usize];
-                die.job = Some(DieJob::Program { txn, data_loaded: false });
+                die.job = Some(DieJob::Program {
+                    txn,
+                    data_loaded: false,
+                });
                 die.gen += 1;
                 die.busy_until = SimTime::MAX;
                 let channel = self.txns[txn.0 as usize].loc.channel;
-                self.channels[channel as usize].transfer_q.push_back(Transfer {
-                    txn,
-                    step: None,
-                    errors: 0,
-                });
+                self.channels[channel as usize]
+                    .transfer_q
+                    .push_back(Transfer {
+                        txn,
+                        step: None,
+                        errors: 0,
+                    });
                 self.pump_channel(channel);
             }
             TxnKind::GcErase => {
@@ -685,7 +726,10 @@ impl Ssd {
                 die.job = Some(DieJob::Erase { txn });
                 die.gen += 1;
                 die.busy_until = self.now + self.cfg.timings.t_bers;
-                let ev = Event::DieDone { die: die_idx, gen: die.gen };
+                let ev = Event::DieDone {
+                    die: die_idx,
+                    gen: die.gen,
+                };
                 self.events.push(die.busy_until, ev);
             }
             TxnKind::HostRead | TxnKind::GcRead => {
@@ -785,12 +829,21 @@ impl Ssd {
                 let die = &mut self.dies[die_idx as usize];
                 debug_assert!(matches!(
                     die.job,
-                    Some(DieJob::Program { data_loaded: false, .. })
+                    Some(DieJob::Program {
+                        data_loaded: false,
+                        ..
+                    })
                 ));
-                die.job = Some(DieJob::Program { txn: t.txn, data_loaded: true });
+                die.job = Some(DieJob::Program {
+                    txn: t.txn,
+                    data_loaded: true,
+                });
                 die.gen += 1;
                 die.busy_until = self.now + self.cfg.timings.t_prog;
-                let ev = Event::DieDone { die: die_idx, gen: die.gen };
+                let ev = Event::DieDone {
+                    die: die_idx,
+                    gen: die.gen,
+                };
                 self.events.push(die.busy_until, ev);
             }
         }
@@ -842,11 +895,13 @@ impl Ssd {
                         .map(|&(_, e)| e)
                         .expect("transfer of a step that was sensed");
                     let channel = t.loc.channel;
-                    self.channels[channel as usize].transfer_q.push_back(Transfer {
-                        txn,
-                        step: Some(step),
-                        errors,
-                    });
+                    self.channels[channel as usize]
+                        .transfer_q
+                        .push_back(Transfer {
+                            txn,
+                            step: Some(step),
+                            errors,
+                        });
                     self.pump_channel(channel);
                 }
                 ReadAction::Reset => self.do_reset(txn, die_idx),
@@ -881,7 +936,10 @@ impl Ssd {
         die.job = Some(DieJob::Reset { txn });
         die.gen += 1;
         die.busy_until = self.now + t_rst;
-        let ev = Event::DieDone { die: die_idx, gen: die.gen };
+        let ev = Event::DieDone {
+            die: die_idx,
+            gen: die.gen,
+        };
         self.events.push(die.busy_until, ev);
     }
 
@@ -903,8 +961,10 @@ impl Ssd {
         if ch.decoding.is_none() {
             if let Some(d) = ch.ecc_q.pop_front() {
                 ch.decoding = Some(d);
-                self.events
-                    .push(self.now + self.cfg.timings.t_ecc, Event::EccDone { channel });
+                self.events.push(
+                    self.now + self.cfg.timings.t_ecc,
+                    Event::EccDone { channel },
+                );
             }
         }
     }
@@ -965,8 +1025,7 @@ mod tests {
     use crate::readflow::BaselineController;
 
     fn cfg_at(pec: f64, months: f64) -> SsdConfig {
-        SsdConfig::scaled_for_tests()
-            .with_condition(OperatingCondition::new(pec, months, 30.0))
+        SsdConfig::scaled_for_tests().with_condition(OperatingCondition::new(pec, months, 30.0))
     }
 
     fn run_reads(cfg: SsdConfig, lpns: &[u64], spacing_us: u64) -> SimReport {
@@ -975,12 +1034,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &lpn)| {
-                HostRequest::new(
-                    SimTime::from_us(i as u64 * spacing_us),
-                    IoOp::Read,
-                    lpn,
-                    1,
-                )
+                HostRequest::new(SimTime::from_us(i as u64 * spacing_us), IoOp::Read, lpn, 1)
             })
             .collect();
         ssd.run(&trace)
@@ -994,8 +1048,11 @@ mod tests {
         assert_eq!(report.avg_retry_steps(), 0.0);
         // LPNs 0,1,2 land on different planes/dies (striping), all are LSB
         // pages (page 0 of their blocks): tR = 78, +16 +20 = 114 µs.
-        assert!((report.avg_read_response_us() - 114.0).abs() < 1.0,
-            "avg = {}", report.avg_read_response_us());
+        assert!(
+            (report.avg_read_response_us() - 114.0).abs() < 1.0,
+            "avg = {}",
+            report.avg_read_response_us()
+        );
     }
 
     #[test]
@@ -1043,8 +1100,11 @@ mod tests {
         let trace = vec![HostRequest::new(SimTime::ZERO, IoOp::Write, 5, 1)];
         let report = ssd.run(&trace);
         assert_eq!(report.requests_completed, 1);
-        assert!((report.write_response_us.mean() - 716.0).abs() < 1.0,
-            "write = {} µs", report.write_response_us.mean());
+        assert!(
+            (report.write_response_us.mean() - 716.0).abs() < 1.0,
+            "write = {} µs",
+            report.write_response_us.mean()
+        );
     }
 
     #[test]
@@ -1074,8 +1134,11 @@ mod tests {
         let report = ssd.run(&trace);
         // At (1K, 0 months) the mean retry count is ~1.5, so the single hot
         // read needs only a few steps, far below the cold ~16.5 (Fig. 5).
-        assert!(report.avg_retry_steps() <= 4.0,
-            "hot read took {} steps", report.avg_retry_steps());
+        assert!(
+            report.avg_retry_steps() <= 4.0,
+            "hot read took {} steps",
+            report.avg_retry_steps()
+        );
     }
 
     #[test]
@@ -1098,8 +1161,11 @@ mod tests {
         assert_eq!(report.suspensions, 1, "the read should suspend the program");
         // The read waited ~t_suspend, not the full remaining program time:
         // response ≈ suspend(20) + tR(78) + 16 + 20 ≈ 134 µs ≪ 700.
-        assert!(report.read_response_us.mean() < 300.0,
-            "read = {} µs", report.read_response_us.mean());
+        assert!(
+            report.read_response_us.mean() < 300.0,
+            "read = {} µs",
+            report.read_response_us.mean()
+        );
     }
 
     #[test]
@@ -1132,12 +1198,14 @@ mod tests {
         // Hammer overwrites on a small hot range to generate invalid pages,
         // then keep writing to force allocation past the free pool.
         let trace: Vec<HostRequest> = (0..3000)
-            .map(|i| HostRequest::new(
-                SimTime::from_us(i * 40),
-                IoOp::Write,
-                (i * 7) % (footprint / 4),
-                1,
-            ))
+            .map(|i| {
+                HostRequest::new(
+                    SimTime::from_us(i * 40),
+                    IoOp::Write,
+                    (i * 7) % (footprint / 4),
+                    1,
+                )
+            })
             .collect();
         let report = ssd.run(&trace);
         assert_eq!(report.requests_completed, 3000);

@@ -31,7 +31,9 @@ impl Normal {
     /// parameter is not finite.
     pub fn new(mean: f64, sigma: f64) -> Result<Self, DistError> {
         if !mean.is_finite() || !sigma.is_finite() || sigma < 0.0 {
-            return Err(DistError::InvalidParam("normal requires finite mean and sigma >= 0"));
+            return Err(DistError::InvalidParam(
+                "normal requires finite mean and sigma >= 0",
+            ));
         }
         Ok(Self { mean, sigma })
     }
@@ -125,13 +127,22 @@ impl Zipf {
             return Err(DistError::InvalidParam("zipf requires n > 0"));
         }
         if !theta.is_finite() || theta <= 0.0 || (theta - 1.0).abs() < 1e-9 {
-            return Err(DistError::InvalidParam("zipf requires finite theta > 0, theta != 1"));
+            return Err(DistError::InvalidParam(
+                "zipf requires finite theta > 0, theta != 1",
+            ));
         }
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Ok(Self { n, theta, alpha, zetan, eta, zeta2 })
+        Ok(Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        })
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -231,17 +242,23 @@ impl Discrete {
     /// negative or non-finite value, or sums to zero.
     pub fn new(weights: &[f64]) -> Result<Self, DistError> {
         if weights.is_empty() {
-            return Err(DistError::InvalidParam("discrete requires at least one weight"));
+            return Err(DistError::InvalidParam(
+                "discrete requires at least one weight",
+            ));
         }
         let mut total = 0.0;
         for &w in weights {
             if !w.is_finite() || w < 0.0 {
-                return Err(DistError::InvalidParam("discrete weights must be finite and >= 0"));
+                return Err(DistError::InvalidParam(
+                    "discrete weights must be finite and >= 0",
+                ));
             }
             total += w;
         }
         if total <= 0.0 {
-            return Err(DistError::InvalidParam("discrete weights must not sum to zero"));
+            return Err(DistError::InvalidParam(
+                "discrete weights must not sum to zero",
+            ));
         }
         let mut acc = 0.0;
         let cumulative = weights
@@ -303,8 +320,8 @@ mod tests {
         let n = Normal::new(5.0, 2.0).unwrap();
         let samples: Vec<f64> = (0..50_000).map(|_| n.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.15, "var {var}");
     }

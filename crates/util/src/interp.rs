@@ -153,7 +153,10 @@ impl std::error::Error for GridError {}
 ///
 /// Panics if the tables are empty or of different lengths.
 pub fn lerp_table(xs: &[f64], ys: &[f64], x: f64) -> f64 {
-    assert!(!xs.is_empty() && xs.len() == ys.len(), "tables must be equal-length and non-empty");
+    assert!(
+        !xs.is_empty() && xs.len() == ys.len(),
+        "tables must be equal-length and non-empty"
+    );
     if x <= xs[0] {
         return ys[0];
     }

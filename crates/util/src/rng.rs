@@ -80,7 +80,10 @@ impl Rng {
     /// without storing per-page RNG state.
     pub fn fork(&self, id: u64) -> Self {
         let a = mix64(self.s[0] ^ self.s[2], id);
-        let b = mix64(self.s[1] ^ self.s[3], id.rotate_left(32) ^ 0xA5A5_A5A5_A5A5_A5A5);
+        let b = mix64(
+            self.s[1] ^ self.s[3],
+            id.rotate_left(32) ^ 0xA5A5_A5A5_A5A5_A5A5,
+        );
         Self::seed_from_u64(a ^ b.rotate_left(13))
     }
 

@@ -121,7 +121,10 @@ pub struct Percentiles {
 impl Percentiles {
     /// Creates an empty collection.
     pub fn new() -> Self {
-        Self { samples: Vec::new(), sorted: true }
+        Self {
+            samples: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Adds one observation.
@@ -155,8 +158,8 @@ impl Percentiles {
                 .sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
             self.sorted = true;
         }
-        let idx = ((q * (self.samples.len() - 1) as f64).round() as usize)
-            .min(self.samples.len() - 1);
+        let idx =
+            ((q * (self.samples.len() - 1) as f64).round() as usize).min(self.samples.len() - 1);
         Some(self.samples[idx])
     }
 }
@@ -176,7 +179,11 @@ pub struct Histogram {
 impl Histogram {
     /// Creates a histogram with bins `0..len`; larger values land in overflow.
     pub fn new(len: usize) -> Self {
-        Self { bins: vec![0; len], overflow: 0, total: 0 }
+        Self {
+            bins: vec![0; len],
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Records one observation of `value`.

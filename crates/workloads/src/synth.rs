@@ -120,7 +120,8 @@ impl SynthConfig {
     /// Panics if the configuration is invalid (call [`Self::validate`] for a
     /// `Result`).
     pub fn generate(&self) -> Trace {
-        self.validate().expect("invalid synthetic workload configuration");
+        self.validate()
+            .expect("invalid synthetic workload configuration");
         let mut rng = Rng::seed_from_u64(self.seed);
 
         // Hot region sizing: small enough that the workload's writes cover
@@ -183,7 +184,9 @@ impl SynthConfig {
             } else {
                 let lpn = if self.rmw {
                     // Read-modify-write: update what was just read when possible.
-                    last_hot_read.take().unwrap_or_else(|| hot_zipf.sample(&mut rng))
+                    last_hot_read
+                        .take()
+                        .unwrap_or_else(|| hot_zipf.sample(&mut rng))
                 } else {
                     hot_zipf.sample(&mut rng)
                 };
@@ -291,9 +294,10 @@ mod tests {
         let t = cfg.generate();
         // Find at least one write that targets the immediately preceding
         // read's page.
-        let paired = t.requests.windows(2).any(|w| {
-            w[0].op == IoOp::Read && w[1].op == IoOp::Write && w[0].lpn == w[1].lpn
-        });
+        let paired = t
+            .requests
+            .windows(2)
+            .any(|w| w[0].op == IoOp::Read && w[1].op == IoOp::Write && w[0].lpn == w[1].lpn);
         assert!(paired, "RMW workloads pair updates with reads");
     }
 

@@ -20,7 +20,11 @@ impl Trace {
     /// # Panics
     ///
     /// Panics if any request exceeds the footprint.
-    pub fn new(name: impl Into<String>, mut requests: Vec<HostRequest>, footprint_pages: u64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        mut requests: Vec<HostRequest>,
+        footprint_pages: u64,
+    ) -> Self {
         requests.sort_by_key(|r| r.arrival);
         for r in &requests {
             assert!(
@@ -29,7 +33,11 @@ impl Trace {
                 r.lpn
             );
         }
-        Self { name: name.into(), requests, footprint_pages }
+        Self {
+            name: name.into(),
+            requests,
+            footprint_pages,
+        }
     }
 
     /// Number of requests.
@@ -77,7 +85,11 @@ impl Trace {
             } else {
                 reads as f64 / (reads + writes) as f64
             },
-            cold_ratio: if reads == 0 { 0.0 } else { cold_reads as f64 / reads as f64 },
+            cold_ratio: if reads == 0 {
+                0.0
+            } else {
+                cold_reads as f64 / reads as f64
+            },
         }
     }
 }
@@ -106,7 +118,9 @@ struct FootprintSet {
 
 impl FootprintSet {
     fn new(footprint: u64) -> Self {
-        Self { bits: vec![0; (footprint as usize).div_ceil(64)] }
+        Self {
+            bits: vec![0; (footprint as usize).div_ceil(64)],
+        }
     }
 
     fn insert(&mut self, lpn: u64) {
@@ -132,10 +146,10 @@ mod tests {
         let trace = Trace::new(
             "t",
             vec![
-                req(0, IoOp::Write, 0, 1),   // page 0 written
-                req(1, IoOp::Read, 0, 1),    // hot read (page updated in trace)
-                req(2, IoOp::Read, 10, 1),   // cold read
-                req(3, IoOp::Read, 20, 2),   // cold read (2 pages, untouched)
+                req(0, IoOp::Write, 0, 1), // page 0 written
+                req(1, IoOp::Read, 0, 1),  // hot read (page updated in trace)
+                req(2, IoOp::Read, 10, 1), // cold read
+                req(3, IoOp::Read, 20, 2), // cold read (2 pages, untouched)
             ],
             100,
         );

@@ -156,6 +156,9 @@ mod tests {
     #[test]
     fn workload_names() {
         let names: Vec<_> = YcsbWorkload::ALL.iter().map(|w| w.name()).collect();
-        assert_eq!(names, vec!["YCSB-A", "YCSB-B", "YCSB-C", "YCSB-D", "YCSB-E", "YCSB-F"]);
+        assert_eq!(
+            names,
+            vec!["YCSB-A", "YCSB-B", "YCSB-C", "YCSB-D", "YCSB-E", "YCSB-F"]
+        );
     }
 }

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 use rr_sim::request::IoOp;
+use rr_workloads::msrc::MsrcWorkload;
 use rr_workloads::synth::{HotReadBias, SynthConfig};
+use rr_workloads::ycsb::YcsbWorkload;
 
 fn config(
     rr: f64,
@@ -19,7 +21,11 @@ fn config(
     cfg.cold_ratio = cr;
     cfg.n_requests = n;
     cfg.seed = seed;
-    cfg.hot_read_bias = if latest { HotReadBias::Latest } else { HotReadBias::Popularity };
+    cfg.hot_read_bias = if latest {
+        HotReadBias::Latest
+    } else {
+        HotReadBias::Popularity
+    };
     cfg.rmw = rmw;
     cfg.scan_max_pages = scans.then_some(8);
     cfg
@@ -53,6 +59,55 @@ proptest! {
             prop_assert!(r.lpn + r.len_pages as u64 <= trace.footprint_pages);
             prop_assert!(r.len_pages >= 1);
         }
+    }
+
+    /// Table 2 contract for the named MSRC workloads: a synthesized trace of
+    /// arbitrary length and seed measures the paper's read/cold ratios
+    /// within tolerance (looser on short traces, where sampling noise
+    /// dominates).
+    #[test]
+    fn msrc_synthesis_hits_table2_ratios(
+        w in prop::sample::select(MsrcWorkload::ALL.to_vec()),
+        len in 1_000usize..6_000,
+        seed in any::<u64>(),
+    ) {
+        let (paper_rr, paper_cr) = w.table2_ratios();
+        let stats = w.synthesize(len, seed).stats();
+        let tol = 0.03 + 40.0 / len as f64;
+        prop_assert_eq!(stats.requests as usize, len);
+        prop_assert!(
+            (stats.read_ratio - paper_rr).abs() < tol,
+            "{:?}: read ratio {:.3} vs Table-2 {:.2} (len {}, tol {:.3})",
+            w, stats.read_ratio, paper_rr, len, tol
+        );
+        prop_assert!(
+            (stats.cold_ratio - paper_cr).abs() < tol + 0.03,
+            "{:?}: cold ratio {:.3} vs Table-2 {:.2} (len {}, tol {:.3})",
+            w, stats.cold_ratio, paper_cr, len, tol + 0.03
+        );
+    }
+
+    /// Table 2 contract for the YCSB workloads, same tolerances.
+    #[test]
+    fn ycsb_synthesis_hits_table2_ratios(
+        w in prop::sample::select(YcsbWorkload::ALL.to_vec()),
+        len in 1_000usize..6_000,
+        seed in any::<u64>(),
+    ) {
+        let (paper_rr, paper_cr) = w.table2_ratios();
+        let stats = w.synthesize(len, seed).stats();
+        let tol = 0.03 + 40.0 / len as f64;
+        prop_assert_eq!(stats.requests as usize, len);
+        prop_assert!(
+            (stats.read_ratio - paper_rr).abs() < tol,
+            "{:?}: read ratio {:.3} vs Table-2 {:.2} (len {}, tol {:.3})",
+            w, stats.read_ratio, paper_rr, len, tol
+        );
+        prop_assert!(
+            (stats.cold_ratio - paper_cr).abs() < tol + 0.03,
+            "{:?}: cold ratio {:.3} vs Table-2 {:.2} (len {}, tol {:.3})",
+            w, stats.cold_ratio, paper_cr, len, tol + 0.03
+        );
     }
 
     #[test]

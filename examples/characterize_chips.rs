@@ -15,7 +15,10 @@ fn main() {
     let mut platform = TestPlatform::new(32, 2024);
 
     println!("== Fig. 5 — retry steps per read ==");
-    println!("{:>10} {:>8} {:>10} {:>5} {:>5} {:>10}", "P/E", "months", "mean", "min", "max", "P(>=7)");
+    println!(
+        "{:>10} {:>8} {:>10} {:>5} {:>5} {:>10}",
+        "P/E", "months", "mean", "min", "max", "P(>=7)"
+    );
     for cell in figures::fig5(&platform, 128) {
         if [0.0, 3.0, 6.0, 12.0].contains(&cell.months) {
             println!(
@@ -31,7 +34,10 @@ fn main() {
     }
 
     println!("\n== Fig. 7 — ECC-capability margin in the final retry step ==");
-    println!("{:>8} {:>10} {:>8} {:>8} {:>8}", "temp", "P/E", "months", "M_ERR", "margin");
+    println!(
+        "{:>8} {:>10} {:>8} {:>8} {:>8}",
+        "temp", "P/E", "months", "M_ERR", "margin"
+    );
     for cell in figures::fig7(&mut platform, 128) {
         if cell.months == 12.0 {
             println!(
@@ -44,7 +50,10 @@ fn main() {
 
     println!("\n== Fig. 11 → RPT — how far AR2 may cut tPRE ==");
     let rpt = ReadTimingParamTable::default();
-    println!("{:>12} {:>12} {:>10} {:>10}", "PEC bucket", "ret bucket", "ΔtPRE", "tR cut");
+    println!(
+        "{:>12} {:>12} {:>10} {:>10}",
+        "PEC bucket", "ret bucket", "ΔtPRE", "tR cut"
+    );
     for row in rpt.rows().iter().take(12) {
         let rho = {
             use ssd_readretry::flash::timing::SensePhases;
@@ -54,8 +63,13 @@ fn main() {
         };
         println!(
             "{:>12} {:>12} {:>9.0}% {:>9.1}%",
-            if row.pec_max.is_finite() { format!("<{}", row.pec_max as u64) } else { "max".into() },
-            if row.retention_months_max.is_finite() {
+            // `f64::MAX` is the table's open-ended bucket sentinel.
+            if row.pec_max < f64::MAX {
+                format!("<{}", row.pec_max as u64)
+            } else {
+                "max".into()
+            },
+            if row.retention_months_max < f64::MAX {
                 format!("<{:.2}mo", row.retention_months_max)
             } else {
                 "max".into()
@@ -64,5 +78,9 @@ fn main() {
             rho * 100.0,
         );
     }
-    println!("... ({} rows total, {} bytes on-device)", rpt.rows().len(), rpt.storage_bytes());
+    println!(
+        "... ({} rows total, {} bytes on-device)",
+        rpt.rows().len(),
+        rpt.storage_bytes()
+    );
 }

@@ -26,11 +26,23 @@ fn main() {
 
     let cal = Calibration::asplos21();
     let scenarios = [
-        ("fresh page, final step", OperatingCondition::new(0.0, 0.0, 30.0)),
-        ("(1K P/E, 12 mo) @ 30 °C", OperatingCondition::new(1000.0, 12.0, 30.0)),
-        ("(2K P/E, 12 mo) @ 30 °C — worst case", OperatingCondition::new(2000.0, 12.0, 30.0)),
+        (
+            "fresh page, final step",
+            OperatingCondition::new(0.0, 0.0, 30.0),
+        ),
+        (
+            "(1K P/E, 12 mo) @ 30 °C",
+            OperatingCondition::new(1000.0, 12.0, 30.0),
+        ),
+        (
+            "(2K P/E, 12 mo) @ 30 °C — worst case",
+            OperatingCondition::new(2000.0, 12.0, 30.0),
+        ),
     ];
-    println!("{:<40} {:>8} {:>10} {:>10}", "scenario", "errors", "corrected", "margin");
+    println!(
+        "{:<40} {:>8} {:>10} {:>10}",
+        "scenario", "errors", "corrected", "margin"
+    );
     for (name, cond) in scenarios {
         let m_err = cal.m_err(cond).round() as usize;
         let mut corrupted = clean.clone();
@@ -43,7 +55,11 @@ fn main() {
             }
         }
         let report = code.decode(&mut corrupted).expect("within capability");
-        assert_eq!(code.extract_data_bytes(&corrupted), payload, "payload intact");
+        assert_eq!(
+            code.extract_data_bytes(&corrupted),
+            payload,
+            "payload intact"
+        );
         println!(
             "{:<40} {:>8} {:>10} {:>10}",
             name,
@@ -60,7 +76,10 @@ fn main() {
     }
     match code.decode(&mut corrupted) {
         Err(e) => println!("\n73 errors: decode fails ({e}) → the SSD starts a read-retry."),
-        Ok(r) => println!("\n73 errors: bounded-distance decode mis-corrected ({} flips)", r.corrected),
+        Ok(r) => println!(
+            "\n73 errors: bounded-distance decode mis-corrected ({} flips)",
+            r.corrected
+        ),
     }
     println!(
         "\nEven at the worst prescribed operating point the final retry step\n\

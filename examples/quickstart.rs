@@ -22,7 +22,10 @@ fn main() {
         "workload {} — {} requests, read ratio {:.2}, cold ratio {:.2}",
         trace.name, stats.requests, stats.read_ratio, stats.cold_ratio
     );
-    println!("operating point: {} P/E cycles, {} months retention\n", point.pec, point.retention_months);
+    println!(
+        "operating point: {} P/E cycles, {} months retention\n",
+        point.pec, point.retention_months
+    );
 
     let mechanisms = [
         Mechanism::Baseline,
@@ -32,7 +35,10 @@ fn main() {
         Mechanism::NoRR,
     ];
     let mut baseline_rt = None;
-    println!("{:<10} {:>14} {:>12} {:>14} {:>10}", "mechanism", "avg resp (µs)", "normalized", "avg retries", "resets");
+    println!(
+        "{:<10} {:>14} {:>12} {:>14} {:>10}",
+        "mechanism", "avg resp (µs)", "normalized", "avg retries", "resets"
+    );
     for m in mechanisms {
         let report = run_one(&base, m, point, &trace, &rpt);
         let rt = report.avg_response_us();

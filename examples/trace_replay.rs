@@ -49,8 +49,14 @@ fn main() {
     let base = SsdConfig::scaled_for_tests();
     let rpt = ReadTimingParamTable::default();
     let point = OperatingPoint::new(1000.0, 6.0);
-    println!("replaying at ({} P/E cycles, {} months cold-data retention):\n", point.pec, point.retention_months);
-    println!("{:<10} {:>14} {:>12} {:>12} {:>12}", "mechanism", "avg resp (µs)", "p99 (µs)", "avg steps", "senses");
+    println!(
+        "replaying at ({} P/E cycles, {} months cold-data retention):\n",
+        point.pec, point.retention_months
+    );
+    println!(
+        "{:<10} {:>14} {:>12} {:>12} {:>12}",
+        "mechanism", "avg resp (µs)", "p99 (µs)", "avg steps", "senses"
+    );
     for m in [
         Mechanism::Baseline,
         Mechanism::Pr2,

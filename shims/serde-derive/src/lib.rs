@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`: the workspace builds without network
+//! access to a crate registry, so the real derive macros are replaced by
+//! no-ops. The workspace only ever *derives* `Serialize`/`Deserialize` (it
+//! never serializes through a serde data format, nor bounds generics on the
+//! traits), so an empty expansion is sufficient and keeps every
+//! `#[derive(Serialize, Deserialize)]` in the modelling crates compiling
+//! unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde`: the workspace builds without network access to a
+//! crate registry, so the real crate is replaced by the minimal surface the
+//! code uses — the two derive macros (re-exported, expanding to nothing) and
+//! the two trait names (empty marker traits, for symmetry with the real
+//! crate's namespace layout). Swap this path dependency for the real
+//! `serde = { version = "1", features = ["derive"] }` when registry access is
+//! available; no source change is needed.
+
+// Derive macros live in the macro namespace, the traits below in the type
+// namespace — both can be imported by one `use serde::{Serialize,
+// Deserialize}` exactly like the real crate.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

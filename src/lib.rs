@@ -42,7 +42,9 @@ pub use rr_workloads as workloads;
 /// The most common imports in one place.
 pub mod prelude {
     pub use rr_charact::platform::TestPlatform;
-    pub use rr_core::experiment::{run_matrix, run_one, Mechanism, OperatingPoint};
+    pub use rr_core::experiment::{
+        run_matrix, run_matrix_parallel, run_one, Mechanism, OperatingPoint,
+    };
     pub use rr_core::rpt::ReadTimingParamTable;
     pub use rr_core::{Ar2Controller, PnAr2Controller, Pr2Controller, PsoController};
     pub use rr_ecc::engine::{BchEccEngine, EccEngineModel, EccOutcome};

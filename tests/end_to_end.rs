@@ -168,7 +168,10 @@ fn no_read_failures_under_normal_operation() {
     // table.
     let cfg = base_cfg();
     let rpt = ReadTimingParamTable::default();
-    for point in [OperatingPoint::new(1000.0, 6.0), OperatingPoint::new(2000.0, 12.0)] {
+    for point in [
+        OperatingPoint::new(1000.0, 6.0),
+        OperatingPoint::new(2000.0, 12.0),
+    ] {
         for m in [Mechanism::Baseline, Mechanism::PnAr2, Mechanism::PsoPnAr2] {
             let trace = MsrcWorkload::Prn1.synthesize(1_000, 8);
             let r = run_one(&cfg, m, point, &trace, &rpt);

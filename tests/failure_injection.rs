@@ -26,7 +26,8 @@ fn outliers_still_complete_under_ar2_fallback() {
     for m in [Mechanism::Ar2, Mechanism::PnAr2] {
         let report = run_one(&cfg, m, point, &trace, &rpt);
         assert_eq!(
-            report.read_failures, 0,
+            report.read_failures,
+            0,
             "{}: outliers must fall back to default timing, not fail",
             m.name()
         );

@@ -1,0 +1,55 @@
+//! Fig. 14 sanity: at an aged operating point the mechanism ordering
+//! `NoRR ≤ PnAR2 ≤ min(AR2, PR2) ≤ Baseline` must hold for every workload —
+//! pipelining alone helps, adaptation alone helps, their combination beats
+//! either, and the ideal no-retry SSD bounds everything from below.
+
+use ssd_readretry::prelude::*;
+
+/// Average response time of `mechanism` on `trace` at the aged (2K P/E,
+/// 12-month) point the paper highlights.
+fn avg_rt(trace: &Trace, mechanism: Mechanism) -> f64 {
+    let cfg = SsdConfig::scaled_for_tests();
+    let rpt = ReadTimingParamTable::default();
+    let point = OperatingPoint::new(2000.0, 12.0);
+    run_one(&cfg, mechanism, point, trace, &rpt).avg_response_us()
+}
+
+#[test]
+fn fig14_ordering_holds_across_workloads_at_aged_point() {
+    // Two read-dominant MSRC traces, one write-dominant MSRC trace, and one
+    // YCSB trace: ≥ 3 distinct workloads as the Fig. 14 sanity check asks.
+    let traces = vec![
+        MsrcWorkload::Mds1.synthesize(1_200, 42),
+        MsrcWorkload::Usr1.synthesize(1_200, 42),
+        MsrcWorkload::Stg0.synthesize(1_200, 42),
+        YcsbWorkload::C.synthesize(1_200, 42),
+    ];
+    for trace in &traces {
+        let baseline = avg_rt(trace, Mechanism::Baseline);
+        let pr2 = avg_rt(trace, Mechanism::Pr2);
+        let ar2 = avg_rt(trace, Mechanism::Ar2);
+        let pnar2 = avg_rt(trace, Mechanism::PnAr2);
+        let norr = avg_rt(trace, Mechanism::NoRR);
+        let name = &trace.name;
+        assert!(
+            norr <= pnar2,
+            "{name}: ideal NoRR ({norr:.1} µs) must lower-bound PnAR2 ({pnar2:.1} µs)"
+        );
+        assert!(
+            pnar2 <= pr2.min(ar2),
+            "{name}: PnAR2 ({pnar2:.1} µs) must beat min(AR2, PR2) ({:.1} µs)",
+            pr2.min(ar2)
+        );
+        assert!(
+            pr2.min(ar2) <= baseline,
+            "{name}: min(AR2, PR2) ({:.1} µs) must beat Baseline ({baseline:.1} µs)",
+            pr2.min(ar2)
+        );
+        // The inequalities must be strict in aggregate: deep-retry pages
+        // exist at (2K, 12 mo), so each mechanism buys real latency.
+        assert!(
+            pnar2 < baseline,
+            "{name}: PnAR2 must strictly beat Baseline"
+        );
+    }
+}

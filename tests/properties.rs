@@ -3,11 +3,11 @@
 //! hand-picked cases of the unit tests.
 
 use proptest::prelude::*;
-use ssd_readretry::prelude::*;
 use ssd_readretry::ecc::bch::BchCode;
 use ssd_readretry::flash::calibration::{Calibration, OperatingCondition};
 use ssd_readretry::flash::error_model::{ErrorModel, PageId};
 use ssd_readretry::flash::timing::SensePhases;
+use ssd_readretry::prelude::*;
 // proptest's prelude also exports a `Rng` trait; disambiguate ours.
 use ssd_readretry::util::rng::Rng as SimRng;
 

@@ -6,8 +6,8 @@ use ssd_readretry::charact::figures::max_safe_reduction;
 use ssd_readretry::charact::platform::TestPlatform;
 use ssd_readretry::core::rpt::ReadTimingParamTable;
 use ssd_readretry::flash::calibration::Calibration;
-use ssd_readretry::flash::timing::SensePhases;
 use ssd_readretry::flash::calibration::{ECC_CAPABILITY_PER_KIB, RPT_SAFETY_MARGIN_BITS};
+use ssd_readretry::flash::timing::SensePhases;
 
 #[test]
 fn measured_profile_matches_analytic_rpt() {
@@ -55,5 +55,8 @@ fn measured_profile_matches_analytic_rpt() {
     }
 
     let reduction_profiled = max_safe_reduction(&platform, &pages, 2000.0, 12.0).0;
-    assert!((0.38..=0.44).contains(&reduction_profiled), "worst bucket ≈ 40 %");
+    assert!(
+        (0.38..=0.44).contains(&reduction_profiled),
+        "worst bucket ≈ 40 %"
+    );
 }
