@@ -1,11 +1,14 @@
 //! Benches for the system-level evaluation figures: `fig14` (one group per
 //! mechanism) and `fig15` (PSO composition), plus `table2` (workload
-//! generation + statistics) and `matrix` (the serial vs. parallel
-//! experiment-matrix runner). Each iteration performs one full
-//! simulator run of a representative workload cell.
+//! generation + statistics), `matrix` (the serial vs. parallel
+//! experiment-matrix runner), and `sweep_qd` (closed-loop replay cost vs.
+//! queue depth). Each iteration performs one full simulator run of a
+//! representative workload cell.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rr_bench::{matrix_traces, run_bench_matrix, run_mechanism, Mechanism};
+use rr_bench::{
+    matrix_traces, run_bench_matrix, run_mechanism, run_mechanism_closed_loop, Mechanism,
+};
 use rr_workloads::msrc::MsrcWorkload;
 use rr_workloads::ycsb::YcsbWorkload;
 use std::hint::black_box;
@@ -78,5 +81,29 @@ fn matrix(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, table2, fig14, fig15, matrix);
+/// Closed-loop replay at increasing queue depth. The simulated work is the
+/// same trace; what grows with QD is event-queue pressure (more overlapping
+/// transactions), so this group tracks the scheduler's wall-clock scaling
+/// with device load. The reported per-class tails (p50…p99.9) come along
+/// for free in the returned report.
+fn sweep_qd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_qd");
+    g.sample_size(10);
+    let trace = YcsbWorkload::C.synthesize(600, 3);
+    for qd in [1u32, 8, 32] {
+        g.bench_function(format!("YCSB-C/Baseline/qd={qd}"), |b| {
+            b.iter_batched(
+                || trace.clone(),
+                |t| {
+                    let report = run_mechanism_closed_loop(Mechanism::Baseline, &t, qd);
+                    black_box(report.read_latency.p999)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, table2, fig14, fig15, matrix, sweep_qd);
 criterion_main!(benches);

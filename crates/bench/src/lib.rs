@@ -6,10 +6,13 @@
 //! per table/figure (`table1`, `table2`, `fig4b` … `fig15`) plus micro-benches
 //! for the hot substrate paths.
 
-use rr_core::experiment::{run_matrix_parallel, run_one, MatrixCell, OperatingPoint};
+use rr_core::experiment::{
+    run_matrix_parallel, run_one, run_one_with_mode, MatrixCell, OperatingPoint,
+};
 use rr_core::rpt::ReadTimingParamTable;
 use rr_sim::config::SsdConfig;
 use rr_sim::metrics::SimReport;
+use rr_sim::replay::ReplayMode;
 use rr_workloads::msrc::MsrcWorkload;
 use rr_workloads::trace::Trace;
 use rr_workloads::ycsb::YcsbWorkload;
@@ -32,6 +35,25 @@ pub fn run_mechanism(mechanism: Mechanism, trace: &Trace) -> SimReport {
     let cfg = bench_config();
     let rpt = ReadTimingParamTable::default();
     run_one(&cfg, mechanism, bench_point(), trace, &rpt)
+}
+
+/// Runs one mechanism over a trace closed-loop at `queue_depth` outstanding
+/// requests (the `sweep_qd` bench group's unit of work).
+pub fn run_mechanism_closed_loop(
+    mechanism: Mechanism,
+    trace: &Trace,
+    queue_depth: u32,
+) -> SimReport {
+    let cfg = bench_config();
+    let rpt = ReadTimingParamTable::default();
+    run_one_with_mode(
+        &cfg,
+        mechanism,
+        bench_point(),
+        trace,
+        &rpt,
+        ReplayMode::closed_loop(queue_depth),
+    )
 }
 
 /// A reduced Fig. 14-style workload set for the matrix-runner benches: four
@@ -68,6 +90,14 @@ mod tests {
         let trace = YcsbWorkload::C.synthesize(200, 1);
         let report = run_mechanism(Mechanism::PnAr2, &trace);
         assert_eq!(report.requests_completed, 200);
+    }
+
+    #[test]
+    fn closed_loop_helper_reports_tails() {
+        let trace = YcsbWorkload::C.synthesize(150, 1);
+        let report = run_mechanism_closed_loop(Mechanism::Baseline, &trace, 8);
+        assert_eq!(report.requests_completed, 150);
+        assert!(report.read_latency.p999.is_some());
     }
 
     #[test]

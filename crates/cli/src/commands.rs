@@ -1,13 +1,16 @@
 //! One function per regenerated table/figure.
 
-use crate::render::{markdown_table, pct, shade};
+use crate::render::{markdown_table, pct, shade, us_opt};
 use rr_charact::figures::{self, TimingParam};
 use rr_charact::platform::TestPlatform;
-use rr_core::experiment::{reduction_vs, run_matrix_parallel, Mechanism, OperatingPoint};
+use rr_core::experiment::{
+    reduction_vs, run_matrix_parallel, run_qd_sweep, Mechanism, OperatingPoint,
+};
 use rr_core::rpt::ReadTimingParamTable;
 use rr_flash::calibration::ECC_CAPABILITY_PER_KIB;
 use rr_flash::timing::NandTimings;
 use rr_sim::config::SsdConfig;
+use rr_sim::metrics::LatencySummary;
 use rr_workloads::msrc::MsrcWorkload;
 use rr_workloads::trace::Trace;
 use rr_workloads::ycsb::YcsbWorkload;
@@ -21,6 +24,8 @@ pub struct Options {
     /// Worker threads for the evaluation matrices (1 = serial; any value
     /// produces identical results).
     pub jobs: usize,
+    /// Closed-loop queue depths for `sweep-qd`.
+    pub queue_depths: Vec<u32>,
 }
 
 impl Options {
@@ -505,12 +510,15 @@ fn print_matrix(cells: &[rr_core::experiment::MatrixCell], mechanisms: &[Mechani
     let mut header = vec!["workload".into(), "PEC".into(), "t_RET".into()];
     header.extend(mechanisms.iter().map(|m| m.name().to_string()));
     let mut rows = Vec::new();
+    let mut p99_rows = Vec::new();
     for (w, pec, months) in keys {
-        let mut row = vec![
+        let key = vec![
             w.clone(),
             format!("{}", pec as u64),
             format!("{} mo", months as u64),
         ];
+        let mut row = key.clone();
+        let mut p99_row = key;
         for m in mechanisms {
             let cell = cells
                 .iter()
@@ -522,10 +530,14 @@ fn print_matrix(cells: &[rr_core::experiment::MatrixCell], mechanisms: &[Mechani
                 })
                 .expect("matrix is complete");
             row.push(format!("{:.3}", cell.normalized));
+            p99_row.push(us_opt(cell.read_latency.p99));
         }
         rows.push(row);
+        p99_rows.push(p99_row);
     }
     print!("{}", markdown_table(&header, &rows));
+    println!("\nread p99 (µs; — = no reads in the workload):");
+    print!("{}", markdown_table(&header, &p99_rows));
 }
 
 /// Fig. 14: normalized response time of the five SSD configurations.
@@ -573,6 +585,102 @@ pub fn fig15(opts: &Options) {
         "PSO+PnAR2 vs PSO (all workloads): avg {} / max {}",
         pct(s_all.mean),
         pct(s_all.max)
+    );
+}
+
+/// Queue-depth sweep: closed-loop replay at each configured queue depth,
+/// reporting full per-class latency distributions and throughput.
+pub fn sweep_qd(opts: &Options) {
+    heading(
+        "QD sweep — closed-loop tail latency vs. queue depth",
+        "load as a first-class knob: fio-style --iodepth sweep of the §7.1 SSD at the (2K, 6 mo) highlight point",
+    );
+    let base = SsdConfig::scaled_for_tests().with_seed(opts.seed);
+    // One MSRC and one YCSB workload (the full evaluation suite's two trace
+    // families); --quick keeps a single workload for smoke runs.
+    let mut traces = vec![MsrcWorkload::Mds1.synthesize(opts.trace_len(), opts.seed)];
+    if !opts.quick {
+        traces.push(YcsbWorkload::C.synthesize(opts.trace_len(), opts.seed));
+    }
+    let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2];
+    let point = OperatingPoint::new(2000.0, 6.0);
+    let cells = run_qd_sweep(
+        &base,
+        &traces,
+        point,
+        &opts.queue_depths,
+        &mechanisms,
+        opts.jobs,
+    );
+
+    let class_row = |label: &str, s: &LatencySummary| {
+        vec![
+            label.to_string(),
+            s.count.to_string(),
+            us_opt(s.p50),
+            us_opt(s.p95),
+            us_opt(s.p99),
+            us_opt(s.p999),
+        ]
+    };
+    println!("latency distributions (µs; — = class empty in this run):");
+    let mut rows = Vec::new();
+    for c in &cells {
+        let prefix = format!("{} / {} / QD={}", c.workload, c.mechanism, c.queue_depth);
+        for (label, s) in [
+            ("reads", &c.reads),
+            ("writes", &c.writes),
+            ("retried reads", &c.retried_reads),
+        ] {
+            let mut row = vec![prefix.clone()];
+            row.extend(class_row(label, s));
+            rows.push(row);
+        }
+    }
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "run".into(),
+                "class".into(),
+                "n".into(),
+                "p50".into(),
+                "p95".into(),
+                "p99".into(),
+                "p99.9".into(),
+            ],
+            &rows
+        )
+    );
+
+    println!("\nthroughput and means:");
+    let mut rows = Vec::new();
+    for c in &cells {
+        rows.push(vec![
+            c.workload.clone(),
+            c.mechanism.clone(),
+            c.queue_depth.to_string(),
+            format!("{:.1}", c.avg_response_us),
+            format!("{:.2}", c.kiops),
+        ]);
+    }
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "workload".into(),
+                "mechanism".into(),
+                "QD".into(),
+                "avg resp (µs)".into(),
+                "kIOPS".into(),
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\n(closed-loop: trace timestamps ignored, QD requests kept outstanding;\n\
+         QD=1 is the serial-device reference — deeper queues trade latency for\n\
+         throughput via multi-die interleaving under channel contention)"
     );
 }
 

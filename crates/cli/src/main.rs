@@ -17,6 +17,7 @@
 //!   rpt      the derived Read-timing Parameter Table
 //!   fig14    response time: Baseline / PR2 / AR2 / PnAR2 / NoRR
 //!   fig15    response time: PSO vs. PSO+PnAR2
+//!   sweep-qd closed-loop tail latency vs. queue depth (--queue-depth list)
 //!   extensions  the §8 future-work mechanisms (Eager-PnAR2, AR2-Regular)
 //!   ablation    design-choice ablations (fixed vs adaptive tPRE, PSO guard)
 //!   all      everything above
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut seed = 0x5EED_2021u64;
     let mut jobs = 1usize;
+    let mut queue_depths = vec![1u32, 4, 16];
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -57,6 +59,23 @@ fn main() -> ExitCode {
                 };
                 jobs = v;
             }
+            "--queue-depth" | "--qd" => {
+                i += 1;
+                let parsed: Option<Option<Vec<u32>>> = args.get(i).map(|s| {
+                    s.split(',')
+                        .map(|d| d.trim().parse::<u32>().ok().filter(|&v| v >= 1))
+                        .collect::<Option<Vec<u32>>>()
+                });
+                let Some(Some(v)) = parsed else {
+                    eprintln!("--queue-depth requires a comma-separated list of integers >= 1 (e.g. 1,4,16)");
+                    return ExitCode::FAILURE;
+                };
+                if v.is_empty() {
+                    eprintln!("--queue-depth requires at least one depth");
+                    return ExitCode::FAILURE;
+                }
+                queue_depths = v;
+            }
             "--help" | "-h" => {
                 print_help();
                 return ExitCode::SUCCESS;
@@ -74,7 +93,12 @@ fn main() -> ExitCode {
         print_help();
         return ExitCode::FAILURE;
     };
-    let opts = commands::Options { quick, seed, jobs };
+    let opts = commands::Options {
+        quick,
+        seed,
+        jobs,
+        queue_depths,
+    };
     let run = |name: &str| -> bool {
         match name {
             "table1" => commands::table1(),
@@ -92,6 +116,7 @@ fn main() -> ExitCode {
             "export" => commands::export(&opts),
             "fig14" => commands::fig14(&opts),
             "fig15" => commands::fig15(&opts),
+            "sweep-qd" => commands::sweep_qd(&opts),
             _ => return false,
         }
         true
@@ -110,6 +135,7 @@ fn main() -> ExitCode {
             "rpt",
             "fig14",
             "fig15",
+            "sweep-qd",
             "extensions",
             "ablation",
         ] {
@@ -129,12 +155,13 @@ fn print_help() {
     println!(
         "repro — regenerate the ASPLOS'21 read-retry paper's tables and figures\n\
          \n\
-         usage: repro <command> [--quick] [--seed N] [--jobs N]\n\
+         usage: repro <command> [--quick] [--seed N] [--jobs N] [--queue-depth L]\n\
          \n\
-         commands: table1 table2 fig4b fig5 fig7 fig8 fig9 fig10 fig11 rpt fig14 fig15\n           extensions ablation export all\n\
+         commands: table1 table2 fig4b fig5 fig7 fig8 fig9 fig10 fig11 rpt fig14 fig15\n           sweep-qd extensions ablation export all\n\
          \n\
          --quick   smaller populations / traces (fast smoke run)\n\
          --seed N  deterministic seed (default 0x5EED2021)\n\
-         --jobs N  worker threads for the fig14/fig15/extensions matrices\n           (default 1; any N produces results identical to the serial run)"
+         --jobs N  worker threads for the fig14/fig15/sweep-qd/extensions matrices\n           (default 1; any N produces results identical to the serial run)\n\
+         --queue-depth L  comma-separated closed-loop queue depths for sweep-qd\n           (default 1,4,16; alias --qd)"
     );
 }

@@ -50,6 +50,15 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// Formats an optional latency in µs — `—` when the class has no samples
+/// (an empty class has no tail; rendering `0.0` would fabricate one).
+pub fn us_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.1}"),
+        None => "—".into(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +85,12 @@ mod tests {
     #[test]
     fn pct_format() {
         assert_eq!(pct(0.315), "31.5%");
+    }
+
+    #[test]
+    fn us_opt_renders_dash_for_empty_classes() {
+        assert_eq!(us_opt(Some(114.04)), "114.0");
+        assert_eq!(us_opt(None), "—");
     }
 
     #[test]

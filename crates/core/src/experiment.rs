@@ -11,8 +11,9 @@ use crate::pso::PsoController;
 use crate::rpt::ReadTimingParamTable;
 use rr_flash::calibration::OperatingCondition;
 use rr_sim::config::SsdConfig;
-use rr_sim::metrics::SimReport;
+use rr_sim::metrics::{LatencySummary, SimReport};
 use rr_sim::readflow::{BaselineController, RetryController};
+use rr_sim::replay::ReplayMode;
 use rr_sim::ssd::Ssd;
 use rr_workloads::trace::Trace;
 use serde::{Deserialize, Serialize};
@@ -129,7 +130,7 @@ impl OperatingPoint {
     }
 }
 
-/// Runs one mechanism on one trace at one operating point.
+/// Runs one mechanism on one trace at one operating point (open-loop).
 ///
 /// # Panics
 ///
@@ -142,6 +143,23 @@ pub fn run_one(
     trace: &Trace,
     rpt: &ReadTimingParamTable,
 ) -> SimReport {
+    run_one_with_mode(base, mechanism, point, trace, rpt, ReplayMode::OpenLoop)
+}
+
+/// Runs one mechanism on one trace at one operating point under an explicit
+/// replay mode (open-loop trace timestamps or closed-loop queue depth).
+///
+/// # Panics
+///
+/// Panics if the configuration, trace, or replay mode is invalid.
+pub fn run_one_with_mode(
+    base: &SsdConfig,
+    mechanism: Mechanism,
+    point: OperatingPoint,
+    trace: &Trace,
+    rpt: &ReadTimingParamTable,
+    mode: ReplayMode,
+) -> SimReport {
     let mut cfg = base.clone().with_condition(OperatingCondition::new(
         point.pec,
         point.retention_months,
@@ -150,7 +168,7 @@ pub fn run_one(
     cfg.ideal_no_retry = mechanism.is_ideal();
     let ssd = Ssd::new(cfg, mechanism.make_controller(rpt), trace.footprint_pages)
         .expect("experiment configuration must be valid");
-    ssd.run(&trace.requests)
+    ssd.run_with(&trace.requests, mode)
 }
 
 /// One cell of a Fig. 14/15-style matrix.
@@ -171,6 +189,9 @@ pub struct MatrixCell {
     pub normalized: f64,
     /// Average retry steps per read (diagnostic).
     pub avg_retry_steps: f64,
+    /// Read latency distribution (p50/p95/p99/p99.9, µs); quantiles are
+    /// `None` when the workload completed no reads.
+    pub read_latency: LatencySummary,
 }
 
 /// Computes the cells of one (trace, operating-point) group: the `Baseline`
@@ -212,6 +233,7 @@ fn run_cell_group(
                     1.0
                 },
                 avg_retry_steps: report.avg_retry_steps(),
+                read_latency: report.read_latency,
             }
         })
         .collect()
@@ -244,14 +266,57 @@ pub fn run_matrix(
     cells
 }
 
+/// Maps `groups` through `f` on up to `jobs` worker threads, returning
+/// results **in input order**.
+///
+/// Work is distributed over a work-stealing index; each result lands in a
+/// slot keyed by its input position, so the output is bit-identical to a
+/// serial `groups.iter().map(f)` regardless of thread count or scheduling —
+/// provided `f` itself is a pure function of its input (no shared mutable
+/// state), which every experiment runner here guarantees by seeding each
+/// simulator from the configuration alone.
+fn parallel_ordered<T: Sync, R: Send>(
+    groups: &[T],
+    jobs: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let jobs = jobs.max(1).min(groups.len());
+    if jobs <= 1 {
+        return groups.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = groups.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(g) = groups.get(i) else {
+                    break;
+                };
+                *slots[i]
+                    .lock()
+                    .expect("no worker panicked holding the slot lock") = Some(f(g));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no worker panicked holding the slot lock")
+                .expect("every slot below the group count was filled")
+        })
+        .collect()
+}
+
 /// [`run_matrix`] spread across `jobs` worker threads.
 ///
-/// The (trace × point) groups are distributed over a work-stealing index;
-/// each group's cells land in a slot keyed by the group's serial position, so
-/// the returned vector is **bit-identical to [`run_matrix`]'s output**
-/// regardless of thread count or scheduling: every cell is seeded
-/// deterministically from the config (not from any shared mutable state),
-/// and the output is reassembled in serial order.
+/// The (trace × point) groups run under [`parallel_ordered`], so the
+/// returned vector is **bit-identical to [`run_matrix`]'s output**
+/// regardless of thread count or scheduling.
 pub fn run_matrix_parallel(
     base: &SsdConfig,
     traces: &[(Trace, bool)],
@@ -259,42 +324,92 @@ pub fn run_matrix_parallel(
     mechanisms: &[Mechanism],
     jobs: usize,
 ) -> Vec<MatrixCell> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
-    let jobs = jobs.max(1);
-    if jobs == 1 {
-        return run_matrix(base, traces, points, mechanisms);
-    }
     let rpt = ReadTimingParamTable::default();
     let groups: Vec<(&Trace, bool, OperatingPoint)> = traces
         .iter()
         .flat_map(|(trace, rd)| points.iter().map(move |&p| (trace, *rd, p)))
         .collect();
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Vec<MatrixCell>>> =
-        (0..groups.len()).map(|_| Mutex::new(Vec::new())).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(groups.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(trace, read_dominant, point)) = groups.get(i) else {
-                    break;
-                };
-                let cells = run_cell_group(base, trace, read_dominant, point, mechanisms, &rpt);
-                *slots[i]
-                    .lock()
-                    .expect("no worker panicked holding the slot lock") = cells;
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .flat_map(|slot| {
-            slot.into_inner()
-                .expect("no worker panicked holding the slot lock")
+    parallel_ordered(&groups, jobs, |&(trace, read_dominant, point)| {
+        run_cell_group(base, trace, read_dominant, point, mechanisms, &rpt)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// One cell of a queue-depth sweep: closed-loop replay of one workload at
+/// one queue depth under one mechanism.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QdSweepCell {
+    /// Workload name.
+    pub workload: String,
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Closed-loop queue depth (outstanding requests).
+    pub queue_depth: u32,
+    /// Operating point.
+    pub point: OperatingPoint,
+    /// Read latency distribution (µs).
+    pub reads: LatencySummary,
+    /// Write latency distribution (µs).
+    pub writes: LatencySummary,
+    /// Latency distribution of reads that needed ≥ 1 retry step (µs).
+    pub retried_reads: LatencySummary,
+    /// Average response time over all requests, µs.
+    pub avg_response_us: f64,
+    /// Throughput in thousands of IOPS of simulated time.
+    pub kiops: f64,
+}
+
+/// Sweeps closed-loop queue depths over `traces` × `queue_depths` ×
+/// `mechanisms` at one operating point, on `jobs` worker threads.
+///
+/// Load is the independent variable here (the concurrency axis of
+/// tail-latency plots): each cell replays the trace with `queue_depth`
+/// requests kept outstanding and reports the full per-class latency
+/// distribution plus throughput. Like [`run_matrix_parallel`], the output
+/// is bit-identical for any `jobs` value.
+pub fn run_qd_sweep(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    queue_depths: &[u32],
+    mechanisms: &[Mechanism],
+    jobs: usize,
+) -> Vec<QdSweepCell> {
+    let rpt = ReadTimingParamTable::default();
+    // Unlike the figure matrices, no cell depends on another (there is no
+    // in-group Baseline normalization), so mechanisms flatten into the
+    // parallel work units too.
+    let groups: Vec<(&Trace, u32, Mechanism)> = traces
+        .iter()
+        .flat_map(|t| {
+            queue_depths
+                .iter()
+                .flat_map(move |&qd| mechanisms.iter().map(move |&m| (t, qd, m)))
         })
-        .collect()
+        .collect();
+    parallel_ordered(&groups, jobs, |&(trace, queue_depth, m)| {
+        let report = run_one_with_mode(
+            base,
+            m,
+            point,
+            trace,
+            &rpt,
+            ReplayMode::closed_loop(queue_depth),
+        );
+        QdSweepCell {
+            workload: trace.name.clone(),
+            mechanism: m.name().to_string(),
+            queue_depth,
+            point,
+            reads: report.read_latency,
+            writes: report.write_latency,
+            retried_reads: report.retried_read_latency,
+            avg_response_us: report.avg_response_us(),
+            kiops: report.kiops(),
+        }
+    })
 }
 
 /// Aggregate reduction statistics the paper quotes in prose
@@ -479,6 +594,7 @@ mod tests {
                 avg_response_us: 100.0,
                 normalized: 1.0,
                 avg_retry_steps: 10.0,
+                read_latency: LatencySummary::default(),
             },
             MatrixCell {
                 workload: "w".into(),
@@ -488,11 +604,48 @@ mod tests {
                 avg_response_us: 70.0,
                 normalized: 0.7,
                 avg_retry_steps: 10.0,
+                read_latency: LatencySummary::default(),
             },
         ];
         let s = reduction_vs(&cells, "PnAR2", "Baseline", true);
         assert!((s.mean - 0.3).abs() < 1e-12);
         assert!((s.max - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_cells_carry_read_tails() {
+        let base = SsdConfig::scaled_for_tests();
+        let traces = vec![(tiny_trace("t", 120), true)];
+        let points = [OperatingPoint::new(2000.0, 12.0)];
+        let cells = run_matrix(&base, &traces, &points, &[Mechanism::Baseline]);
+        let c = &cells[0];
+        assert_eq!(c.read_latency.count, 120);
+        let p50 = c.read_latency.p50.expect("reads happened");
+        let p99 = c.read_latency.p99.expect("reads happened");
+        let p999 = c.read_latency.p999.expect("reads happened");
+        assert!(p50 <= p99 && p99 <= p999, "{p50} / {p99} / {p999}");
+    }
+
+    #[test]
+    fn qd_sweep_is_bit_identical_across_jobs() {
+        let base = SsdConfig::scaled_for_tests();
+        let traces = vec![tiny_trace("a", 60), tiny_trace("b", 40)];
+        let point = OperatingPoint::new(2000.0, 6.0);
+        let qds = [1, 4];
+        let serial = run_qd_sweep(&base, &traces, point, &qds, &[Mechanism::Baseline], 1);
+        assert_eq!(serial.len(), 4);
+        for jobs in [2, 8] {
+            let parallel = run_qd_sweep(&base, &traces, point, &qds, &[Mechanism::Baseline], jobs);
+            assert_eq!(serial, parallel, "jobs = {jobs} diverged");
+        }
+        // Cells arrive in (trace × qd) input order.
+        assert_eq!(serial[0].workload, "a");
+        assert_eq!(serial[0].queue_depth, 1);
+        assert_eq!(serial[1].queue_depth, 4);
+        assert_eq!(serial[2].workload, "b");
+        // Every cell of this read-only workload reports a real read tail.
+        assert!(serial.iter().all(|c| c.reads.p99.is_some()));
+        assert!(serial.iter().all(|c| c.writes.p99.is_none()));
     }
 
     #[test]

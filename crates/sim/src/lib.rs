@@ -6,10 +6,14 @@
 //! high-end SSD with
 //!
 //! * page-level FTL (mapping, striped allocation, greedy GC) — [`ftl`];
-//! * per-die out-of-order scheduling with read priority and program/erase
-//!   suspension — [`ssd`];
-//! * per-channel DMA buses and ECC decoders (so sensing overlaps transfer and
-//!   decode, Fig. 6) — [`ssd`];
+//! * per-die command queues with out-of-order read priority and
+//!   program/erase suspension, plus per-channel FIFO bus/decoder
+//!   arbitration — [`scheduler`], orchestrated by [`ssd`] — so sensing
+//!   overlaps transfer and decode (Fig. 6) and independent reads interleave
+//!   across dies;
+//! * a host-side load generator — [`replay`] — replaying traces open-loop
+//!   (trace timestamps) or closed-loop (fixed queue depth, the load knob of
+//!   tail-latency sweeps);
 //! * a pluggable read-retry mechanism — [`readflow::RetryController`] — with
 //!   the regular baseline (Fig. 12a) built in; `rr-core` supplies PR², AR²,
 //!   PnAR² and the PSO-augmented variants.
@@ -48,11 +52,14 @@ pub mod event;
 pub mod ftl;
 pub mod metrics;
 pub mod readflow;
+pub mod replay;
 pub mod request;
+pub mod scheduler;
 pub mod ssd;
 
 pub use config::SsdConfig;
-pub use metrics::SimReport;
+pub use metrics::{LatencySummary, SimReport};
 pub use readflow::{BaselineController, ReadAction, ReadContext, RetryController};
+pub use replay::ReplayMode;
 pub use request::{HostRequest, IoOp};
 pub use ssd::Ssd;

@@ -1,10 +1,16 @@
 //! Simulation metrics and the per-run report.
 
+pub use rr_util::stats::LatencySummary;
 use rr_util::stats::{Histogram, OnlineStats, Percentiles};
 use rr_util::time::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Aggregated results of one simulation run.
+///
+/// Tail latencies are reported per request class — reads, writes, and
+/// *retried* reads (host reads that needed at least one retry step) — as
+/// [`LatencySummary`] quantiles. A class that recorded no requests reports
+/// `None` quantiles rather than a fabricated `0.0` tail.
 ///
 /// `PartialEq` compares every field exactly (statistics included), so two
 /// reports are equal only if the runs behaved identically — the determinism
@@ -19,8 +25,13 @@ pub struct SimReport {
     pub read_response_us: OnlineStats,
     /// Response-time statistics over host *writes* only (µs).
     pub write_response_us: OnlineStats,
-    /// 99th-percentile read response time (µs).
-    pub read_p99_us: f64,
+    /// Latency distribution (p50/p95/p99/p99.9, µs) of host reads.
+    pub read_latency: LatencySummary,
+    /// Latency distribution of host writes.
+    pub write_latency: LatencySummary,
+    /// Latency distribution of host reads that required ≥ 1 retry step —
+    /// the population whose tail the paper's mechanisms attack.
+    pub retried_read_latency: LatencySummary,
     /// Histogram of retry steps per host read (Fig. 5's quantity, observed).
     pub retry_steps: Histogram,
     /// Number of host requests completed.
@@ -60,19 +71,43 @@ impl SimReport {
         self.read_response_us.mean()
     }
 
+    /// 99th-percentile read response time in µs, or `None` when the run
+    /// completed no reads (an empty class has no tail).
+    pub fn read_p99_us(&self) -> Option<f64> {
+        self.read_latency.p99
+    }
+
     /// Average retry steps per host read.
     pub fn avg_retry_steps(&self) -> f64 {
         self.retry_steps.mean()
     }
+
+    /// Throughput in thousands of I/O operations per second of simulated
+    /// time (0 when the run completed nothing).
+    pub fn kiops(&self) -> f64 {
+        let us = self.makespan.as_us_f64();
+        if us <= 0.0 {
+            0.0
+        } else {
+            self.requests_completed as f64 / us * 1_000.0
+        }
+    }
 }
 
 /// Builder accumulating metrics during a run.
-#[derive(Debug, Default)]
+///
+/// Deliberately *not* `Default`: a default-constructed collector would carry
+/// a zero-bin retry histogram in which every recorded step count lands in
+/// overflow. [`MetricsCollector::new`] sizes the histogram to the retry-table
+/// depth.
+#[derive(Debug)]
 pub struct MetricsCollector {
     pub(crate) response_us: OnlineStats,
     pub(crate) read_response_us: OnlineStats,
     pub(crate) write_response_us: OnlineStats,
     pub(crate) read_latencies: Percentiles,
+    pub(crate) write_latencies: Percentiles,
+    pub(crate) retried_read_latencies: Percentiles,
     pub(crate) retry_steps: Histogram,
     pub(crate) requests_completed: u64,
     pub(crate) read_failures: u64,
@@ -85,23 +120,49 @@ pub struct MetricsCollector {
 }
 
 impl MetricsCollector {
-    /// Creates an empty collector (retry histogram sized to the table depth).
+    /// Creates an empty collector. The retry histogram is sized to the retry
+    /// table's depth (`max_retry_steps` bins plus the no-retry bin and one
+    /// beyond), so every recordable step count has a real bin.
     pub fn new(max_retry_steps: u32) -> Self {
         Self {
+            response_us: OnlineStats::new(),
+            read_response_us: OnlineStats::new(),
+            write_response_us: OnlineStats::new(),
+            read_latencies: Percentiles::new(),
+            write_latencies: Percentiles::new(),
+            retried_read_latencies: Percentiles::new(),
             retry_steps: Histogram::new(max_retry_steps as usize + 2),
-            ..Self::default()
+            requests_completed: 0,
+            read_failures: 0,
+            senses: 0,
+            resets: 0,
+            set_features: 0,
+            suspensions: 0,
+            gc_collections: 0,
+            makespan: SimTime::ZERO,
         }
     }
 
-    /// Records a completed host request.
-    pub fn record_request(&mut self, is_read: bool, response: SimTime, now: SimTime) {
+    /// Records a completed host request. `retried` marks a read whose pages
+    /// needed at least one retry step (ignored for writes).
+    pub fn record_request(
+        &mut self,
+        is_read: bool,
+        retried: bool,
+        response: SimTime,
+        now: SimTime,
+    ) {
         let us = response.as_us_f64();
         self.response_us.push(us);
         if is_read {
             self.read_response_us.push(us);
             self.read_latencies.push(us);
+            if retried {
+                self.retried_read_latencies.push(us);
+            }
         } else {
             self.write_response_us.push(us);
+            self.write_latencies.push(us);
         }
         self.requests_completed += 1;
         self.makespan = self.makespan.max(now);
@@ -114,13 +175,14 @@ impl MetricsCollector {
 
     /// Finalizes into a report.
     pub fn finish(mut self, mechanism: &str) -> SimReport {
-        let read_p99_us = self.read_latencies.quantile(0.99).unwrap_or(0.0);
         SimReport {
             mechanism: mechanism.to_string(),
             response_us: self.response_us,
             read_response_us: self.read_response_us,
             write_response_us: self.write_response_us,
-            read_p99_us,
+            read_latency: self.read_latencies.summary(),
+            write_latency: self.write_latencies.summary(),
+            retried_read_latency: self.retried_read_latencies.summary(),
             retry_steps: self.retry_steps,
             requests_completed: self.requests_completed,
             read_failures: self.read_failures,
@@ -141,9 +203,9 @@ mod tests {
     #[test]
     fn collector_aggregates_by_direction() {
         let mut m = MetricsCollector::new(40);
-        m.record_request(true, SimTime::from_us(100), SimTime::from_us(100));
-        m.record_request(true, SimTime::from_us(300), SimTime::from_us(400));
-        m.record_request(false, SimTime::from_us(700), SimTime::from_us(1100));
+        m.record_request(true, false, SimTime::from_us(100), SimTime::from_us(100));
+        m.record_request(true, true, SimTime::from_us(300), SimTime::from_us(400));
+        m.record_request(false, false, SimTime::from_us(700), SimTime::from_us(1100));
         m.record_retry_steps(3);
         m.record_retry_steps(5);
         let r = m.finish("Test");
@@ -154,15 +216,51 @@ mod tests {
         assert!((r.avg_response_us() - (100.0 + 300.0 + 700.0) / 3.0).abs() < 1e-9);
         assert_eq!(r.avg_retry_steps(), 4.0);
         assert_eq!(r.makespan, SimTime::from_us(1100));
+        // Per-class distributions: 2 reads, 1 write, 1 retried read.
+        assert_eq!(r.read_latency.count, 2);
+        assert_eq!(r.write_latency.count, 1);
+        assert_eq!(r.write_latency.p99, Some(700.0));
+        assert_eq!(r.retried_read_latency.count, 1);
+        assert_eq!(r.retried_read_latency.p50, Some(300.0));
     }
 
     #[test]
     fn p99_reflects_tail() {
         let mut m = MetricsCollector::new(40);
         for i in 1..=100 {
-            m.record_request(true, SimTime::from_us(i), SimTime::from_us(i));
+            m.record_request(true, false, SimTime::from_us(i), SimTime::from_us(i));
         }
         let r = m.finish("T");
-        assert!(r.read_p99_us >= 99.0);
+        assert_eq!(r.read_p99_us(), Some(99.0));
+        assert_eq!(r.read_latency.p999, Some(100.0));
+    }
+
+    #[test]
+    fn classes_without_requests_have_no_tail() {
+        // A write-only run must NOT fabricate a 0 µs read tail.
+        let mut m = MetricsCollector::new(40);
+        m.record_request(false, false, SimTime::from_us(700), SimTime::from_us(700));
+        let r = m.finish("T");
+        assert_eq!(r.read_p99_us(), None);
+        assert_eq!(r.read_latency.count, 0);
+        assert_eq!(r.retried_read_latency.p999, None);
+        assert_eq!(r.write_latency.p50, Some(700.0));
+    }
+
+    #[test]
+    fn kiops_counts_completions_per_second() {
+        let mut m = MetricsCollector::new(40);
+        for i in 1..=1000u64 {
+            m.record_request(
+                true,
+                false,
+                SimTime::from_us(100),
+                SimTime::from_us(i * 1_000),
+            );
+        }
+        let r = m.finish("T");
+        // 1000 requests over 1 s of simulated time = 1 kIOPS.
+        assert!((r.kiops() - 1.0).abs() < 1e-9);
+        assert_eq!(SimReport::new("x").kiops(), 0.0);
     }
 }

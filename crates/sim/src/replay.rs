@@ -1,0 +1,199 @@
+//! Host-side load generation: how trace requests are admitted to the SSD.
+//!
+//! The load axis is first-class: the same trace can be replayed
+//!
+//! * **open-loop** — requests arrive at their trace timestamps regardless of
+//!   whether the device keeps up (arrival-rate-driven; the classic block-trace
+//!   replay, and the mode every `Ssd::run` call uses);
+//! * **closed-loop** — trace timestamps are ignored and a fixed number of
+//!   requests (the *queue depth*) is kept outstanding: the next request is
+//!   admitted the instant one completes. Sweeping the queue depth sweeps
+//!   device load directly, which is how tail-latency-vs-load curves are
+//!   measured on real SSDs (`fio --iodepth`, MILC-style cluster sweeps).
+//!
+//! Closed-loop response time is measured from *admission* (the moment the
+//! request is handed to the device), not from any trace timestamp — host-side
+//! queueing before admission is the load generator's business, not the
+//! device's.
+//!
+//! # Example
+//!
+//! ```
+//! use rr_sim::config::SsdConfig;
+//! use rr_sim::readflow::BaselineController;
+//! use rr_sim::replay::ReplayMode;
+//! use rr_sim::request::{HostRequest, IoOp};
+//! use rr_sim::ssd::Ssd;
+//! use rr_util::time::SimTime;
+//!
+//! let cfg = SsdConfig::scaled_for_tests();
+//! let trace: Vec<_> = (0..8)
+//!     .map(|i| HostRequest::new(SimTime::ZERO, IoOp::Read, i * 11, 1))
+//!     .collect();
+//! // Keep 4 requests in flight at all times.
+//! let ssd = Ssd::new(cfg, Box::new(BaselineController::new()), 1_000).unwrap();
+//! let report = ssd.run_with(&trace, ReplayMode::closed_loop(4));
+//! assert_eq!(report.requests_completed, 8);
+//! assert_eq!(report.read_latency.count, 8);
+//! ```
+
+use crate::request::HostRequest;
+use rr_util::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How host requests are admitted to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplayMode {
+    /// Replay requests at their trace timestamps (arrival-rate-driven).
+    OpenLoop,
+    /// Ignore trace timestamps and keep `queue_depth` requests outstanding,
+    /// admitting the next request (in trace order) whenever one completes.
+    ClosedLoop {
+        /// Number of requests kept in flight (≥ 1). Depth 1 degenerates to a
+        /// serial device: each request runs in complete isolation.
+        queue_depth: u32,
+    },
+}
+
+impl ReplayMode {
+    /// Closed-loop replay at `queue_depth` outstanding requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth` is zero.
+    pub fn closed_loop(queue_depth: u32) -> Self {
+        assert!(queue_depth >= 1, "queue depth must be at least 1");
+        ReplayMode::ClosedLoop { queue_depth }
+    }
+
+    /// Whether this mode admits on completion rather than by timestamp.
+    pub fn is_closed_loop(&self) -> bool {
+        matches!(self, ReplayMode::ClosedLoop { .. })
+    }
+
+    /// Validates the mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem (zero queue depth).
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            ReplayMode::OpenLoop => Ok(()),
+            ReplayMode::ClosedLoop { queue_depth: 0 } => {
+                Err("closed-loop queue depth must be at least 1".into())
+            }
+            ReplayMode::ClosedLoop { .. } => Ok(()),
+        }
+    }
+}
+
+/// The host-side load generator driving one replay.
+///
+/// Owns the not-yet-admitted backlog; the simulator asks it for the initial
+/// admissions up front and for one follow-up admission per completed request.
+#[derive(Debug)]
+pub(crate) enum LoadGenerator {
+    /// Open loop: everything was admitted up front at trace timestamps.
+    Open,
+    /// Closed loop: requests not yet handed to the device, in trace order.
+    Closed { pending: VecDeque<HostRequest> },
+}
+
+impl LoadGenerator {
+    /// Builds the generator for `mode` over `trace` and returns the requests
+    /// to admit immediately, each with its admission timestamp.
+    pub(crate) fn start(
+        mode: ReplayMode,
+        trace: &[HostRequest],
+    ) -> (Self, Vec<(SimTime, HostRequest)>) {
+        match mode {
+            ReplayMode::OpenLoop => (
+                LoadGenerator::Open,
+                trace.iter().map(|&r| (r.arrival, r)).collect(),
+            ),
+            ReplayMode::ClosedLoop { queue_depth } => {
+                let window = (queue_depth as usize).min(trace.len());
+                let initial = trace[..window]
+                    .iter()
+                    .map(|&r| (SimTime::ZERO, r))
+                    .collect();
+                (
+                    LoadGenerator::Closed {
+                        pending: trace[window..].iter().copied().collect(),
+                    },
+                    initial,
+                )
+            }
+        }
+    }
+
+    /// A host request completed; returns the next request to admit now (if
+    /// the mode admits on completion and backlog remains).
+    pub(crate) fn on_completion(&mut self) -> Option<HostRequest> {
+        match self {
+            LoadGenerator::Open => None,
+            LoadGenerator::Closed { pending } => pending.pop_front(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::IoOp;
+
+    fn trace(n: u64) -> Vec<HostRequest> {
+        (0..n)
+            .map(|i| HostRequest::new(SimTime::from_us(100 * i), IoOp::Read, i, 1))
+            .collect()
+    }
+
+    #[test]
+    fn open_loop_admits_everything_at_trace_times() {
+        let t = trace(3);
+        let (mut generator, initial) = LoadGenerator::start(ReplayMode::OpenLoop, &t);
+        assert_eq!(initial.len(), 3);
+        assert_eq!(initial[1].0, SimTime::from_us(100));
+        assert_eq!(generator.on_completion(), None);
+    }
+
+    #[test]
+    fn closed_loop_admits_window_then_one_per_completion() {
+        let t = trace(5);
+        let (mut generator, initial) = LoadGenerator::start(ReplayMode::closed_loop(2), &t);
+        assert_eq!(initial.len(), 2);
+        // Initial admissions happen at t = 0, not at trace timestamps.
+        assert!(initial.iter().all(|&(at, _)| at == SimTime::ZERO));
+        // Backlog drains one request per completion, in trace order.
+        assert_eq!(generator.on_completion().map(|r| r.lpn), Some(2));
+        assert_eq!(generator.on_completion().map(|r| r.lpn), Some(3));
+        assert_eq!(generator.on_completion().map(|r| r.lpn), Some(4));
+        assert_eq!(generator.on_completion(), None);
+    }
+
+    #[test]
+    fn queue_depth_larger_than_trace_is_fine() {
+        let t = trace(2);
+        let (mut generator, initial) = LoadGenerator::start(ReplayMode::closed_loop(16), &t);
+        assert_eq!(initial.len(), 2);
+        assert_eq!(generator.on_completion(), None);
+    }
+
+    #[test]
+    fn mode_validation() {
+        assert!(ReplayMode::OpenLoop.validate().is_ok());
+        assert!(ReplayMode::ClosedLoop { queue_depth: 0 }
+            .validate()
+            .is_err());
+        assert!(ReplayMode::closed_loop(1).validate().is_ok());
+        assert!(ReplayMode::closed_loop(4).is_closed_loop());
+        assert!(!ReplayMode::OpenLoop.is_closed_loop());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_queue_depth_constructor_panics() {
+        ReplayMode::closed_loop(0);
+    }
+}

@@ -1,0 +1,363 @@
+//! Die- and channel-level command scheduling state machines.
+//!
+//! This module holds the per-resource state the SSD orchestrator
+//! ([`crate::ssd::Ssd`]) schedules over:
+//!
+//! * [`DieState`] — one flash die: the currently executing [`DieJob`], three
+//!   priority queues (P0 retry continuations, P1 first sensings, P2
+//!   programs/erases), program/erase suspension, and the die's installed
+//!   sensing phases;
+//! * [`ChannelState`] — one channel: a DMA bus (tDMA per page, FIFO
+//!   arbitration) and a dedicated ECC decoder (tECC per page, FIFO), so
+//!   sensing on one die can overlap a transfer and a decode of other pages
+//!   (Fig. 6);
+//! * [`Event`] — the discrete-event vocabulary connecting them.
+//!
+//! Die-level scheduling priorities (enforced by `Ssd::pump_die`):
+//!
+//! 1. **P0** — continuations of in-flight read-retry operations (retry
+//!    sensings, `SET FEATURE`, pipelined `CACHE READ`s). A read owns its die
+//!    for the duration of its retry operation, as prior work assumes
+//!    (paper footnote 10).
+//! 2. **P1** — first sensings of host/GC reads.
+//! 3. resume of a suspended program/erase;
+//! 4. **P2** — programs and erases (suspendable; GC ops jump ahead when a
+//!    plane runs critically low on free blocks).
+//!
+//! Generation counters (`gen`) make stale completion events cancellable: any
+//! state change that invalidates the in-flight `DieDone` (suspension, RESET)
+//! bumps the counter, and the handler drops events whose `gen` mismatches.
+
+use crate::request::{ReqId, TxnId};
+use rr_flash::timing::SensePhases;
+use rr_util::time::SimTime;
+use std::collections::VecDeque;
+
+/// Simulator events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Event {
+    /// A host request is admitted to the device.
+    Arrive(ReqId),
+    /// The die's current operation finishes (stale if `gen` mismatches).
+    DieDone { die: u32, gen: u64 },
+    /// The channel's current DMA transfer finishes.
+    TransferDone { channel: u32 },
+    /// The channel's ECC decoder finishes the current page.
+    EccDone { channel: u32 },
+}
+
+/// Operations a read flow queues on its die (P0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum QueuedOp {
+    Sense { step: u32 },
+    SetFeature { phases: Option<SensePhases> },
+}
+
+/// What a die is currently executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DieJob {
+    Sense {
+        txn: TxnId,
+        step: u32,
+    },
+    SetFeature {
+        txn: TxnId,
+    },
+    Reset {
+        txn: TxnId,
+    },
+    /// Write waiting for its data transfer (busy_until = MAX) or programming.
+    Program {
+        txn: TxnId,
+        data_loaded: bool,
+    },
+    Erase {
+        txn: TxnId,
+    },
+    Suspending,
+}
+
+/// One flash die: current job, priority queues, suspension state.
+#[derive(Debug)]
+pub(crate) struct DieState {
+    pub(crate) busy_until: SimTime,
+    pub(crate) gen: u64,
+    pub(crate) job: Option<DieJob>,
+    /// The read transaction whose retry operation currently holds this die.
+    ///
+    /// A read-retry operation owns its die from dispatch until completion
+    /// (incl. trailing RESET / SET FEATURE rollback): prior work models retry
+    /// steps of one page as sequential on the die (paper footnote 10), and
+    /// exclusive ownership is also what keeps one read's `SET FEATURE` from
+    /// contaminating another read's sensing on the same die.
+    pub(crate) owner: Option<TxnId>,
+    pub(crate) p0: VecDeque<(TxnId, QueuedOp)>,
+    pub(crate) p1: VecDeque<TxnId>,
+    pub(crate) p2: VecDeque<TxnId>,
+    pub(crate) suspended: Option<(DieJob, SimTime)>,
+    pub(crate) phases: SensePhases,
+}
+
+impl DieState {
+    pub(crate) fn new(phases: SensePhases) -> Self {
+        Self {
+            busy_until: SimTime::ZERO,
+            gen: 0,
+            job: None,
+            owner: None,
+            p0: VecDeque::new(),
+            p1: VecDeque::new(),
+            p2: VecDeque::new(),
+            suspended: None,
+            phases,
+        }
+    }
+
+    /// A die is busy until its completion event has been *handled* (the job
+    /// cleared) — treating `now >= busy_until` as idle would let a
+    /// same-timestamp event clobber a job whose `DieDone` hasn't fired yet.
+    pub(crate) fn idle(&self) -> bool {
+        self.job.is_none()
+    }
+
+    /// Starts `job`, running until `until`; returns the generation the
+    /// caller must attach to the completion event.
+    pub(crate) fn begin(&mut self, job: DieJob, until: SimTime) -> u64 {
+        self.job = Some(job);
+        self.gen += 1;
+        self.busy_until = until;
+        self.gen
+    }
+
+    /// Suspends the in-flight program/erase if doing so buys more than
+    /// `min_benefit` of read latency (§7.2). On success the die runs a
+    /// [`DieJob::Suspending`] job for `t_suspend` and the caller schedules
+    /// its completion with the returned generation.
+    pub(crate) fn try_suspend(
+        &mut self,
+        now: SimTime,
+        min_benefit: SimTime,
+        t_suspend: SimTime,
+    ) -> Option<u64> {
+        let suspendable = matches!(
+            self.job,
+            Some(DieJob::Program {
+                data_loaded: true,
+                ..
+            }) | Some(DieJob::Erase { .. })
+        );
+        if !suspendable || self.suspended.is_some() || self.busy_until == SimTime::MAX {
+            return None;
+        }
+        let remaining = self.busy_until.saturating_sub(now);
+        if remaining <= min_benefit {
+            return None;
+        }
+        let job = self.job.take().expect("checked suspendable");
+        self.suspended = Some((job, remaining));
+        Some(self.begin(DieJob::Suspending, now + t_suspend))
+    }
+
+    /// Resumes the suspended program/erase, if any; returns the generation
+    /// for its (re-scheduled) completion event.
+    pub(crate) fn resume(&mut self, now: SimTime) -> Option<u64> {
+        let (job, remaining) = self.suspended.take()?;
+        Some(self.begin(job, now + remaining))
+    }
+}
+
+/// One page's worth of data crossing the channel.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Transfer {
+    pub(crate) txn: TxnId,
+    /// `Some(step)` = read data in; `None` = write data out.
+    pub(crate) step: Option<u32>,
+    pub(crate) errors: u32,
+}
+
+/// One channel: FIFO DMA bus plus FIFO ECC decoder.
+///
+/// Bus arbitration is first-come-first-served per channel: transfers from
+/// all dies behind the channel share one queue, so a single 1 Gb/s bus
+/// (tDMA per page) serializes data movement even when the dies sense in
+/// parallel — exactly the contention that makes multi-die tail latency a
+/// channel-scheduling problem.
+#[derive(Debug)]
+pub(crate) struct ChannelState {
+    transfer_q: VecDeque<Transfer>,
+    transferring: Option<Transfer>,
+    ecc_q: VecDeque<Transfer>,
+    decoding: Option<Transfer>,
+}
+
+impl ChannelState {
+    pub(crate) fn new() -> Self {
+        Self {
+            transfer_q: VecDeque::new(),
+            transferring: None,
+            ecc_q: VecDeque::new(),
+            decoding: None,
+        }
+    }
+
+    /// Queues a transfer on the DMA bus.
+    pub(crate) fn enqueue_transfer(&mut self, t: Transfer) {
+        self.transfer_q.push_back(t);
+    }
+
+    /// If the bus is idle and work is queued, starts the next transfer;
+    /// the caller schedules its completion event on `true`.
+    pub(crate) fn begin_transfer(&mut self) -> bool {
+        if self.transferring.is_none() {
+            if let Some(t) = self.transfer_q.pop_front() {
+                self.transferring = Some(t);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Completes the in-flight transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is idle — a completion event without a transfer is
+    /// a scheduling bug.
+    pub(crate) fn end_transfer(&mut self) -> Transfer {
+        self.transferring
+            .take()
+            .expect("TransferDone with idle channel")
+    }
+
+    /// Queues a decode on the ECC engine.
+    pub(crate) fn enqueue_decode(&mut self, t: Transfer) {
+        self.ecc_q.push_back(t);
+    }
+
+    /// If the decoder is idle and work is queued, starts the next decode;
+    /// the caller schedules its completion event on `true`.
+    pub(crate) fn begin_decode(&mut self) -> bool {
+        if self.decoding.is_none() {
+            if let Some(d) = self.ecc_q.pop_front() {
+                self.decoding = Some(d);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Completes the in-flight decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decoder is idle.
+    pub(crate) fn end_decode(&mut self) -> Transfer {
+        self.decoding.take().expect("EccDone with idle decoder")
+    }
+
+    /// Whether any transfer or decode is queued or in flight.
+    pub(crate) fn has_queued_work(&self) -> bool {
+        !self.transfer_q.is_empty() || !self.ecc_q.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_flash::timing::NandTimings;
+
+    fn die() -> DieState {
+        DieState::new(NandTimings::table1().sense)
+    }
+
+    #[test]
+    fn begin_bumps_generation_and_sets_job() {
+        let mut d = die();
+        assert!(d.idle());
+        let g1 = d.begin(DieJob::Erase { txn: TxnId(1) }, SimTime::from_us(10));
+        assert_eq!(g1, 1);
+        assert!(!d.idle());
+        assert_eq!(d.busy_until, SimTime::from_us(10));
+        d.job = None;
+        let g2 = d.begin(DieJob::Suspending, SimTime::from_us(20));
+        assert_eq!(g2, 2);
+    }
+
+    #[test]
+    fn suspension_only_pays_when_benefit_exceeds_threshold() {
+        let min_benefit = SimTime::from_us(100);
+        let t_suspend = SimTime::from_us(20);
+        let mut d = die();
+        // An erase with 5 ms left: worth suspending.
+        d.begin(DieJob::Erase { txn: TxnId(0) }, SimTime::from_us(5_000));
+        let gen = d.try_suspend(SimTime::ZERO, min_benefit, t_suspend);
+        assert!(gen.is_some());
+        assert!(matches!(d.job, Some(DieJob::Suspending)));
+        assert!(d.suspended.is_some());
+        // Already suspended: a second attempt is refused.
+        assert!(d
+            .try_suspend(SimTime::ZERO, min_benefit, t_suspend)
+            .is_none());
+        // Resume restores the remaining time.
+        d.job = None;
+        let now = SimTime::from_us(20);
+        assert!(d.resume(now).is_some());
+        assert_eq!(d.busy_until, now + SimTime::from_us(5_000));
+    }
+
+    #[test]
+    fn nearly_finished_program_is_not_suspended() {
+        let mut d = die();
+        d.begin(
+            DieJob::Program {
+                txn: TxnId(0),
+                data_loaded: true,
+            },
+            SimTime::from_us(50),
+        );
+        // Only 50 µs left < 100 µs threshold: not worth the suspend cost.
+        let gen = d.try_suspend(SimTime::ZERO, SimTime::from_us(100), SimTime::from_us(20));
+        assert!(gen.is_none());
+        assert!(d.suspended.is_none());
+    }
+
+    #[test]
+    fn program_awaiting_data_is_not_suspendable() {
+        let mut d = die();
+        d.begin(
+            DieJob::Program {
+                txn: TxnId(0),
+                data_loaded: false,
+            },
+            SimTime::MAX,
+        );
+        assert!(d
+            .try_suspend(SimTime::ZERO, SimTime::from_us(100), SimTime::from_us(20))
+            .is_none());
+    }
+
+    #[test]
+    fn channel_bus_and_decoder_are_fifo() {
+        let mut ch = ChannelState::new();
+        let t = |i| Transfer {
+            txn: TxnId(i),
+            step: Some(0),
+            errors: 0,
+        };
+        ch.enqueue_transfer(t(1));
+        ch.enqueue_transfer(t(2));
+        assert!(ch.has_queued_work());
+        assert!(ch.begin_transfer());
+        // Bus busy: the second transfer must wait.
+        assert!(!ch.begin_transfer());
+        assert_eq!(ch.end_transfer().txn, TxnId(1));
+        assert!(ch.begin_transfer());
+        assert_eq!(ch.end_transfer().txn, TxnId(2));
+        // Decoder is an independent FIFO.
+        ch.enqueue_decode(t(3));
+        assert!(ch.begin_decode());
+        assert!(!ch.begin_decode());
+        assert_eq!(ch.end_decode().txn, TxnId(3));
+        assert!(!ch.has_queued_work());
+    }
+}

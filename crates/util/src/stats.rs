@@ -145,6 +145,11 @@ impl Percentiles {
 
     /// The `q`-quantile (`0.0 ..= 1.0`) by nearest-rank, or `None` when empty.
     ///
+    /// Nearest-rank: the smallest sample whose cumulative relative frequency
+    /// is at least `q`, i.e. the sample of 1-based rank `⌈q·n⌉` (`q = 0` maps
+    /// to the first sample). The median of `[1, 2, 3, 4]` is therefore `2`,
+    /// not `3`.
+    ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
@@ -158,10 +163,58 @@ impl Percentiles {
                 .sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
             self.sorted = true;
         }
-        let idx =
-            ((q * (self.samples.len() - 1) as f64).round() as usize).min(self.samples.len() - 1);
+        let n = self.samples.len();
+        // The epsilon absorbs f64 representation error in q·n: e.g.
+        // 0.07 · 100 evaluates to 7.0000000000000009, whose ceil would
+        // overshoot the true rank ⌈7⌉ = 7 by one.
+        let rank = (q * n as f64 - 1e-9).ceil() as usize;
+        let idx = rank.clamp(1, n) - 1;
         Some(self.samples[idx])
     }
+
+    /// Summarizes the collection into the fixed tail quantiles reports carry.
+    pub fn summary(&mut self) -> LatencySummary {
+        LatencySummary {
+            count: self.samples.len() as u64,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
+    }
+}
+
+/// Fixed tail quantiles (p50/p95/p99/p99.9) of one latency class, as carried
+/// by simulation reports.
+///
+/// Every quantile is `None` when the class recorded no observations — an
+/// empty class has *no* tail, and rendering it as `0.0` would fabricate an
+/// impossibly good one.
+///
+/// # Example
+///
+/// ```
+/// use rr_util::stats::Percentiles;
+/// let mut p = Percentiles::new();
+/// for x in 1..=1000 { p.push(x as f64); }
+/// let s = p.summary();
+/// assert_eq!(s.count, 1000);
+/// assert_eq!(s.p50, Some(500.0));
+/// assert_eq!(s.p999, Some(999.0));
+/// assert_eq!(Percentiles::new().summary().p99, None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct LatencySummary {
+    /// Number of observations in this class.
+    pub count: u64,
+    /// Median (µs for latency classes).
+    pub p50: Option<f64>,
+    /// 95th percentile.
+    pub p95: Option<f64>,
+    /// 99th percentile.
+    pub p99: Option<f64>,
+    /// 99.9th percentile.
+    pub p999: Option<f64>,
 }
 
 /// A fixed-bin integer histogram, used e.g. for "number of retry steps" counts
@@ -187,7 +240,16 @@ impl Histogram {
     }
 
     /// Records one observation of `value`.
+    ///
+    /// Debug builds assert that the histogram has at least one bin: recording
+    /// into a zero-bin (`Default`) histogram silently lands *every* value in
+    /// overflow, which reads as "all observations out of range".
     pub fn record(&mut self, value: usize) {
+        debug_assert!(
+            !self.bins.is_empty(),
+            "recording into a zero-bin histogram (every value would land in \
+             overflow) — construct it with Histogram::new(len)"
+        );
         if value < self.bins.len() {
             self.bins[value] += 1;
         } else {
@@ -328,6 +390,53 @@ mod tests {
     fn percentiles_empty_is_none() {
         let mut p = Percentiles::new();
         assert_eq!(p.quantile(0.5), None);
+        assert_eq!(p.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn nearest_rank_is_unbiased_at_small_n() {
+        // The old round(q·(n−1)) formula returned 3 for the median of
+        // [1, 2, 3, 4]; nearest-rank (rank ⌈0.5·4⌉ = 2) says 2.
+        let mut p = Percentiles::new();
+        for x in [4.0, 2.0, 1.0, 3.0] {
+            p.push(x);
+        }
+        assert_eq!(p.quantile(0.5), Some(2.0));
+        assert_eq!(p.quantile(0.25), Some(1.0));
+        assert_eq!(p.quantile(0.75), Some(3.0));
+        assert_eq!(p.quantile(0.0), Some(1.0));
+        assert_eq!(p.quantile(1.0), Some(4.0));
+        // A single sample is every quantile.
+        let mut one = Percentiles::new();
+        one.push(7.0);
+        assert_eq!(one.quantile(0.0), Some(7.0));
+        assert_eq!(one.quantile(0.999), Some(7.0));
+    }
+
+    #[test]
+    fn quantile_rank_survives_f64_representation_error() {
+        // 0.07 · 100 = 7.0000000000000009 in f64; a naive ceil would return
+        // the 8th-smallest sample instead of the true nearest-rank 7th.
+        let mut p = Percentiles::new();
+        for x in 1..=100 {
+            p.push(x as f64);
+        }
+        assert_eq!(p.quantile(0.07), Some(7.0));
+        assert_eq!(p.quantile(0.29), Some(29.0));
+    }
+
+    #[test]
+    fn summary_reports_fixed_quantiles() {
+        let mut p = Percentiles::new();
+        for x in 1..=1000 {
+            p.push(x as f64);
+        }
+        let s = p.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50, Some(500.0));
+        assert_eq!(s.p95, Some(950.0));
+        assert_eq!(s.p99, Some(990.0));
+        assert_eq!(s.p999, Some(999.0));
     }
 
     #[test]

@@ -4,10 +4,46 @@ use proptest::prelude::*;
 use rr_util::dist::{Discrete, Exponential, Normal, Zipf};
 use rr_util::interp::{lerp_table, Grid2};
 use rr_util::rng::{unit_hash, Rng as SimRng};
-use rr_util::stats::{Histogram, OnlineStats};
+use rr_util::stats::{Histogram, OnlineStats, Percentiles};
 use rr_util::time::SimTime;
 
+/// Definition-based nearest-rank reference: the smallest sample whose
+/// cumulative relative frequency is at least `q`.
+fn naive_nearest_rank(xs: &[f64], q: f64) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = sorted.len() as f64;
+    for &x in &sorted {
+        let cumulative = sorted.iter().filter(|&&y| y <= x).count() as f64;
+        // Same f64-representation-error epsilon as the implementation: the
+        // exact product q·n can land an ULP above its true value.
+        if cumulative >= q * n - 1e-9 {
+            return x;
+        }
+    }
+    *sorted.last().expect("non-empty input")
+}
+
 proptest! {
+    #[test]
+    fn quantile_matches_naive_nearest_rank(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..120),
+        qs in prop::collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        let mut p = Percentiles::new();
+        for &x in &xs {
+            p.push(x);
+        }
+        for &q in &qs {
+            let expected = naive_nearest_rank(&xs, q);
+            prop_assert_eq!(p.quantile(q), Some(expected), "q = {}", q);
+        }
+        // The fixed summary quantiles obey the same reference.
+        let s = p.summary();
+        prop_assert_eq!(s.p50, Some(naive_nearest_rank(&xs, 0.50)));
+        prop_assert_eq!(s.p999, Some(naive_nearest_rank(&xs, 0.999)));
+    }
+
     #[test]
     fn rng_streams_are_reproducible(seed in any::<u64>()) {
         let mut a = SimRng::seed_from_u64(seed);

@@ -66,11 +66,16 @@ fn main() {
         Mechanism::PsoPnAr2,
     ] {
         let report = run_one(&base, m, point, &trace, &rpt);
+        // A trace with no reads has no read tail: render `—`, not 0.
+        let p99 = report
+            .read_p99_us()
+            .map(|v| format!("{v:.1}"))
+            .unwrap_or_else(|| "—".into());
         println!(
-            "{:<10} {:>14.1} {:>12.1} {:>12.2} {:>12}",
+            "{:<10} {:>14.1} {:>12} {:>12.2} {:>12}",
             m.name(),
             report.avg_response_us(),
-            report.read_p99_us,
+            p99,
             report.avg_retry_steps(),
             report.senses,
         );

@@ -43,14 +43,17 @@ pub use rr_workloads as workloads;
 pub mod prelude {
     pub use rr_charact::platform::TestPlatform;
     pub use rr_core::experiment::{
-        run_matrix, run_matrix_parallel, run_one, Mechanism, OperatingPoint,
+        run_matrix, run_matrix_parallel, run_one, run_one_with_mode, run_qd_sweep, Mechanism,
+        OperatingPoint, QdSweepCell,
     };
     pub use rr_core::rpt::ReadTimingParamTable;
     pub use rr_core::{Ar2Controller, PnAr2Controller, Pr2Controller, PsoController};
     pub use rr_ecc::engine::{BchEccEngine, EccEngineModel, EccOutcome};
     pub use rr_flash::prelude::*;
     pub use rr_sim::config::SsdConfig;
+    pub use rr_sim::metrics::LatencySummary;
     pub use rr_sim::readflow::BaselineController;
+    pub use rr_sim::replay::ReplayMode;
     pub use rr_sim::request::{HostRequest, IoOp};
     pub use rr_sim::ssd::Ssd;
     pub use rr_util::rng::Rng;
