@@ -56,6 +56,21 @@ pub fn run_mechanism_closed_loop(
     )
 }
 
+/// Runs one mechanism over a trace open-loop with arrivals compressed by
+/// `rate` (the `sim_throughput` bench group's offered-load unit of work).
+pub fn run_mechanism_rate(mechanism: Mechanism, trace: &Trace, rate: f64) -> SimReport {
+    let cfg = bench_config();
+    let rpt = ReadTimingParamTable::default();
+    run_one_with_mode(
+        &cfg,
+        mechanism,
+        bench_point(),
+        trace,
+        &rpt,
+        ReplayMode::open_loop_rate(rate),
+    )
+}
+
 /// A reduced Fig. 14-style workload set for the matrix-runner benches: four
 /// traces (two MSRC, two YCSB) with their read-dominance tags.
 pub fn matrix_traces(requests_per_trace: usize) -> Vec<(Trace, bool)> {

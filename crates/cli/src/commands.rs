@@ -4,7 +4,7 @@ use crate::render::{markdown_table, pct, shade, us_opt};
 use rr_charact::figures::{self, TimingParam};
 use rr_charact::platform::TestPlatform;
 use rr_core::experiment::{
-    reduction_vs, run_matrix_parallel, run_qd_sweep, Mechanism, OperatingPoint,
+    reduction_vs, run_matrix_parallel, run_qd_sweep, run_rate_sweep, Mechanism, OperatingPoint,
 };
 use rr_core::rpt::ReadTimingParamTable;
 use rr_flash::calibration::ECC_CAPABILITY_PER_KIB;
@@ -14,6 +14,7 @@ use rr_sim::metrics::LatencySummary;
 use rr_workloads::msrc::MsrcWorkload;
 use rr_workloads::trace::Trace;
 use rr_workloads::ycsb::YcsbWorkload;
+use std::time::Instant;
 
 /// Shared CLI options.
 pub struct Options {
@@ -26,6 +27,10 @@ pub struct Options {
     pub jobs: usize,
     /// Closed-loop queue depths for `sweep-qd`.
     pub queue_depths: Vec<u32>,
+    /// Open-loop arrival-rate multipliers for `sweep-rate`.
+    pub rates: Vec<f64>,
+    /// Output directory for `export` CSVs.
+    pub csv_dir: Option<String>,
 }
 
 impl Options {
@@ -588,6 +593,16 @@ pub fn fig15(opts: &Options) {
     );
 }
 
+/// One MSRC and one YCSB workload (the full evaluation suite's two trace
+/// families); `--quick` keeps a single workload for smoke runs.
+fn sweep_traces(opts: &Options) -> Vec<Trace> {
+    let mut traces = vec![MsrcWorkload::Mds1.synthesize(opts.trace_len(), opts.seed)];
+    if !opts.quick {
+        traces.push(YcsbWorkload::C.synthesize(opts.trace_len(), opts.seed));
+    }
+    traces
+}
+
 /// Queue-depth sweep: closed-loop replay at each configured queue depth,
 /// reporting full per-class latency distributions and throughput.
 pub fn sweep_qd(opts: &Options) {
@@ -596,12 +611,7 @@ pub fn sweep_qd(opts: &Options) {
         "load as a first-class knob: fio-style --iodepth sweep of the §7.1 SSD at the (2K, 6 mo) highlight point",
     );
     let base = SsdConfig::scaled_for_tests().with_seed(opts.seed);
-    // One MSRC and one YCSB workload (the full evaluation suite's two trace
-    // families); --quick keeps a single workload for smoke runs.
-    let mut traces = vec![MsrcWorkload::Mds1.synthesize(opts.trace_len(), opts.seed)];
-    if !opts.quick {
-        traces.push(YcsbWorkload::C.synthesize(opts.trace_len(), opts.seed));
-    }
+    let traces = sweep_traces(opts);
     let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2];
     let point = OperatingPoint::new(2000.0, 6.0);
     let cells = run_qd_sweep(
@@ -682,6 +692,229 @@ pub fn sweep_qd(opts: &Options) {
          QD=1 is the serial-device reference — deeper queues trade latency for\n\
          throughput via multi-die interleaving under channel contention)"
     );
+}
+
+/// Offered-load sweep: open-loop replay with each configured arrival-rate
+/// multiplier — the hockey-stick sibling of `sweep-qd`.
+pub fn sweep_rate(opts: &Options) {
+    heading(
+        "Rate sweep — open-loop tail latency vs. offered load",
+        "arrival-rate multiplier over the trace's native timing; latency turns up sharply past device saturation",
+    );
+    let base = SsdConfig::scaled_for_tests().with_seed(opts.seed);
+    let traces = sweep_traces(opts);
+    let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2];
+    let point = OperatingPoint::new(2000.0, 6.0);
+    let cells = run_rate_sweep(&base, &traces, point, &opts.rates, &mechanisms, opts.jobs);
+
+    println!("latency distributions (µs; — = class empty in this run):");
+    let mut rows = Vec::new();
+    for c in &cells {
+        let prefix = format!("{} / {} / rate={}", c.workload, c.mechanism, c.rate);
+        for (label, s) in [
+            ("reads", &c.reads),
+            ("writes", &c.writes),
+            ("retried reads", &c.retried_reads),
+        ] {
+            rows.push(vec![
+                prefix.clone(),
+                label.to_string(),
+                s.count.to_string(),
+                us_opt(s.p50),
+                us_opt(s.p95),
+                us_opt(s.p99),
+                us_opt(s.p999),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "run".into(),
+                "class".into(),
+                "n".into(),
+                "p50".into(),
+                "p95".into(),
+                "p99".into(),
+                "p99.9".into(),
+            ],
+            &rows
+        )
+    );
+
+    println!("\nthroughput and means:");
+    let mut rows = Vec::new();
+    for c in &cells {
+        rows.push(vec![
+            c.workload.clone(),
+            c.mechanism.clone(),
+            format!("{}", c.rate),
+            format!("{:.1}", c.avg_response_us),
+            format!("{:.2}", c.kiops),
+        ]);
+    }
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "workload".into(),
+                "mechanism".into(),
+                "rate ×".into(),
+                "avg resp (µs)".into(),
+                "kIOPS".into(),
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\n(open-loop: trace timestamps divided by the rate multiplier; rates past\n\
+         the device's saturation point produce the latency hockey-stick that\n\
+         closed-loop QD sweeps cannot show)"
+    );
+}
+
+/// The full Fig. 14 evaluation matrix as a single command (the wall-clock
+/// target of the hot-path work; timing diagnostics go to stderr so stdout
+/// stays byte-comparable across runs and `--jobs` values).
+pub fn matrix(opts: &Options) {
+    heading(
+        "Evaluation matrix — Fig. 14 mechanism set over the operating grid",
+        "§7.2's full grid in one command; stderr reports wall-clock and events/sec",
+    );
+    let t0 = Instant::now();
+    let cells = run_eval(opts, &Mechanism::FIG14);
+    let wall = t0.elapsed().as_secs_f64();
+    print_matrix(&cells, &Mechanism::FIG14);
+    let events: u64 = cells.iter().map(|c| c.events).sum();
+    eprintln!(
+        "matrix: {} cells, {events} simulated events in {wall:.2} s ({:.0} events/sec)",
+        cells.len(),
+        events as f64 / wall.max(1e-9)
+    );
+}
+
+/// One measured workload of `repro perf`.
+struct PerfRow {
+    name: &'static str,
+    cells: usize,
+    requests: u64,
+    events: u64,
+    wall_s: f64,
+}
+
+impl PerfRow {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// Measures simulator throughput (events/sec) over the evaluation matrix and
+/// both load sweeps, prints a summary, and writes `BENCH_sim.json` so the
+/// numbers accumulate as a tracked artifact. Returns `false` (CLI failure)
+/// if any workload processed zero events.
+pub fn perf(opts: &Options) -> bool {
+    heading(
+        "Perf — simulator hot-path throughput",
+        "events/sec over the Fig. 14 matrix and the QD/rate sweeps; written to BENCH_sim.json",
+    );
+    let base = SsdConfig::scaled_for_tests().with_seed(opts.seed);
+    let point = OperatingPoint::new(2000.0, 6.0);
+    let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2];
+    let mut rows = Vec::new();
+
+    let t0 = Instant::now();
+    let cells = run_eval(opts, &Mechanism::FIG14);
+    rows.push(PerfRow {
+        name: "matrix",
+        cells: cells.len(),
+        requests: (opts.trace_len() * cells.len()) as u64,
+        events: cells.iter().map(|c| c.events).sum(),
+        wall_s: t0.elapsed().as_secs_f64(),
+    });
+
+    let traces = sweep_traces(opts);
+    let t0 = Instant::now();
+    let qd = run_qd_sweep(
+        &base,
+        &traces,
+        point,
+        &opts.queue_depths,
+        &mechanisms,
+        opts.jobs,
+    );
+    rows.push(PerfRow {
+        name: "sweep-qd",
+        cells: qd.len(),
+        requests: (opts.trace_len() * qd.len()) as u64,
+        events: qd.iter().map(|c| c.events).sum(),
+        wall_s: t0.elapsed().as_secs_f64(),
+    });
+
+    let t0 = Instant::now();
+    let rate = run_rate_sweep(&base, &traces, point, &opts.rates, &mechanisms, opts.jobs);
+    rows.push(PerfRow {
+        name: "sweep-rate",
+        cells: rate.len(),
+        requests: (opts.trace_len() * rate.len()) as u64,
+        events: rate.iter().map(|c| c.events).sum(),
+        wall_s: t0.elapsed().as_secs_f64(),
+    });
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.cells.to_string(),
+                r.events.to_string(),
+                format!("{:.3}", r.wall_s),
+                format!("{:.0}", r.events_per_sec()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "workload".into(),
+                "cells".into(),
+                "events".into(),
+                "wall (s)".into(),
+                "events/sec".into(),
+            ],
+            &table
+        )
+    );
+
+    // Hand-rolled JSON: the workspace's serde is an offline no-op shim.
+    let mut json = String::from("{\n  \"bench\": \"sim_throughput\",\n");
+    json.push_str(&format!("  \"quick\": {},\n", opts.quick));
+    json.push_str(&format!("  \"jobs\": {},\n", opts.jobs));
+    json.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cells\": {}, \"requests\": {}, \"events\": {}, \
+             \"wall_s\": {:.6}, \"events_per_sec\": {:.1}}}{}\n",
+            r.name,
+            r.cells,
+            r.requests,
+            r.events,
+            r.wall_s,
+            r.events_per_sec(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("\nwrote BENCH_sim.json");
+
+    let ok = rows.iter().all(|r| r.events > 0);
+    if !ok {
+        eprintln!("perf: a workload processed zero events — the simulator did no work");
+    }
+    ok
 }
 
 /// §8 extensions: Eager-PnAR2 (speculative retry start) and AR2-Regular
@@ -851,11 +1084,16 @@ pub fn ablation(opts: &Options) {
     );
 }
 
-/// Writes every characterization figure's data as CSV files into `out/`.
+/// Writes every characterization figure's data as CSV files (default
+/// directory `figures-csv/`, override with `--csv DIR`). With `--csv`, the
+/// evaluation results — matrix cells and both load sweeps, with full
+/// per-class latency distributions — are exported too, so every figure can
+/// be regenerated outside the CLI.
 pub fn export(opts: &Options) {
     use rr_charact::export as csv;
-    let dir = std::path::Path::new("figures-csv");
-    std::fs::create_dir_all(dir).expect("create figures-csv directory");
+    let dir_name = opts.csv_dir.as_deref().unwrap_or("figures-csv");
+    let dir = std::path::Path::new(dir_name);
+    std::fs::create_dir_all(dir).expect("create CSV output directory");
     let mut platform = opts.platform();
     let pages = opts.pages_per_chip();
     let write = |name: &str, content: String| {
@@ -863,6 +1101,26 @@ pub fn export(opts: &Options) {
         std::fs::write(&path, content).expect("write CSV file");
         println!("wrote {}", path.display());
     };
+    if opts.csv_dir.is_some() {
+        use rr_core::export as eval_csv;
+        let base = SsdConfig::scaled_for_tests().with_seed(opts.seed);
+        let point = OperatingPoint::new(2000.0, 6.0);
+        let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2];
+        let cells = run_eval(opts, &Mechanism::FIG14);
+        write("matrix.csv", eval_csv::matrix_csv(&cells));
+        let traces = sweep_traces(opts);
+        let qd = run_qd_sweep(
+            &base,
+            &traces,
+            point,
+            &opts.queue_depths,
+            &mechanisms,
+            opts.jobs,
+        );
+        write("sweep_qd.csv", eval_csv::qd_sweep_csv(&qd));
+        let rate = run_rate_sweep(&base, &traces, point, &opts.rates, &mechanisms, opts.jobs);
+        write("sweep_rate.csv", eval_csv::rate_sweep_csv(&rate));
+    }
     write(
         "fig4b.csv",
         csv::fig4b_csv(&figures::fig4b(&platform, 2000.0, 12.0, &[16, 21], 3)),

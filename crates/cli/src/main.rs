@@ -17,7 +17,10 @@
 //!   rpt      the derived Read-timing Parameter Table
 //!   fig14    response time: Baseline / PR2 / AR2 / PnAR2 / NoRR
 //!   fig15    response time: PSO vs. PSO+PnAR2
+//!   matrix   the full Fig. 14 evaluation matrix (wall-clock on stderr)
 //!   sweep-qd closed-loop tail latency vs. queue depth (--queue-depth list)
+//!   sweep-rate  open-loop tail latency vs. offered load (--rate list)
+//!   perf     simulator events/sec over matrix + sweeps → BENCH_sim.json
 //!   extensions  the §8 future-work mechanisms (Eager-PnAR2, AR2-Regular)
 //!   ablation    design-choice ablations (fixed vs adaptive tPRE, PSO guard)
 //!   all      everything above
@@ -35,6 +38,8 @@ fn main() -> ExitCode {
     let mut seed = 0x5EED_2021u64;
     let mut jobs = 1usize;
     let mut queue_depths = vec![1u32, 4, 16];
+    let mut rates = vec![0.5f64, 1.0, 2.0, 4.0];
+    let mut csv_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -76,9 +81,53 @@ fn main() -> ExitCode {
                 }
                 queue_depths = v;
             }
+            "--rate" => {
+                i += 1;
+                let parsed: Option<Option<Vec<f64>>> = args.get(i).map(|s| {
+                    s.split(',')
+                        .map(|d| {
+                            d.trim().parse::<f64>().ok().filter(|v| {
+                                // Mirror ReplayMode::open_loop_rate's ppm
+                                // fixed-point: reject values that round to
+                                // zero there.
+                                v.is_finite() && (*v * 1e6).round() >= 1.0
+                            })
+                        })
+                        .collect::<Option<Vec<f64>>>()
+                });
+                let Some(Some(v)) = parsed else {
+                    eprintln!("--rate requires a comma-separated list of positive multipliers >= 0.000001 (e.g. 0.5,1,2,4)");
+                    return ExitCode::FAILURE;
+                };
+                if v.is_empty() {
+                    eprintln!("--rate requires at least one multiplier");
+                    return ExitCode::FAILURE;
+                }
+                rates = v;
+            }
+            "--csv" => {
+                i += 1;
+                let Some(v) = args.get(i).filter(|s| !s.starts_with('-')) else {
+                    eprintln!("--csv requires an output directory");
+                    return ExitCode::FAILURE;
+                };
+                csv_dir = Some(v.clone());
+            }
             "--help" | "-h" => {
                 print_help();
                 return ExitCode::SUCCESS;
+            }
+            // Attached short form: -j4 (as in `repro matrix -j1`).
+            j if j.len() > 2 && j.starts_with("-j") && !j.starts_with("--") => {
+                let Ok(v) = j[2..].parse::<usize>() else {
+                    eprintln!("-jN requires an integer value >= 1");
+                    return ExitCode::FAILURE;
+                };
+                if v < 1 {
+                    eprintln!("-jN requires an integer value >= 1");
+                    return ExitCode::FAILURE;
+                }
+                jobs = v;
             }
             c if command.is_none() && !c.starts_with('-') => command = Some(c.to_string()),
             other => {
@@ -98,8 +147,11 @@ fn main() -> ExitCode {
         seed,
         jobs,
         queue_depths,
+        rates,
+        csv_dir,
     };
-    let run = |name: &str| -> bool {
+    let mut failed = false;
+    let mut run = |name: &str| -> bool {
         match name {
             "table1" => commands::table1(),
             "table2" => commands::table2(&opts),
@@ -116,7 +168,10 @@ fn main() -> ExitCode {
             "export" => commands::export(&opts),
             "fig14" => commands::fig14(&opts),
             "fig15" => commands::fig15(&opts),
+            "matrix" => commands::matrix(&opts),
             "sweep-qd" => commands::sweep_qd(&opts),
+            "sweep-rate" => commands::sweep_rate(&opts),
+            "perf" => failed |= !commands::perf(&opts),
             _ => return false,
         }
         true
@@ -136,6 +191,7 @@ fn main() -> ExitCode {
             "fig14",
             "fig15",
             "sweep-qd",
+            "sweep-rate",
             "extensions",
             "ablation",
         ] {
@@ -143,6 +199,9 @@ fn main() -> ExitCode {
         }
         ExitCode::SUCCESS
     } else if run(&command) {
+        if failed {
+            return ExitCode::FAILURE;
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!("unknown command: {command}");
@@ -157,11 +216,13 @@ fn print_help() {
          \n\
          usage: repro <command> [--quick] [--seed N] [--jobs N] [--queue-depth L]\n\
          \n\
-         commands: table1 table2 fig4b fig5 fig7 fig8 fig9 fig10 fig11 rpt fig14 fig15\n           sweep-qd extensions ablation export all\n\
+         commands: table1 table2 fig4b fig5 fig7 fig8 fig9 fig10 fig11 rpt fig14 fig15\n           matrix sweep-qd sweep-rate perf extensions ablation export all\n\
          \n\
          --quick   smaller populations / traces (fast smoke run)\n\
          --seed N  deterministic seed (default 0x5EED2021)\n\
-         --jobs N  worker threads for the fig14/fig15/sweep-qd/extensions matrices\n           (default 1; any N produces results identical to the serial run)\n\
-         --queue-depth L  comma-separated closed-loop queue depths for sweep-qd\n           (default 1,4,16; alias --qd)"
+         --jobs N  worker threads for the evaluation matrices and sweeps\n           (default 1; any N produces results identical to the serial run)\n\
+         --queue-depth L  comma-separated closed-loop queue depths for sweep-qd\n           (default 1,4,16; alias --qd)\n\
+         --rate L  comma-separated arrival-rate multipliers for sweep-rate\n           (default 0.5,1,2,4)\n\
+         --csv DIR for export: write figure + evaluation CSVs into DIR"
     );
 }

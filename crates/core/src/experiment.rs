@@ -14,9 +14,10 @@ use rr_sim::config::SsdConfig;
 use rr_sim::metrics::{LatencySummary, SimReport};
 use rr_sim::readflow::{BaselineController, RetryController};
 use rr_sim::replay::ReplayMode;
-use rr_sim::ssd::Ssd;
+use rr_sim::ssd::{SimArena, Ssd};
 use rr_workloads::trace::Trace;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The SSD configurations evaluated in §7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -147,7 +148,8 @@ pub fn run_one(
 }
 
 /// Runs one mechanism on one trace at one operating point under an explicit
-/// replay mode (open-loop trace timestamps or closed-loop queue depth).
+/// replay mode (open-loop trace timestamps, rate-scaled open loop, or
+/// closed-loop queue depth).
 ///
 /// # Panics
 ///
@@ -160,15 +162,73 @@ pub fn run_one_with_mode(
     rpt: &ReadTimingParamTable,
     mode: ReplayMode,
 ) -> SimReport {
+    let mut arena = SimArena::new();
+    let cfg = prepared_config(base, point, mechanism.is_ideal());
+    run_one_prepared(&mut arena, &cfg, mechanism, trace, rpt, mode)
+}
+
+/// Builds the `Arc`-shared per-cell configuration once: `base` at `point`,
+/// with the ideal-SSD switch set for `NoRR`-style mechanisms. Sharing the
+/// `Arc` across a cell group keeps sweep setup from cloning the full config
+/// (chip geometry, timing and ECC tables) per simulator.
+fn prepared_config(base: &SsdConfig, point: OperatingPoint, ideal: bool) -> Arc<SsdConfig> {
     let mut cfg = base.clone().with_condition(OperatingCondition::new(
         point.pec,
         point.retention_months,
         base.condition.temp_c,
     ));
-    cfg.ideal_no_retry = mechanism.is_ideal();
-    let ssd = Ssd::new(cfg, mechanism.make_controller(rpt), trace.footprint_pages)
-        .expect("experiment configuration must be valid");
-    ssd.run_with(&trace.requests, mode)
+    cfg.ideal_no_retry = ideal;
+    Arc::new(cfg)
+}
+
+/// The `Arc`-shared configs one cell group needs: the regular config plus
+/// the ideal-SSD variant, the latter built only when an ideal mechanism is
+/// in the set. Every runner selects per mechanism through [`Self::get`].
+struct CellConfigs {
+    regular: Arc<SsdConfig>,
+    ideal: Option<Arc<SsdConfig>>,
+}
+
+impl CellConfigs {
+    fn new(base: &SsdConfig, point: OperatingPoint, mechanisms: &[Mechanism]) -> Self {
+        Self {
+            regular: prepared_config(base, point, false),
+            ideal: mechanisms
+                .iter()
+                .any(Mechanism::is_ideal)
+                .then(|| prepared_config(base, point, true)),
+        }
+    }
+
+    fn get(&self, m: Mechanism) -> &Arc<SsdConfig> {
+        if m.is_ideal() {
+            self.ideal.as_ref().expect("built for ideal mechanisms")
+        } else {
+            &self.regular
+        }
+    }
+}
+
+/// Runs one mechanism on a prepared (point-adjusted, `Arc`-shared) config,
+/// reusing `arena`'s simulation buffers — the unit of work every matrix and
+/// sweep runner dispatches per worker.
+fn run_one_prepared(
+    arena: &mut SimArena,
+    cfg: &Arc<SsdConfig>,
+    mechanism: Mechanism,
+    trace: &Trace,
+    rpt: &ReadTimingParamTable,
+    mode: ReplayMode,
+) -> SimReport {
+    Ssd::run_pooled(
+        arena,
+        Arc::clone(cfg),
+        mechanism.make_controller(rpt),
+        trace.footprint_pages,
+        &trace.requests,
+        mode,
+    )
+    .expect("experiment configuration must be valid")
 }
 
 /// One cell of a Fig. 14/15-style matrix.
@@ -192,6 +252,9 @@ pub struct MatrixCell {
     /// Read latency distribution (p50/p95/p99/p99.9, µs); quantiles are
     /// `None` when the workload completed no reads.
     pub read_latency: LatencySummary,
+    /// Discrete simulator events this cell processed (the `repro perf`
+    /// throughput numerator).
+    pub events: u64,
 }
 
 /// Computes the cells of one (trace, operating-point) group: the `Baseline`
@@ -204,6 +267,7 @@ pub struct MatrixCell {
 /// simulator — so the result is identical no matter which thread (or order)
 /// computes it.
 fn run_cell_group(
+    arena: &mut SimArena,
     base: &SsdConfig,
     trace: &Trace,
     read_dominant: bool,
@@ -211,7 +275,13 @@ fn run_cell_group(
     mechanisms: &[Mechanism],
     rpt: &ReadTimingParamTable,
 ) -> Vec<MatrixCell> {
-    let baseline = run_one(base, Mechanism::Baseline, point, trace, rpt);
+    // One shared config per (point, ideal-switch) — built once for the whole
+    // group instead of cloned per mechanism run.
+    let cfgs = CellConfigs::new(base, point, mechanisms);
+    let run = |arena: &mut SimArena, m: Mechanism| {
+        run_one_prepared(arena, cfgs.get(m), m, trace, rpt, ReplayMode::OpenLoop)
+    };
+    let baseline = run(arena, Mechanism::Baseline);
     let base_rt = baseline.avg_response_us();
     mechanisms
         .iter()
@@ -219,7 +289,7 @@ fn run_cell_group(
             let report = if m == Mechanism::Baseline {
                 baseline.clone()
             } else {
-                run_one(base, m, point, trace, rpt)
+                run(arena, m)
             };
             MatrixCell {
                 workload: trace.name.clone(),
@@ -234,6 +304,7 @@ fn run_cell_group(
                 },
                 avg_retry_steps: report.avg_retry_steps(),
                 read_latency: report.read_latency,
+                events: report.events_processed,
             }
         })
         .collect()
@@ -250,10 +321,12 @@ pub fn run_matrix(
     mechanisms: &[Mechanism],
 ) -> Vec<MatrixCell> {
     let rpt = ReadTimingParamTable::default();
+    let mut arena = SimArena::new();
     let mut cells = Vec::new();
     for (trace, read_dominant) in traces {
         for &point in points {
             cells.extend(run_cell_group(
+                &mut arena,
                 base,
                 trace,
                 *read_dominant,
@@ -267,38 +340,47 @@ pub fn run_matrix(
 }
 
 /// Maps `groups` through `f` on up to `jobs` worker threads, returning
-/// results **in input order**.
+/// results **in input order**. Each worker owns one context built by `ctx`
+/// (a [`SimArena`] in the experiment runners), so simulation buffers are
+/// recycled across the cells a worker processes instead of reallocated per
+/// cell.
 ///
 /// Work is distributed over a work-stealing index; each result lands in a
 /// slot keyed by its input position, so the output is bit-identical to a
-/// serial `groups.iter().map(f)` regardless of thread count or scheduling —
+/// serial `groups.iter().map(..)` regardless of thread count or scheduling —
 /// provided `f` itself is a pure function of its input (no shared mutable
-/// state), which every experiment runner here guarantees by seeding each
-/// simulator from the configuration alone.
-fn parallel_ordered<T: Sync, R: Send>(
+/// state observable in the result), which every experiment runner here
+/// guarantees by seeding each simulator from the configuration alone and by
+/// the arena's reset-to-pristine contract.
+fn parallel_ordered<T: Sync, R: Send, C>(
     groups: &[T],
     jobs: usize,
-    f: impl Fn(&T) -> R + Sync,
+    ctx: impl Fn() -> C + Sync,
+    f: impl Fn(&mut C, &T) -> R + Sync,
 ) -> Vec<R> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     let jobs = jobs.max(1).min(groups.len());
     if jobs <= 1 {
-        return groups.iter().map(f).collect();
+        let mut c = ctx();
+        return groups.iter().map(|g| f(&mut c, g)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = groups.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(g) = groups.get(i) else {
-                    break;
-                };
-                *slots[i]
-                    .lock()
-                    .expect("no worker panicked holding the slot lock") = Some(f(g));
+            scope.spawn(|| {
+                let mut c = ctx();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(g) = groups.get(i) else {
+                        break;
+                    };
+                    *slots[i]
+                        .lock()
+                        .expect("no worker panicked holding the slot lock") = Some(f(&mut c, g));
+                }
             });
         }
     });
@@ -329,9 +411,14 @@ pub fn run_matrix_parallel(
         .iter()
         .flat_map(|(trace, rd)| points.iter().map(move |&p| (trace, *rd, p)))
         .collect();
-    parallel_ordered(&groups, jobs, |&(trace, read_dominant, point)| {
-        run_cell_group(base, trace, read_dominant, point, mechanisms, &rpt)
-    })
+    parallel_ordered(
+        &groups,
+        jobs,
+        SimArena::new,
+        |arena, &(trace, read_dominant, point)| {
+            run_cell_group(arena, base, trace, read_dominant, point, mechanisms, &rpt)
+        },
+    )
     .into_iter()
     .flatten()
     .collect()
@@ -359,6 +446,8 @@ pub struct QdSweepCell {
     pub avg_response_us: f64,
     /// Throughput in thousands of IOPS of simulated time.
     pub kiops: f64,
+    /// Discrete simulator events this cell processed.
+    pub events: u64,
 }
 
 /// Sweeps closed-loop queue depths over `traces` × `queue_depths` ×
@@ -378,6 +467,7 @@ pub fn run_qd_sweep(
     jobs: usize,
 ) -> Vec<QdSweepCell> {
     let rpt = ReadTimingParamTable::default();
+    let cfgs = CellConfigs::new(base, point, mechanisms);
     // Unlike the figure matrices, no cell depends on another (there is no
     // in-group Baseline normalization), so mechanisms flatten into the
     // parallel work units too.
@@ -389,25 +479,108 @@ pub fn run_qd_sweep(
                 .flat_map(move |&qd| mechanisms.iter().map(move |&m| (t, qd, m)))
         })
         .collect();
-    parallel_ordered(&groups, jobs, |&(trace, queue_depth, m)| {
-        let report = run_one_with_mode(
-            base,
+    parallel_ordered(
+        &groups,
+        jobs,
+        SimArena::new,
+        |arena, &(trace, queue_depth, m)| {
+            let report = run_one_prepared(
+                arena,
+                cfgs.get(m),
+                m,
+                trace,
+                &rpt,
+                ReplayMode::closed_loop(queue_depth),
+            );
+            QdSweepCell {
+                workload: trace.name.clone(),
+                mechanism: m.name().to_string(),
+                queue_depth,
+                point,
+                reads: report.read_latency,
+                writes: report.write_latency,
+                retried_reads: report.retried_read_latency,
+                avg_response_us: report.avg_response_us(),
+                kiops: report.kiops(),
+                events: report.events_processed,
+            }
+        },
+    )
+}
+
+/// One cell of an offered-load (arrival-rate) sweep: open-loop replay with
+/// inter-arrival times scaled by `rate`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateSweepCell {
+    /// Workload name.
+    pub workload: String,
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Arrival-rate multiplier over the trace's native timing (2.0 = twice
+    /// the offered load).
+    pub rate: f64,
+    /// Operating point.
+    pub point: OperatingPoint,
+    /// Read latency distribution (µs).
+    pub reads: LatencySummary,
+    /// Write latency distribution (µs).
+    pub writes: LatencySummary,
+    /// Latency distribution of reads that needed ≥ 1 retry step (µs).
+    pub retried_reads: LatencySummary,
+    /// Average response time over all requests, µs.
+    pub avg_response_us: f64,
+    /// Throughput in thousands of IOPS of simulated time.
+    pub kiops: f64,
+    /// Discrete simulator events this cell processed.
+    pub events: u64,
+}
+
+/// Sweeps open-loop offered load over `traces` × `rates` × `mechanisms` at
+/// one operating point, on `jobs` worker threads.
+///
+/// The rate axis is the open-loop sibling of [`run_qd_sweep`]'s queue-depth
+/// axis: instead of pinning concurrency, each cell replays the trace with
+/// every inter-arrival time divided by `rate`, producing the classic
+/// latency-vs-offered-load hockey-stick as `rate` passes the device's
+/// saturation point. Output is bit-identical for any `jobs` value.
+pub fn run_rate_sweep(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    rates: &[f64],
+    mechanisms: &[Mechanism],
+    jobs: usize,
+) -> Vec<RateSweepCell> {
+    let rpt = ReadTimingParamTable::default();
+    let cfgs = CellConfigs::new(base, point, mechanisms);
+    let groups: Vec<(&Trace, f64, Mechanism)> = traces
+        .iter()
+        .flat_map(|t| {
+            rates
+                .iter()
+                .flat_map(move |&rate| mechanisms.iter().map(move |&m| (t, rate, m)))
+        })
+        .collect();
+    parallel_ordered(&groups, jobs, SimArena::new, |arena, &(trace, rate, m)| {
+        let report = run_one_prepared(
+            arena,
+            cfgs.get(m),
             m,
-            point,
             trace,
             &rpt,
-            ReplayMode::closed_loop(queue_depth),
+            ReplayMode::open_loop_rate(rate),
         );
-        QdSweepCell {
+        RateSweepCell {
             workload: trace.name.clone(),
             mechanism: m.name().to_string(),
-            queue_depth,
+            rate,
             point,
             reads: report.read_latency,
             writes: report.write_latency,
             retried_reads: report.retried_read_latency,
             avg_response_us: report.avg_response_us(),
             kiops: report.kiops(),
+            events: report.events_processed,
         }
     })
 }
@@ -595,6 +768,7 @@ mod tests {
                 normalized: 1.0,
                 avg_retry_steps: 10.0,
                 read_latency: LatencySummary::default(),
+                events: 0,
             },
             MatrixCell {
                 workload: "w".into(),
@@ -605,6 +779,7 @@ mod tests {
                 normalized: 0.7,
                 avg_retry_steps: 10.0,
                 read_latency: LatencySummary::default(),
+                events: 0,
             },
         ];
         let s = reduction_vs(&cells, "PnAR2", "Baseline", true);
@@ -646,6 +821,29 @@ mod tests {
         // Every cell of this read-only workload reports a real read tail.
         assert!(serial.iter().all(|c| c.reads.p99.is_some()));
         assert!(serial.iter().all(|c| c.writes.p99.is_none()));
+    }
+
+    #[test]
+    fn rate_sweep_is_bit_identical_and_rate_one_matches_open_loop() {
+        let base = SsdConfig::scaled_for_tests();
+        let traces = vec![tiny_trace("a", 60)];
+        let point = OperatingPoint::new(2000.0, 6.0);
+        let rates = [0.5, 1.0, 4.0];
+        let serial = run_rate_sweep(&base, &traces, point, &rates, &[Mechanism::Baseline], 1);
+        assert_eq!(serial.len(), 3);
+        for jobs in [2, 8] {
+            let parallel =
+                run_rate_sweep(&base, &traces, point, &rates, &[Mechanism::Baseline], jobs);
+            assert_eq!(serial, parallel, "jobs = {jobs} diverged");
+        }
+        // Rate 1.0 must be exactly the plain open-loop replay.
+        let rpt = ReadTimingParamTable::default();
+        let open = run_one(&base, Mechanism::Baseline, point, &traces[0], &rpt);
+        assert_eq!(serial[1].reads, open.read_latency);
+        assert!((serial[1].avg_response_us - open.avg_response_us()).abs() < 1e-12);
+        // Offered load can only hurt (or leave) latency: the rate-4 replay's
+        // mean response is at least the rate-0.5 replay's.
+        assert!(serial[2].avg_response_us >= serial[0].avg_response_us - 1e-9);
     }
 
     #[test]

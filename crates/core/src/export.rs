@@ -1,0 +1,196 @@
+//! CSV export of evaluation results, so Fig. 14/15-style matrices and the
+//! load sweeps can be re-plotted outside the CLI (`repro export --csv DIR`).
+//!
+//! Per-class latency distributions serialize as five columns each
+//! (`<class>_count, <class>_p50_us, <class>_p95_us, <class>_p99_us,
+//! <class>_p999_us`); an empty class leaves its quantile columns blank
+//! rather than fabricating a `0.0` tail, mirroring the CLI's `—` cells.
+
+use crate::experiment::{MatrixCell, QdSweepCell, RateSweepCell};
+use rr_sim::metrics::LatencySummary;
+use std::fmt::Write as _;
+
+fn opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.3}")).unwrap_or_default()
+}
+
+/// The five per-class columns of one [`LatencySummary`].
+fn latency_cols(s: &LatencySummary) -> String {
+    format!(
+        "{},{},{},{},{}",
+        s.count,
+        opt(s.p50),
+        opt(s.p95),
+        opt(s.p99),
+        opt(s.p999)
+    )
+}
+
+/// Header fragment matching [`latency_cols`] for a class prefix.
+fn latency_header(class: &str) -> String {
+    format!("{class}_count,{class}_p50_us,{class}_p95_us,{class}_p99_us,{class}_p999_us")
+}
+
+/// Fig. 14/15-style matrix cells as CSV.
+pub fn matrix_csv(cells: &[MatrixCell]) -> String {
+    let mut out = format!(
+        "workload,read_dominant,pec,retention_months,mechanism,\
+         avg_response_us,normalized,avg_retry_steps,events,{}\n",
+        latency_header("read")
+    );
+    for c in cells {
+        writeln!(
+            out,
+            "{},{},{},{},{},{:.3},{:.6},{:.3},{},{}",
+            c.workload,
+            c.read_dominant,
+            c.point.pec,
+            c.point.retention_months,
+            c.mechanism,
+            c.avg_response_us,
+            c.normalized,
+            c.avg_retry_steps,
+            c.events,
+            latency_cols(&c.read_latency)
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+/// Closed-loop queue-depth sweep cells as CSV.
+pub fn qd_sweep_csv(cells: &[QdSweepCell]) -> String {
+    let mut out = format!(
+        "workload,mechanism,queue_depth,pec,retention_months,\
+         avg_response_us,kiops,events,{},{},{}\n",
+        latency_header("reads"),
+        latency_header("writes"),
+        latency_header("retried_reads")
+    );
+    for c in cells {
+        writeln!(
+            out,
+            "{},{},{},{},{},{:.3},{:.3},{},{},{},{}",
+            c.workload,
+            c.mechanism,
+            c.queue_depth,
+            c.point.pec,
+            c.point.retention_months,
+            c.avg_response_us,
+            c.kiops,
+            c.events,
+            latency_cols(&c.reads),
+            latency_cols(&c.writes),
+            latency_cols(&c.retried_reads)
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+/// Open-loop rate sweep cells as CSV.
+pub fn rate_sweep_csv(cells: &[RateSweepCell]) -> String {
+    let mut out = format!(
+        "workload,mechanism,rate,pec,retention_months,\
+         avg_response_us,kiops,events,{},{},{}\n",
+        latency_header("reads"),
+        latency_header("writes"),
+        latency_header("retried_reads")
+    );
+    for c in cells {
+        writeln!(
+            out,
+            "{},{},{},{},{},{:.3},{:.3},{},{},{},{}",
+            c.workload,
+            c.mechanism,
+            c.rate,
+            c.point.pec,
+            c.point.retention_months,
+            c.avg_response_us,
+            c.kiops,
+            c.events,
+            latency_cols(&c.reads),
+            latency_cols(&c.writes),
+            latency_cols(&c.retried_reads)
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_matrix, run_qd_sweep, run_rate_sweep, Mechanism, OperatingPoint};
+    use rr_sim::config::SsdConfig;
+    use rr_sim::request::{HostRequest, IoOp};
+    use rr_util::time::SimTime;
+    use rr_workloads::trace::Trace;
+
+    fn tiny_trace(reads: usize) -> Trace {
+        let requests = (0..reads)
+            .map(|i| {
+                let op = if i % 5 == 0 { IoOp::Write } else { IoOp::Read };
+                HostRequest::new(
+                    SimTime::from_us(300 * i as u64),
+                    op,
+                    (i as u64 * 7) % 2000,
+                    1,
+                )
+            })
+            .collect();
+        Trace::new("t", requests, 4_000)
+    }
+
+    #[test]
+    fn matrix_csv_has_one_row_per_cell_and_stable_columns() {
+        let base = SsdConfig::scaled_for_tests();
+        let cells = run_matrix(
+            &base,
+            &[(tiny_trace(40), true)],
+            &[OperatingPoint::new(2000.0, 6.0)],
+            &[Mechanism::Baseline, Mechanism::PnAr2],
+        );
+        let csv = matrix_csv(&cells);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + cells.len());
+        let cols = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        }
+        assert!(lines[0].starts_with("workload,read_dominant,pec"));
+        assert!(lines[1].contains("Baseline"));
+    }
+
+    #[test]
+    fn sweep_csvs_blank_out_empty_classes() {
+        let base = SsdConfig::scaled_for_tests();
+        // Read-only trace: the writes class must be blank, not 0.0.
+        let requests = (0..30)
+            .map(|i| HostRequest::new(SimTime::ZERO, IoOp::Read, i * 3, 1))
+            .collect();
+        let trace = Trace::new("ro", requests, 1_000);
+        let point = OperatingPoint::new(0.0, 0.0);
+        let qd = run_qd_sweep(
+            &base,
+            std::slice::from_ref(&trace),
+            point,
+            &[2],
+            &[Mechanism::Baseline],
+            1,
+        );
+        let csv = qd_sweep_csv(&qd);
+        let row = csv.lines().nth(1).expect("one data row");
+        // Five consecutive blank columns: writes count is 0 and the four
+        // write quantiles are empty.
+        assert!(row.contains(",0,,,,"), "writes class not blanked: {row}");
+        let rate = run_rate_sweep(&base, &[trace], point, &[2.0], &[Mechanism::Baseline], 1);
+        let csv = rate_sweep_csv(&rate);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv
+            .lines()
+            .nth(1)
+            .expect("row")
+            .starts_with("ro,Baseline,2,"));
+    }
+}

@@ -19,10 +19,10 @@
 
 use crate::rpt::ReadTimingParamTable;
 use rr_flash::calibration::{Calibration, OperatingCondition};
-use rr_sim::readflow::{ReadAction, ReadContext, RetryController};
+use rr_sim::readflow::{Actions, ReadAction, ReadContext, RetryController, TxnTable};
 use rr_sim::request::TxnId;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Offline-profiled mean retry steps per (PEC, retention) bucket — the
 /// §8 "accurate error model" a controller could ship alongside the RPT.
@@ -105,7 +105,7 @@ pub struct EagerPnAr2Controller {
     expected: ExpectedStepsTable,
     /// Minimum predicted steps to skip the default initial read.
     threshold: f64,
-    states: HashMap<TxnId, EagerState>,
+    states: TxnTable<EagerState>,
 }
 
 impl EagerPnAr2Controller {
@@ -121,19 +121,19 @@ impl EagerPnAr2Controller {
             rpt,
             expected,
             threshold,
-            states: HashMap::new(),
+            states: TxnTable::new(),
         }
     }
 
     fn state(&mut self, txn: TxnId) -> &mut EagerState {
         self.states
-            .get_mut(&txn)
+            .get_mut(txn)
             .expect("event for an unknown eager read")
     }
 }
 
 impl RetryController for EagerPnAr2Controller {
-    fn on_start(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+    fn on_start(&mut self, ctx: &ReadContext) -> Actions {
         let predicted = self.expected.expected_steps(ctx.condition);
         if predicted >= self.threshold {
             // Skip the doomed default read: reduce timing now, retry from
@@ -147,9 +147,9 @@ impl RetryController for EagerPnAr2Controller {
                 },
             );
             let reduced = self.rpt.reduced_phases(ctx.condition);
-            vec![ReadAction::SetFeature {
+            Actions::one(ReadAction::SetFeature {
                 phases: Some(reduced),
-            }]
+            })
         } else {
             self.states.insert(
                 ctx.txn,
@@ -159,18 +159,18 @@ impl RetryController for EagerPnAr2Controller {
                     eager: false,
                 },
             );
-            vec![ReadAction::Sense { step: 0 }]
+            Actions::one(ReadAction::Sense { step: 0 })
         }
     }
 
-    fn on_sense_done(&mut self, ctx: &ReadContext, step: u32) -> Vec<ReadAction> {
+    fn on_sense_done(&mut self, ctx: &ReadContext, step: u32) -> Actions {
         let max_step = ctx.max_step;
         let s = self.state(ctx.txn);
         s.sensing = None;
         match s.phase {
-            EagerPhase::Initial => vec![ReadAction::Transfer { step }],
+            EagerPhase::Initial => Actions::one(ReadAction::Transfer { step }),
             EagerPhase::Pipelined | EagerPhase::FallbackPipelined => {
-                let mut actions = vec![ReadAction::Transfer { step }];
+                let mut actions = Actions::one(ReadAction::Transfer { step });
                 if step < max_step {
                     s.sensing = Some(step + 1);
                     actions.push(ReadAction::Sense { step: step + 1 });
@@ -187,10 +187,10 @@ impl RetryController for EagerPnAr2Controller {
         step: u32,
         success: bool,
         _margin: u32,
-    ) -> Vec<ReadAction> {
+    ) -> Actions {
         let s = *self.state(ctx.txn);
         if success {
-            let mut actions = Vec::new();
+            let mut actions = Actions::new();
             if s.sensing.is_some() {
                 actions.push(ReadAction::Reset);
             }
@@ -204,36 +204,36 @@ impl RetryController for EagerPnAr2Controller {
             EagerPhase::Initial => {
                 let reduced = self.rpt.reduced_phases(ctx.condition);
                 self.state(ctx.txn).phase = EagerPhase::AwaitReduce;
-                vec![ReadAction::SetFeature {
+                Actions::one(ReadAction::SetFeature {
                     phases: Some(reduced),
-                }]
+                })
             }
             EagerPhase::Pipelined => {
                 if step == ctx.max_step && s.sensing.is_none() {
                     self.state(ctx.txn).phase = EagerPhase::AwaitFallbackRestore;
-                    vec![ReadAction::SetFeature { phases: None }]
+                    Actions::one(ReadAction::SetFeature { phases: None })
                 } else {
-                    Vec::new()
+                    Actions::new()
                 }
             }
             EagerPhase::FallbackPipelined => {
                 if step == ctx.max_step && s.sensing.is_none() {
-                    vec![ReadAction::CompleteFailure]
+                    Actions::one(ReadAction::CompleteFailure)
                 } else {
-                    Vec::new()
+                    Actions::new()
                 }
             }
             _ => unreachable!("no decode can complete while SET FEATURE is in flight"),
         }
     }
 
-    fn on_feature_applied(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+    fn on_feature_applied(&mut self, ctx: &ReadContext) -> Actions {
         let s = self.state(ctx.txn);
         match s.phase {
             EagerPhase::AwaitReduce => {
                 s.phase = EagerPhase::Pipelined;
                 s.sensing = Some(1);
-                vec![ReadAction::Sense { step: 1 }]
+                Actions::one(ReadAction::Sense { step: 1 })
             }
             EagerPhase::AwaitFallbackRestore => {
                 s.phase = EagerPhase::FallbackPipelined;
@@ -242,18 +242,18 @@ impl RetryController for EagerPnAr2Controller {
                 // V_REF of entry 0.
                 let start = if s.eager { 0 } else { 1 };
                 s.sensing = Some(start);
-                vec![ReadAction::Sense { step: start }]
+                Actions::one(ReadAction::Sense { step: start })
             }
             _ => unreachable!("unexpected SET FEATURE completion"),
         }
     }
 
-    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Vec<ReadAction> {
-        Vec::new()
+    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Actions {
+        Actions::new()
     }
 
     fn on_end(&mut self, ctx: &ReadContext, _successful_step: Option<u32>) {
-        self.states.remove(&ctx.txn);
+        self.states.remove(ctx.txn);
     }
 
     fn name(&self) -> &str {
@@ -269,7 +269,7 @@ impl RetryController for EagerPnAr2Controller {
 #[derive(Debug)]
 pub struct RegularAr2Controller {
     rpt: ReadTimingParamTable,
-    states: HashMap<TxnId, RegState>,
+    states: TxnTable<RegState>,
     dies_reduced: HashSet<u32>,
 }
 
@@ -284,20 +284,18 @@ impl RegularAr2Controller {
     pub fn new(rpt: ReadTimingParamTable) -> Self {
         Self {
             rpt,
-            states: HashMap::new(),
+            states: TxnTable::new(),
             dies_reduced: HashSet::new(),
         }
     }
 
     fn state(&mut self, txn: TxnId) -> &mut RegState {
-        self.states
-            .get_mut(&txn)
-            .expect("event for an unknown read")
+        self.states.get_mut(txn).expect("event for an unknown read")
     }
 }
 
 impl RetryController for RegularAr2Controller {
-    fn on_start(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+    fn on_start(&mut self, ctx: &ReadContext) -> Actions {
         if self.dies_reduced.insert(ctx.die) {
             // First read on this die: install the reduction permanently.
             // Use the cold-data bucket — the most error-prone data this die
@@ -310,9 +308,9 @@ impl RetryController for RegularAr2Controller {
                 },
             );
             let reduced = self.rpt.reduced_phases(ctx.condition);
-            vec![ReadAction::SetFeature {
+            Actions::one(ReadAction::SetFeature {
                 phases: Some(reduced),
-            }]
+            })
         } else {
             self.states.insert(
                 ctx.txn,
@@ -321,15 +319,15 @@ impl RetryController for RegularAr2Controller {
                     await_feature: false,
                 },
             );
-            vec![ReadAction::Sense { step: 0 }]
+            Actions::one(ReadAction::Sense { step: 0 })
         }
     }
 
-    fn on_sense_done(&mut self, ctx: &ReadContext, step: u32) -> Vec<ReadAction> {
+    fn on_sense_done(&mut self, ctx: &ReadContext, step: u32) -> Actions {
         let max_step = ctx.max_step;
         let s = self.state(ctx.txn);
         s.sensing = None;
-        let mut actions = vec![ReadAction::Transfer { step }];
+        let mut actions = Actions::one(ReadAction::Transfer { step });
         if step < max_step {
             // Pipeline like PR²: timing is already reduced, so speculation
             // costs only the small RESET on success.
@@ -345,35 +343,35 @@ impl RetryController for RegularAr2Controller {
         step: u32,
         success: bool,
         _margin: u32,
-    ) -> Vec<ReadAction> {
+    ) -> Actions {
         let s = *self.state(ctx.txn);
         if success {
             if s.sensing.is_some() {
-                vec![ReadAction::Reset, ReadAction::CompleteSuccess { step }]
+                Actions::pair(ReadAction::Reset, ReadAction::CompleteSuccess { step })
             } else {
-                vec![ReadAction::CompleteSuccess { step }]
+                Actions::one(ReadAction::CompleteSuccess { step })
             }
         } else if step == ctx.max_step && s.sensing.is_none() {
-            vec![ReadAction::CompleteFailure]
+            Actions::one(ReadAction::CompleteFailure)
         } else {
-            Vec::new()
+            Actions::new()
         }
     }
 
-    fn on_feature_applied(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+    fn on_feature_applied(&mut self, ctx: &ReadContext) -> Actions {
         let s = self.state(ctx.txn);
         debug_assert!(s.await_feature, "unexpected SET FEATURE completion");
         s.await_feature = false;
         s.sensing = Some(0);
-        vec![ReadAction::Sense { step: 0 }]
+        Actions::one(ReadAction::Sense { step: 0 })
     }
 
-    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Vec<ReadAction> {
-        Vec::new()
+    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Actions {
+        Actions::new()
     }
 
     fn on_end(&mut self, ctx: &ReadContext, _successful_step: Option<u32>) {
-        self.states.remove(&ctx.txn);
+        self.states.remove(ctx.txn);
     }
 
     fn name(&self) -> &str {
@@ -414,13 +412,13 @@ mod tests {
             2.0,
         );
         let x = ctx(1, 2000.0, 12.0);
-        let acts = c.on_start(&x);
+        let acts = c.on_start(&x).to_vec();
         assert!(
             matches!(acts[0], ReadAction::SetFeature { phases: Some(_) }),
             "aged reads must start with the timing switch, got {acts:?}"
         );
         assert_eq!(
-            c.on_feature_applied(&x),
+            c.on_feature_applied(&x).to_vec(),
             vec![ReadAction::Sense { step: 1 }]
         );
     }
@@ -433,7 +431,7 @@ mod tests {
             2.0,
         );
         let x = ctx(1, 0.0, 0.0);
-        assert_eq!(c.on_start(&x), vec![ReadAction::Sense { step: 0 }]);
+        assert_eq!(c.on_start(&x).to_vec(), vec![ReadAction::Sense { step: 0 }]);
     }
 
     #[test]
@@ -449,15 +447,15 @@ mod tests {
         c.on_feature_applied(&x); // pipelined from entry 1
         c.on_sense_done(&x, 1);
         c.on_sense_done(&x, 2);
-        assert_eq!(c.on_decode_done(&x, 1, false, 0), vec![]);
+        assert_eq!(c.on_decode_done(&x, 1, false, 0).to_vec(), vec![]);
         // Exhausted: restore...
         assert_eq!(
-            c.on_decode_done(&x, 2, false, 0),
+            c.on_decode_done(&x, 2, false, 0).to_vec(),
             vec![ReadAction::SetFeature { phases: None }]
         );
         // ...and the fallback walk starts at entry 0 (it was skipped).
         assert_eq!(
-            c.on_feature_applied(&x),
+            c.on_feature_applied(&x).to_vec(),
             vec![ReadAction::Sense { step: 0 }]
         );
     }
@@ -466,20 +464,20 @@ mod tests {
     fn regular_ar2_reduces_once_per_die() {
         let mut c = RegularAr2Controller::new(ReadTimingParamTable::default());
         let x = ctx(1, 1000.0, 6.0);
-        let acts = c.on_start(&x);
+        let acts = c.on_start(&x).to_vec();
         assert!(matches!(
             acts[0],
             ReadAction::SetFeature { phases: Some(_) }
         ));
         assert_eq!(
-            c.on_feature_applied(&x),
+            c.on_feature_applied(&x).to_vec(),
             vec![ReadAction::Sense { step: 0 }]
         );
         c.on_decode_done(&x, 0, true, 30);
         c.on_end(&x, Some(0));
         // Second read on the same die goes straight to sensing.
         let y = ctx(2, 1000.0, 6.0);
-        assert_eq!(c.on_start(&y), vec![ReadAction::Sense { step: 0 }]);
+        assert_eq!(c.on_start(&y).to_vec(), vec![ReadAction::Sense { step: 0 }]);
     }
 
     #[test]

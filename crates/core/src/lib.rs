@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod export;
 pub mod extensions;
 pub mod mechanisms;
 pub mod pso;

@@ -16,9 +16,8 @@
 //! the default timing and repeats the read-retry once.
 
 use crate::rpt::ReadTimingParamTable;
-use rr_sim::readflow::{ReadAction, ReadContext, RetryController};
+use rr_sim::readflow::{Actions, ReadAction, ReadContext, RetryController, TxnTable};
 use rr_sim::request::TxnId;
-use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -38,7 +37,7 @@ enum Phase {
 #[derive(Debug)]
 pub struct Ar2Controller {
     rpt: ReadTimingParamTable,
-    states: HashMap<TxnId, Phase>,
+    states: TxnTable<Phase>,
 }
 
 impl Ar2Controller {
@@ -46,25 +45,25 @@ impl Ar2Controller {
     pub fn new(rpt: ReadTimingParamTable) -> Self {
         Self {
             rpt,
-            states: HashMap::new(),
+            states: TxnTable::new(),
         }
     }
 
     fn phase(&mut self, txn: TxnId) -> &mut Phase {
         self.states
-            .get_mut(&txn)
+            .get_mut(txn)
             .expect("event for an unknown AR2 read")
     }
 }
 
 impl RetryController for Ar2Controller {
-    fn on_start(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+    fn on_start(&mut self, ctx: &ReadContext) -> Actions {
         self.states.insert(ctx.txn, Phase::Initial);
-        vec![ReadAction::Sense { step: 0 }]
+        Actions::one(ReadAction::Sense { step: 0 })
     }
 
-    fn on_sense_done(&mut self, _ctx: &ReadContext, step: u32) -> Vec<ReadAction> {
-        vec![ReadAction::Transfer { step }]
+    fn on_sense_done(&mut self, _ctx: &ReadContext, step: u32) -> Actions {
+        Actions::one(ReadAction::Transfer { step })
     }
 
     fn on_decode_done(
@@ -73,16 +72,16 @@ impl RetryController for Ar2Controller {
         step: u32,
         success: bool,
         _margin: u32,
-    ) -> Vec<ReadAction> {
+    ) -> Actions {
         let phase = *self.phase(ctx.txn);
         if success {
             return match phase {
                 // ④ roll back the timing; completion does not wait for it.
-                Phase::ReducedRetry => vec![
+                Phase::ReducedRetry => Actions::pair(
                     ReadAction::CompleteSuccess { step },
                     ReadAction::SetFeature { phases: None },
-                ],
-                _ => vec![ReadAction::CompleteSuccess { step }],
+                ),
+                _ => Actions::one(ReadAction::CompleteSuccess { step }),
             };
         }
         match phase {
@@ -90,24 +89,24 @@ impl RetryController for Ar2Controller {
                 // ① query the RPT, ② adjust tPRE via SET FEATURE.
                 let reduced = self.rpt.reduced_phases(ctx.condition);
                 *self.phase(ctx.txn) = Phase::AwaitReduce;
-                vec![ReadAction::SetFeature {
+                Actions::one(ReadAction::SetFeature {
                     phases: Some(reduced),
-                }]
+                })
             }
             Phase::ReducedRetry => {
                 if step < ctx.max_step {
-                    vec![ReadAction::Sense { step: step + 1 }]
+                    Actions::one(ReadAction::Sense { step: step + 1 })
                 } else {
                     // §6.2 outlier fallback: retry once more at default tPRE.
                     *self.phase(ctx.txn) = Phase::AwaitFallbackRestore;
-                    vec![ReadAction::SetFeature { phases: None }]
+                    Actions::one(ReadAction::SetFeature { phases: None })
                 }
             }
             Phase::FallbackRetry => {
                 if step < ctx.max_step {
-                    vec![ReadAction::Sense { step: step + 1 }]
+                    Actions::one(ReadAction::Sense { step: step + 1 })
                 } else {
-                    vec![ReadAction::CompleteFailure]
+                    Actions::one(ReadAction::CompleteFailure)
                 }
             }
             Phase::AwaitReduce | Phase::AwaitFallbackRestore => {
@@ -116,26 +115,26 @@ impl RetryController for Ar2Controller {
         }
     }
 
-    fn on_feature_applied(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+    fn on_feature_applied(&mut self, ctx: &ReadContext) -> Actions {
         match *self.phase(ctx.txn) {
             Phase::AwaitReduce => {
                 *self.phase(ctx.txn) = Phase::ReducedRetry;
-                vec![ReadAction::Sense { step: 1 }]
+                Actions::one(ReadAction::Sense { step: 1 })
             }
             Phase::AwaitFallbackRestore => {
                 *self.phase(ctx.txn) = Phase::FallbackRetry;
-                vec![ReadAction::Sense { step: 1 }]
+                Actions::one(ReadAction::Sense { step: 1 })
             }
             _ => unreachable!("unexpected SET FEATURE completion"),
         }
     }
 
-    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Vec<ReadAction> {
+    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Actions {
         unreachable!("AR2 never issues RESET")
     }
 
     fn on_end(&mut self, ctx: &ReadContext, _successful_step: Option<u32>) {
-        self.states.remove(&ctx.txn);
+        self.states.remove(ctx.txn);
     }
 
     fn name(&self) -> &str {
@@ -167,12 +166,12 @@ mod tests {
     fn reduces_timing_after_initial_failure() {
         let mut c = controller();
         let x = ctx(40);
-        assert_eq!(c.on_start(&x), vec![ReadAction::Sense { step: 0 }]);
+        assert_eq!(c.on_start(&x).to_vec(), vec![ReadAction::Sense { step: 0 }]);
         assert_eq!(
-            c.on_sense_done(&x, 0),
+            c.on_sense_done(&x, 0).to_vec(),
             vec![ReadAction::Transfer { step: 0 }]
         );
-        let acts = c.on_decode_done(&x, 0, false, 0);
+        let acts = c.on_decode_done(&x, 0, false, 0).to_vec();
         // SET FEATURE installs reduced tPRE (40 % at the worst-case bucket).
         let ReadAction::SetFeature { phases: Some(p) } = acts[0] else {
             panic!("expected SET FEATURE, got {acts:?}");
@@ -181,17 +180,17 @@ mod tests {
         assert!((reduction - 0.40).abs() < 0.03, "reduction = {reduction}");
         // Retry steps begin after the feature is applied.
         assert_eq!(
-            c.on_feature_applied(&x),
+            c.on_feature_applied(&x).to_vec(),
             vec![ReadAction::Sense { step: 1 }]
         );
         // Failed steps walk the table sequentially.
         assert_eq!(
-            c.on_decode_done(&x, 1, false, 0),
+            c.on_decode_done(&x, 1, false, 0).to_vec(),
             vec![ReadAction::Sense { step: 2 }]
         );
         // Success restores the default timing after completing.
         assert_eq!(
-            c.on_decode_done(&x, 2, true, 30),
+            c.on_decode_done(&x, 2, true, 30).to_vec(),
             vec![
                 ReadAction::CompleteSuccess { step: 2 },
                 ReadAction::SetFeature { phases: None },
@@ -205,7 +204,7 @@ mod tests {
         let x = ctx(40);
         c.on_start(&x);
         assert_eq!(
-            c.on_decode_done(&x, 0, true, 60),
+            c.on_decode_done(&x, 0, true, 60).to_vec(),
             vec![ReadAction::CompleteSuccess { step: 0 }]
         );
     }
@@ -220,16 +219,16 @@ mod tests {
         c.on_decode_done(&x, 1, false, 0);
         // Table exhausted under reduced timing → restore defaults...
         assert_eq!(
-            c.on_decode_done(&x, 2, false, 0),
+            c.on_decode_done(&x, 2, false, 0).to_vec(),
             vec![ReadAction::SetFeature { phases: None }]
         );
         // ...and walk the table once more at default tPRE (§6.2).
         assert_eq!(
-            c.on_feature_applied(&x),
+            c.on_feature_applied(&x).to_vec(),
             vec![ReadAction::Sense { step: 1 }]
         );
         assert_eq!(
-            c.on_decode_done(&x, 1, true, 10),
+            c.on_decode_done(&x, 1, true, 10).to_vec(),
             vec![ReadAction::CompleteSuccess { step: 1 }]
         );
     }
@@ -244,7 +243,7 @@ mod tests {
         c.on_decode_done(&x, 1, false, 0); // reduced walk exhausted
         c.on_feature_applied(&x); // fallback begins
         assert_eq!(
-            c.on_decode_done(&x, 1, false, 0),
+            c.on_decode_done(&x, 1, false, 0).to_vec(),
             vec![ReadAction::CompleteFailure]
         );
     }

@@ -14,9 +14,8 @@
 //! whole retry burst runs at the reduced tR).
 
 use crate::rpt::ReadTimingParamTable;
-use rr_sim::readflow::{ReadAction, ReadContext, RetryController};
+use rr_sim::readflow::{Actions, ReadAction, ReadContext, RetryController, TxnTable};
 use rr_sim::request::TxnId;
-use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -38,7 +37,7 @@ struct PnAr2State {
 #[derive(Debug)]
 pub struct PnAr2Controller {
     rpt: ReadTimingParamTable,
-    states: HashMap<TxnId, PnAr2State>,
+    states: TxnTable<PnAr2State>,
 }
 
 impl PnAr2Controller {
@@ -46,19 +45,19 @@ impl PnAr2Controller {
     pub fn new(rpt: ReadTimingParamTable) -> Self {
         Self {
             rpt,
-            states: HashMap::new(),
+            states: TxnTable::new(),
         }
     }
 
     fn state(&mut self, txn: TxnId) -> &mut PnAr2State {
         self.states
-            .get_mut(&txn)
+            .get_mut(txn)
             .expect("event for an unknown PnAR2 read")
     }
 }
 
 impl RetryController for PnAr2Controller {
-    fn on_start(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+    fn on_start(&mut self, ctx: &ReadContext) -> Actions {
         self.states.insert(
             ctx.txn,
             PnAr2State {
@@ -66,19 +65,19 @@ impl RetryController for PnAr2Controller {
                 sensing: Some(0),
             },
         );
-        vec![ReadAction::Sense { step: 0 }]
+        Actions::one(ReadAction::Sense { step: 0 })
     }
 
-    fn on_sense_done(&mut self, ctx: &ReadContext, step: u32) -> Vec<ReadAction> {
+    fn on_sense_done(&mut self, ctx: &ReadContext, step: u32) -> Actions {
         let max_step = ctx.max_step;
         let s = self.state(ctx.txn);
         s.sensing = None;
         match s.phase {
             // Initial read: transfer only; speculation begins after the
             // timing switch (Fig. 13).
-            Phase::Initial => vec![ReadAction::Transfer { step }],
+            Phase::Initial => Actions::one(ReadAction::Transfer { step }),
             Phase::Pipelined | Phase::FallbackPipelined => {
-                let mut actions = vec![ReadAction::Transfer { step }];
+                let mut actions = Actions::one(ReadAction::Transfer { step });
                 if step < max_step {
                     s.sensing = Some(step + 1);
                     actions.push(ReadAction::Sense { step: step + 1 });
@@ -97,10 +96,10 @@ impl RetryController for PnAr2Controller {
         step: u32,
         success: bool,
         _margin: u32,
-    ) -> Vec<ReadAction> {
+    ) -> Actions {
         let s = *self.state(ctx.txn);
         if success {
-            let mut actions = Vec::new();
+            let mut actions = Actions::new();
             if s.sensing.is_some() {
                 actions.push(ReadAction::Reset);
             }
@@ -115,24 +114,24 @@ impl RetryController for PnAr2Controller {
             Phase::Initial => {
                 let reduced = self.rpt.reduced_phases(ctx.condition);
                 self.state(ctx.txn).phase = Phase::AwaitReduce;
-                vec![ReadAction::SetFeature {
+                Actions::one(ReadAction::SetFeature {
                     phases: Some(reduced),
-                }]
+                })
             }
             Phase::Pipelined => {
                 if step == ctx.max_step && s.sensing.is_none() {
                     // Outlier fallback (§6.2): restore and re-walk once.
                     self.state(ctx.txn).phase = Phase::AwaitFallbackRestore;
-                    vec![ReadAction::SetFeature { phases: None }]
+                    Actions::one(ReadAction::SetFeature { phases: None })
                 } else {
-                    Vec::new() // pipeline already sensing ahead
+                    Actions::new() // pipeline already sensing ahead
                 }
             }
             Phase::FallbackPipelined => {
                 if step == ctx.max_step && s.sensing.is_none() {
-                    vec![ReadAction::CompleteFailure]
+                    Actions::one(ReadAction::CompleteFailure)
                 } else {
-                    Vec::new()
+                    Actions::new()
                 }
             }
             Phase::AwaitReduce | Phase::AwaitFallbackRestore => {
@@ -141,29 +140,29 @@ impl RetryController for PnAr2Controller {
         }
     }
 
-    fn on_feature_applied(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+    fn on_feature_applied(&mut self, ctx: &ReadContext) -> Actions {
         let s = self.state(ctx.txn);
         match s.phase {
             Phase::AwaitReduce => {
                 s.phase = Phase::Pipelined;
                 s.sensing = Some(1);
-                vec![ReadAction::Sense { step: 1 }]
+                Actions::one(ReadAction::Sense { step: 1 })
             }
             Phase::AwaitFallbackRestore => {
                 s.phase = Phase::FallbackPipelined;
                 s.sensing = Some(1);
-                vec![ReadAction::Sense { step: 1 }]
+                Actions::one(ReadAction::Sense { step: 1 })
             }
             _ => unreachable!("unexpected SET FEATURE completion"),
         }
     }
 
-    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Vec<ReadAction> {
-        Vec::new()
+    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Actions {
+        Actions::new()
     }
 
     fn on_end(&mut self, ctx: &ReadContext, _successful_step: Option<u32>) {
-        self.states.remove(&ctx.txn);
+        self.states.remove(ctx.txn);
     }
 
     fn name(&self) -> &str {
@@ -197,38 +196,38 @@ mod tests {
         c.on_start(&x);
         // Initial read: no speculation before the timing switch.
         assert_eq!(
-            c.on_sense_done(&x, 0),
+            c.on_sense_done(&x, 0).to_vec(),
             vec![ReadAction::Transfer { step: 0 }]
         );
         // ECC fail → ② SET FEATURE (reduced).
-        let acts = c.on_decode_done(&x, 0, false, 0);
+        let acts = c.on_decode_done(&x, 0, false, 0).to_vec();
         assert!(matches!(
             acts[0],
             ReadAction::SetFeature { phases: Some(_) }
         ));
         // ③ pipelined retries at reduced tR.
         assert_eq!(
-            c.on_feature_applied(&x),
+            c.on_feature_applied(&x).to_vec(),
             vec![ReadAction::Sense { step: 1 }]
         );
         assert_eq!(
-            c.on_sense_done(&x, 1),
+            c.on_sense_done(&x, 1).to_vec(),
             vec![
                 ReadAction::Transfer { step: 1 },
                 ReadAction::Sense { step: 2 }
             ]
         );
-        assert_eq!(c.on_decode_done(&x, 1, false, 0), vec![]);
+        assert_eq!(c.on_decode_done(&x, 1, false, 0).to_vec(), vec![]);
         // Success while step 2 is being sensed: RESET + complete + ④ restore.
         assert_eq!(
-            c.on_sense_done(&x, 2),
+            c.on_sense_done(&x, 2).to_vec(),
             vec![
                 ReadAction::Transfer { step: 2 },
                 ReadAction::Sense { step: 3 },
             ]
         );
         assert_eq!(
-            c.on_decode_done(&x, 2, true, 25),
+            c.on_decode_done(&x, 2, true, 25).to_vec(),
             vec![
                 ReadAction::Reset,
                 ReadAction::CompleteSuccess { step: 2 },
@@ -244,7 +243,7 @@ mod tests {
         c.on_start(&x);
         c.on_sense_done(&x, 0);
         assert_eq!(
-            c.on_decode_done(&x, 0, true, 64),
+            c.on_decode_done(&x, 0, true, 64).to_vec(),
             vec![ReadAction::CompleteSuccess { step: 0 }]
         );
     }
@@ -258,28 +257,28 @@ mod tests {
         c.on_decode_done(&x, 0, false, 0);
         c.on_feature_applied(&x);
         c.on_sense_done(&x, 1);
-        assert_eq!(c.on_decode_done(&x, 1, false, 0), vec![]);
+        assert_eq!(c.on_decode_done(&x, 1, false, 0).to_vec(), vec![]);
         // Last entry sensed, decode fails with nothing in flight: restore.
         assert_eq!(
-            c.on_sense_done(&x, 2),
+            c.on_sense_done(&x, 2).to_vec(),
             vec![ReadAction::Transfer { step: 2 }]
         );
         assert_eq!(
-            c.on_decode_done(&x, 2, false, 0),
+            c.on_decode_done(&x, 2, false, 0).to_vec(),
             vec![ReadAction::SetFeature { phases: None }]
         );
         // Fallback pipeline at default timing.
         assert_eq!(
-            c.on_feature_applied(&x),
+            c.on_feature_applied(&x).to_vec(),
             vec![ReadAction::Sense { step: 1 }]
         );
         c.on_sense_done(&x, 1);
         c.on_sense_done(&x, 2);
         // Second exhaustion is a read failure; no restore needed (already
         // at default timing).
-        assert_eq!(c.on_decode_done(&x, 1, false, 0), vec![]);
+        assert_eq!(c.on_decode_done(&x, 1, false, 0).to_vec(), vec![]);
         assert_eq!(
-            c.on_decode_done(&x, 2, false, 0),
+            c.on_decode_done(&x, 2, false, 0).to_vec(),
             vec![ReadAction::CompleteFailure]
         );
     }

@@ -13,9 +13,8 @@
 //! next step starts speculatively, one extra step is in flight when ECC
 //! finally succeeds; PR² kills it with `RESET` (tRST = 5 µs).
 
-use rr_sim::readflow::{ReadAction, ReadContext, RetryController};
+use rr_sim::readflow::{Actions, ReadAction, ReadContext, RetryController, TxnTable};
 use rr_sim::request::TxnId;
-use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy)]
 struct Pr2State {
@@ -26,7 +25,7 @@ struct Pr2State {
 /// The PR² controller.
 #[derive(Debug, Default)]
 pub struct Pr2Controller {
-    states: HashMap<TxnId, Pr2State>,
+    states: TxnTable<Pr2State>,
 }
 
 impl Pr2Controller {
@@ -37,22 +36,22 @@ impl Pr2Controller {
 
     fn state(&mut self, txn: TxnId) -> &mut Pr2State {
         self.states
-            .get_mut(&txn)
+            .get_mut(txn)
             .expect("event for an unknown PR2 read")
     }
 }
 
 impl RetryController for Pr2Controller {
-    fn on_start(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+    fn on_start(&mut self, ctx: &ReadContext) -> Actions {
         self.states.insert(ctx.txn, Pr2State { sensing: Some(0) });
-        vec![ReadAction::Sense { step: 0 }]
+        Actions::one(ReadAction::Sense { step: 0 })
     }
 
-    fn on_sense_done(&mut self, ctx: &ReadContext, step: u32) -> Vec<ReadAction> {
+    fn on_sense_done(&mut self, ctx: &ReadContext, step: u32) -> Actions {
         let max_step = ctx.max_step;
         let s = self.state(ctx.txn);
         s.sensing = None;
-        let mut actions = vec![ReadAction::Transfer { step }];
+        let mut actions = Actions::one(ReadAction::Transfer { step });
         if step < max_step {
             // Speculatively sense the next entry while this one transfers
             // and decodes (the CACHE READ pipelining of Fig. 12(b)).
@@ -68,33 +67,33 @@ impl RetryController for Pr2Controller {
         step: u32,
         success: bool,
         _margin: u32,
-    ) -> Vec<ReadAction> {
+    ) -> Actions {
         let speculating = self.state(ctx.txn).sensing.is_some();
         if success {
             if speculating {
                 // Kill the unnecessarily-started extra step (§6.1).
-                vec![ReadAction::Reset, ReadAction::CompleteSuccess { step }]
+                Actions::pair(ReadAction::Reset, ReadAction::CompleteSuccess { step })
             } else {
-                vec![ReadAction::CompleteSuccess { step }]
+                Actions::one(ReadAction::CompleteSuccess { step })
             }
         } else if !speculating && step == ctx.max_step {
-            vec![ReadAction::CompleteFailure]
+            Actions::one(ReadAction::CompleteFailure)
         } else {
             // The pipeline is already sensing ahead; nothing to do on failure.
-            Vec::new()
+            Actions::new()
         }
     }
 
-    fn on_feature_applied(&mut self, _ctx: &ReadContext) -> Vec<ReadAction> {
+    fn on_feature_applied(&mut self, _ctx: &ReadContext) -> Actions {
         unreachable!("PR2 never issues SET FEATURE")
     }
 
-    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Vec<ReadAction> {
-        Vec::new()
+    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Actions {
+        Actions::new()
     }
 
     fn on_end(&mut self, ctx: &ReadContext, _successful_step: Option<u32>) {
-        self.states.remove(&ctx.txn);
+        self.states.remove(ctx.txn);
     }
 
     fn name(&self) -> &str {
@@ -121,17 +120,17 @@ mod tests {
     fn pipelines_next_sense_at_sense_done() {
         let mut c = Pr2Controller::new();
         let x = ctx(40);
-        assert_eq!(c.on_start(&x), vec![ReadAction::Sense { step: 0 }]);
+        assert_eq!(c.on_start(&x).to_vec(), vec![ReadAction::Sense { step: 0 }]);
         // Sensing of step 0 completes: transfer it AND start step 1 at once.
         assert_eq!(
-            c.on_sense_done(&x, 0),
+            c.on_sense_done(&x, 0).to_vec(),
             vec![
                 ReadAction::Transfer { step: 0 },
                 ReadAction::Sense { step: 1 }
             ]
         );
         // Decode failure needs no action: step 1 already runs.
-        assert_eq!(c.on_decode_done(&x, 0, false, 0), vec![]);
+        assert_eq!(c.on_decode_done(&x, 0, false, 0).to_vec(), vec![]);
     }
 
     #[test]
@@ -141,13 +140,13 @@ mod tests {
         c.on_start(&x);
         c.on_sense_done(&x, 0);
         c.on_sense_done(&x, 1); // step 2 speculation starts
-        assert_eq!(c.on_decode_done(&x, 0, false, 0), vec![]);
+        assert_eq!(c.on_decode_done(&x, 0, false, 0).to_vec(), vec![]);
         // Step 1 decodes successfully while step 2 is sensing: RESET it.
         assert_eq!(
-            c.on_decode_done(&x, 1, true, 20),
+            c.on_decode_done(&x, 1, true, 20).to_vec(),
             vec![ReadAction::Reset, ReadAction::CompleteSuccess { step: 1 }]
         );
-        assert_eq!(c.on_reset_done(&x), vec![]);
+        assert_eq!(c.on_reset_done(&x).to_vec(), vec![]);
         c.on_end(&x, Some(1));
     }
 
@@ -160,12 +159,12 @@ mod tests {
         c.on_sense_done(&x, 1);
         // Last entry: transfer only, no further speculation.
         assert_eq!(
-            c.on_sense_done(&x, 2),
+            c.on_sense_done(&x, 2).to_vec(),
             vec![ReadAction::Transfer { step: 2 }]
         );
         // Success with no speculation in flight: no RESET needed.
         assert_eq!(
-            c.on_decode_done(&x, 2, true, 5),
+            c.on_decode_done(&x, 2, true, 5).to_vec(),
             vec![ReadAction::CompleteSuccess { step: 2 }]
         );
     }
@@ -177,9 +176,9 @@ mod tests {
         c.on_start(&x);
         c.on_sense_done(&x, 0);
         c.on_sense_done(&x, 1);
-        assert_eq!(c.on_decode_done(&x, 0, false, 0), vec![]);
+        assert_eq!(c.on_decode_done(&x, 0, false, 0).to_vec(), vec![]);
         assert_eq!(
-            c.on_decode_done(&x, 1, false, 0),
+            c.on_decode_done(&x, 1, false, 0).to_vec(),
             vec![ReadAction::CompleteFailure]
         );
     }

@@ -17,7 +17,7 @@
 //! (long-retention) and hot (recently written) pages have very different
 //! V_OPT and must not share predictions.
 
-use rr_sim::readflow::{ReadAction, ReadContext, RetryController};
+use rr_sim::readflow::{Actions, ReadAction, ReadContext, RetryController, TxnTable};
 use rr_sim::request::TxnId;
 use std::collections::{HashMap, VecDeque};
 
@@ -97,7 +97,7 @@ struct PsoTxn {
 pub struct PsoController<C> {
     inner: C,
     predictor: PsoPredictor,
-    states: HashMap<TxnId, PsoTxn>,
+    states: TxnTable<PsoTxn>,
     label: String,
 }
 
@@ -117,7 +117,7 @@ impl<C: RetryController> PsoController<C> {
         Self {
             inner,
             predictor,
-            states: HashMap::new(),
+            states: TxnTable::new(),
             label,
         }
     }
@@ -128,7 +128,7 @@ impl<C: RetryController> PsoController<C> {
     }
 
     fn offset(&self, txn: TxnId) -> u32 {
-        self.states.get(&txn).map(|s| s.offset).unwrap_or(0)
+        self.states.get(txn).map(|s| s.offset).unwrap_or(0)
     }
 
     fn inner_ctx(&self, ctx: &ReadContext) -> ReadContext {
@@ -141,13 +141,13 @@ impl<C: RetryController> PsoController<C> {
 
     /// Maps the inner controller's virtual actions to physical table entries,
     /// intercepting `CompleteFailure` for the one-shot full-walk fallback.
-    fn map_actions(&mut self, ctx: &ReadContext, actions: Vec<ReadAction>) -> Vec<ReadAction> {
+    fn map_actions(&mut self, ctx: &ReadContext, actions: Actions) -> Actions {
         let state = *self
             .states
-            .get(&ctx.txn)
+            .get(ctx.txn)
             .expect("mapping for unknown PSO read");
-        let mut out = Vec::with_capacity(actions.len());
-        for a in actions {
+        let mut out = Actions::new();
+        for a in actions.iter() {
             match a {
                 ReadAction::Sense { step } => out.push(ReadAction::Sense {
                     step: step + state.offset,
@@ -163,11 +163,13 @@ impl<C: RetryController> PsoController<C> {
                     // the full table from entry 0.
                     let inner_ctx = self.inner_ctx(ctx);
                     self.inner.on_end(&inner_ctx, None);
-                    let s = self.states.get_mut(&ctx.txn).expect("state exists");
+                    let s = self.states.get_mut(ctx.txn).expect("state exists");
                     s.offset = 0;
                     s.fell_back = true;
                     let restart = self.inner.on_start(ctx);
-                    out.extend(restart);
+                    for r in restart.iter() {
+                        out.push(r);
+                    }
                 }
                 other => out.push(other),
             }
@@ -177,7 +179,7 @@ impl<C: RetryController> PsoController<C> {
 }
 
 impl<C: RetryController> RetryController for PsoController<C> {
-    fn on_start(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+    fn on_start(&mut self, ctx: &ReadContext) -> Actions {
         let offset = self
             .predictor
             .predict(ctx.die, ctx.cold)
@@ -194,7 +196,7 @@ impl<C: RetryController> RetryController for PsoController<C> {
         self.map_actions(ctx, actions)
     }
 
-    fn on_sense_done(&mut self, ctx: &ReadContext, step: u32) -> Vec<ReadAction> {
+    fn on_sense_done(&mut self, ctx: &ReadContext, step: u32) -> Actions {
         let inner_ctx = self.inner_ctx(ctx);
         let v = step - self.offset(ctx.txn);
         let actions = self.inner.on_sense_done(&inner_ctx, v);
@@ -207,20 +209,20 @@ impl<C: RetryController> RetryController for PsoController<C> {
         step: u32,
         success: bool,
         margin: u32,
-    ) -> Vec<ReadAction> {
+    ) -> Actions {
         let inner_ctx = self.inner_ctx(ctx);
         let v = step - self.offset(ctx.txn);
         let actions = self.inner.on_decode_done(&inner_ctx, v, success, margin);
         self.map_actions(ctx, actions)
     }
 
-    fn on_feature_applied(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+    fn on_feature_applied(&mut self, ctx: &ReadContext) -> Actions {
         let inner_ctx = self.inner_ctx(ctx);
         let actions = self.inner.on_feature_applied(&inner_ctx);
         self.map_actions(ctx, actions)
     }
 
-    fn on_reset_done(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+    fn on_reset_done(&mut self, ctx: &ReadContext) -> Actions {
         let inner_ctx = self.inner_ctx(ctx);
         let actions = self.inner.on_reset_done(&inner_ctx);
         self.map_actions(ctx, actions)
@@ -234,7 +236,7 @@ impl<C: RetryController> RetryController for PsoController<C> {
         }
         self.inner
             .on_end(&inner_ctx, successful_step.map(|p| p - offset));
-        self.states.remove(&ctx.txn);
+        self.states.remove(ctx.txn);
     }
 
     fn name(&self) -> &str {
@@ -263,7 +265,10 @@ mod tests {
         let mut pso = PsoController::new(BaselineController::new());
         assert_eq!(pso.name(), "PSO");
         let x = ctx(1, 0, true);
-        assert_eq!(pso.on_start(&x), vec![ReadAction::Sense { step: 0 }]);
+        assert_eq!(
+            pso.on_start(&x).to_vec(),
+            vec![ReadAction::Sense { step: 0 }]
+        );
     }
 
     #[test]
@@ -275,7 +280,10 @@ mod tests {
         pso.on_end(&x, Some(12));
         // The next cold read on die 0 starts at 12 − guard = 9.
         let y = ctx(2, 0, true);
-        assert_eq!(pso.on_start(&y), vec![ReadAction::Sense { step: 9 }]);
+        assert_eq!(
+            pso.on_start(&y).to_vec(),
+            vec![ReadAction::Sense { step: 9 }]
+        );
         // ...which guarantees at least `guard` retry rounds ("at least three
         // retry steps", §3.1) when the page's optimum matches the cluster's.
     }
@@ -305,15 +313,18 @@ mod tests {
         pso.on_start(&x);
         pso.on_end(&x, Some(10));
         let y = ctx(2, 0, true);
-        assert_eq!(pso.on_start(&y), vec![ReadAction::Sense { step: 7 }]);
+        assert_eq!(
+            pso.on_start(&y).to_vec(),
+            vec![ReadAction::Sense { step: 7 }]
+        );
         // Physical sense 7 completes; baseline (virtual 0) transfers it.
         assert_eq!(
-            pso.on_sense_done(&y, 7),
+            pso.on_sense_done(&y, 7).to_vec(),
             vec![ReadAction::Transfer { step: 7 }]
         );
         // Decode failure walks to physical 8.
         assert_eq!(
-            pso.on_decode_done(&y, 7, false, 0),
+            pso.on_decode_done(&y, 7, false, 0).to_vec(),
             vec![ReadAction::Sense { step: 8 }]
         );
         // Success at physical 9 completes with the physical index.
@@ -321,7 +332,7 @@ mod tests {
         pso.on_decode_done(&y, 8, false, 0);
         pso.on_sense_done(&y, 9);
         assert_eq!(
-            pso.on_decode_done(&y, 9, true, 30),
+            pso.on_decode_done(&y, 9, true, 30).to_vec(),
             vec![ReadAction::CompleteSuccess { step: 9 }]
         );
     }
@@ -333,7 +344,7 @@ mod tests {
         pso.on_start(&x);
         pso.on_end(&x, Some(39)); // cluster thinks the optimum is deep
         let y = ctx(2, 0, true);
-        let start = match pso.on_start(&y)[0] {
+        let start = match pso.on_start(&y).to_vec()[0] {
             ReadAction::Sense { step } => step,
             ref a => panic!("expected sense, got {a:?}"),
         };
@@ -342,7 +353,7 @@ mod tests {
         let mut step = start;
         loop {
             pso.on_sense_done(&y, step);
-            let acts = pso.on_decode_done(&y, step, false, 0);
+            let acts = pso.on_decode_done(&y, step, false, 0).to_vec();
             match acts.first() {
                 Some(&ReadAction::Sense { step: next }) if next > step => step = next,
                 // ...the virtual CompleteFailure must convert into a restart
@@ -356,7 +367,7 @@ mod tests {
         let mut step = 0;
         loop {
             pso.on_sense_done(&y, step);
-            let acts = pso.on_decode_done(&y, step, false, 0);
+            let acts = pso.on_decode_done(&y, step, false, 0).to_vec();
             match acts.first() {
                 Some(&ReadAction::Sense { step: next }) => step = next,
                 Some(&ReadAction::CompleteFailure) => break,

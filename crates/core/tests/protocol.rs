@@ -53,7 +53,7 @@ fn drive(
     let mut awaiting_feature = false;
     let mut outcome = None;
 
-    let mut actions: VecDeque<ReadAction> = controller.on_start(ctx).into();
+    let mut actions: VecDeque<ReadAction> = controller.on_start(ctx).into_iter().collect();
     let mut guard = 0;
     while outcome.is_none() {
         guard += 1;

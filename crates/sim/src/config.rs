@@ -47,6 +47,35 @@ pub struct SsdConfig {
     pub gc_threshold_blocks: u32,
     /// Remaining program/erase time below which suspension is not worth it.
     pub min_suspend_benefit_us: u64,
+    /// Hot-path optimization switches (results are bit-identical with any
+    /// combination; the equivalence tests flip them).
+    pub hotpath: HotpathConfig,
+}
+
+/// Switches for the simulator's hot-path optimizations.
+///
+/// Every switch is **semantics-neutral**: a run produces a bit-identical
+/// [`crate::metrics::SimReport`] whether it is on or off (asserted by
+/// `tests/hotpath_equiv.rs`). They exist so the equivalence suite can compare
+/// both paths and so memory-constrained embeddings can trade speed for
+/// footprint; production configurations leave everything on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HotpathConfig {
+    /// Memoize per-(page, condition) read profiles inside the flash error
+    /// model instead of re-deriving the stationary noise on every sense.
+    pub profile_cache: bool,
+    /// Recycle completed transaction records (and their sense buffers)
+    /// through a free list instead of growing the transaction slab forever.
+    pub txn_slab_reuse: bool,
+}
+
+impl Default for HotpathConfig {
+    fn default() -> Self {
+        Self {
+            profile_cache: true,
+            txn_slab_reuse: true,
+        }
+    }
 }
 
 impl SsdConfig {
@@ -63,6 +92,7 @@ impl SsdConfig {
             outlier_rate: 0.0,
             gc_threshold_blocks: 4,
             min_suspend_benefit_us: 100,
+            hotpath: HotpathConfig::default(),
         }
     }
 

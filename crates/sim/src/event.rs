@@ -99,6 +99,15 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|Reverse(e)| e.time)
     }
 
+    /// Empties the queue and rewinds its clock and FIFO tie-break sequence,
+    /// keeping the heap allocation. A reset queue behaves bit-identically to
+    /// a freshly constructed one (the arena path relies on this).
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+        self.last_popped = SimTime::ZERO;
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -150,6 +159,21 @@ mod tests {
         q.pop();
         q.push(SimTime::from_us(1), 2); // zero-latency follow-up event
         assert_eq!(q.pop(), Some((SimTime::from_us(1), 2)));
+    }
+
+    #[test]
+    fn reset_rewinds_clock_and_sequence() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_us(10), 1);
+        q.pop();
+        q.reset();
+        assert!(q.is_empty());
+        // Scheduling before the pre-reset watermark is legal again, and ties
+        // break FIFO from a fresh sequence.
+        q.push(SimTime::from_us(1), 2);
+        q.push(SimTime::from_us(1), 3);
+        assert_eq!(q.pop(), Some((SimTime::from_us(1), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_us(1), 3)));
     }
 
     #[test]

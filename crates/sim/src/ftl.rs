@@ -41,7 +41,7 @@ enum BlockState {
     GcVictim,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct BlockMeta {
     state: BlockState,
     next_page: u32,
@@ -109,6 +109,37 @@ impl Ftl {
     /// Returns an error when the footprint exceeds
     /// [`SsdConfig::max_lpns`] or the config is invalid.
     pub fn new(cfg: &SsdConfig, lpn_count: u64) -> Result<Self, String> {
+        let mut ftl = Self {
+            channels: 0,
+            dies_per_chip: 0,
+            planes_per_die: 0,
+            blocks_per_plane: 0,
+            pages_per_block: 1,
+            gc_threshold: 0,
+            lpn_count: 0,
+            map: Vec::new(),
+            rmap: Vec::new(),
+            blocks: Vec::new(),
+            open_block: Vec::new(),
+            free_blocks: Vec::new(),
+            next_plane: 0,
+            fresh: Vec::new(),
+        };
+        ftl.rebuild(cfg, lpn_count)?;
+        Ok(ftl)
+    }
+
+    /// Rebuilds this FTL in place for a (possibly different) configuration
+    /// and footprint, reusing its allocations — semantically identical to
+    /// replacing it with `Ftl::new(cfg, lpn_count)?`. The simulation arena
+    /// calls this between runs so the multi-megabyte mapping tables are not
+    /// reallocated per experiment cell.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ftl::new`]; on error the FTL must not be used
+    /// until a subsequent rebuild succeeds.
+    pub fn rebuild(&mut self, cfg: &SsdConfig, lpn_count: u64) -> Result<(), String> {
         cfg.validate()?;
         if lpn_count == 0 {
             return Err("lpn_count must be positive".into());
@@ -125,39 +156,44 @@ impl Ftl {
         if total_pages > u32::MAX as u64 || lpn_count > NO_LPN as u64 {
             return Err("geometry exceeds 32-bit page indexing".into());
         }
-        let blocks = vec![
+        self.channels = cfg.channels;
+        self.dies_per_chip = cfg.chip.dies;
+        self.planes_per_die = cfg.chip.planes_per_die;
+        self.blocks_per_plane = cfg.chip.blocks_per_plane;
+        self.pages_per_block = cfg.chip.pages_per_block;
+        self.gc_threshold = cfg.gc_threshold_blocks;
+        self.lpn_count = lpn_count;
+        self.map.clear();
+        self.map.resize(lpn_count as usize, UNMAPPED);
+        self.rmap.clear();
+        self.rmap.resize(total_pages as usize, NO_LPN);
+        self.blocks.clear();
+        self.blocks.resize(
+            total_blocks,
             BlockMeta {
                 state: BlockState::Free,
                 next_page: 0,
-                valid_count: 0
-            };
-            total_blocks
-        ];
-        let free_blocks = (0..total_planes)
-            .map(|p| {
-                // Highest ids first so pops allocate in ascending order.
+                valid_count: 0,
+            },
+        );
+        self.open_block.clear();
+        self.open_block.resize(total_planes as usize, None);
+        self.free_blocks.truncate(total_planes as usize);
+        self.free_blocks
+            .resize_with(total_planes as usize, Vec::new);
+        for (p, list) in self.free_blocks.iter_mut().enumerate() {
+            list.clear();
+            // Highest ids first so pops allocate in ascending order.
+            list.extend(
                 (0..cfg.chip.blocks_per_plane)
                     .rev()
-                    .map(|b| p * cfg.chip.blocks_per_plane + b)
-                    .collect()
-            })
-            .collect();
-        Ok(Self {
-            channels: cfg.channels,
-            dies_per_chip: cfg.chip.dies,
-            planes_per_die: cfg.chip.planes_per_die,
-            blocks_per_plane: cfg.chip.blocks_per_plane,
-            pages_per_block: cfg.chip.pages_per_block,
-            gc_threshold: cfg.gc_threshold_blocks,
-            lpn_count,
-            map: vec![UNMAPPED; lpn_count as usize],
-            rmap: vec![NO_LPN; total_pages as usize],
-            blocks,
-            open_block: vec![None; total_planes as usize],
-            free_blocks,
-            next_plane: 0,
-            fresh: vec![0; (lpn_count as usize).div_ceil(64)],
-        })
+                    .map(|b| p as u32 * cfg.chip.blocks_per_plane + b),
+            );
+        }
+        self.next_plane = 0;
+        self.fresh.clear();
+        self.fresh.resize((lpn_count as usize).div_ceil(64), 0);
+        Ok(())
     }
 
     /// Number of logical pages.
@@ -230,11 +266,53 @@ impl Ftl {
             self.map.iter().all(|&m| m == UNMAPPED),
             "precondition requires an empty FTL"
         );
-        for lpn in 0..self.lpn_count {
-            let alloc = self
-                .allocate_raw((lpn % self.total_planes() as u64) as u32)
-                .expect("footprint was validated to fit");
-            self.commit_write(lpn, alloc);
+        // Equivalent to `allocate_raw((lpn % planes) as u32)` + commit per
+        // LPN, but filling each plane's blocks wholesale: the per-page
+        // allocator bookkeeping (open-block checks, free-list pops) runs
+        // once per block instead of once per page, which matters because
+        // every experiment cell preconditions a fresh footprint.
+        let planes = self.total_planes() as u64;
+        let ppb = self.pages_per_block as u64;
+        for plane in 0..planes.min(self.lpn_count) {
+            // LPNs striped onto this plane: plane, plane + planes, ...
+            let lpns_here = (self.lpn_count - plane).div_ceil(planes);
+            let mut open: Option<u32> = None;
+            let mut filled = 0u64;
+            for k in 0..lpns_here {
+                if open.is_none() || filled == ppb {
+                    // Retire the filled block and open a fresh one, exactly
+                    // as the per-page allocator would (the last block stays
+                    // Open even when exactly full — retirement is lazy).
+                    if let Some(b) = open {
+                        let meta = &mut self.blocks[b as usize];
+                        meta.state = BlockState::Full;
+                        meta.next_page = ppb as u32;
+                        meta.valid_count = ppb as u32;
+                    }
+                    let b = self.free_blocks[plane as usize]
+                        .pop()
+                        .expect("footprint was validated to fit");
+                    self.blocks[b as usize] = BlockMeta {
+                        state: BlockState::Open,
+                        next_page: 0,
+                        valid_count: 0,
+                    };
+                    open = Some(b);
+                    filled = 0;
+                }
+                let b = open.expect("just opened");
+                let lpn = plane + k * planes;
+                let ppn = b as u64 * ppb + filled;
+                self.map[lpn as usize] = ppn as u32;
+                self.rmap[ppn as usize] = lpn as u32;
+                filled += 1;
+            }
+            if let Some(b) = open {
+                let meta = &mut self.blocks[b as usize];
+                meta.next_page = filled as u32;
+                meta.valid_count = filled as u32;
+            }
+            self.open_block[plane as usize] = open;
         }
         // Preconditioned data is cold, not fresh.
         self.fresh.fill(0);
@@ -530,6 +608,59 @@ mod tests {
         assert!(Ftl::new(&cfg, 0).is_err());
         assert!(Ftl::new(&cfg, cfg.max_lpns() + 1).is_err());
         assert!(Ftl::new(&cfg, cfg.max_lpns()).is_ok());
+    }
+
+    #[test]
+    fn bulk_precondition_matches_per_page_allocator() {
+        let cfg = small_cfg();
+        for count in [1u64, 5, 37, 500, cfg.max_lpns()] {
+            let mut fast = Ftl::new(&cfg, count).unwrap();
+            fast.precondition();
+            // The reference: the per-page allocator the bulk path replaces.
+            let mut slow = Ftl::new(&cfg, count).unwrap();
+            let planes = slow.total_planes() as u64;
+            for lpn in 0..count {
+                let alloc = slow.allocate_raw((lpn % planes) as u32).unwrap();
+                slow.commit_write(lpn, alloc);
+            }
+            slow.fresh.fill(0);
+            assert_eq!(fast.map, slow.map, "map diverged at footprint {count}");
+            assert_eq!(fast.rmap, slow.rmap, "rmap diverged at footprint {count}");
+            assert_eq!(
+                fast.blocks, slow.blocks,
+                "blocks diverged at footprint {count}"
+            );
+            assert_eq!(fast.open_block, slow.open_block);
+            assert_eq!(fast.free_blocks, slow.free_blocks);
+            assert_eq!(fast.fresh, slow.fresh);
+        }
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_construction() {
+        let cfg = small_cfg();
+        // Dirty an FTL with writes and GC, then rebuild it for a different
+        // footprint: it must behave exactly like a fresh one.
+        let mut recycled = Ftl::new(&cfg, 500).unwrap();
+        recycled.precondition();
+        for lpn in 0..200 {
+            recycled.allocate_for_write(lpn % 50).unwrap();
+        }
+        recycled.rebuild(&cfg, 300).unwrap();
+        let mut fresh = Ftl::new(&cfg, 300).unwrap();
+        recycled.precondition();
+        fresh.precondition();
+        assert_eq!(recycled.lpn_count(), fresh.lpn_count());
+        for lpn in 0..300 {
+            assert_eq!(recycled.translate(lpn), fresh.translate(lpn), "lpn {lpn}");
+            assert_eq!(recycled.is_cold(lpn), fresh.is_cold(lpn));
+        }
+        let a = recycled.allocate_for_write(7).unwrap();
+        let b = fresh.allocate_for_write(7).unwrap();
+        assert_eq!(a, b);
+        // Invalid rebuilds are rejected like invalid constructions.
+        assert!(recycled.rebuild(&cfg, 0).is_err());
+        assert!(recycled.rebuild(&cfg, cfg.max_lpns() + 1).is_err());
     }
 
     #[test]

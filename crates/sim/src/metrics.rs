@@ -48,6 +48,10 @@ pub struct SimReport {
     pub suspensions: u64,
     /// GC victim blocks collected.
     pub gc_collections: u64,
+    /// Discrete events the simulator processed during the run — the
+    /// denominator-free work measure `repro perf` divides by wall-clock to
+    /// report events/sec.
+    pub events_processed: u64,
     /// Total simulated time at the last completion.
     pub makespan: SimTime,
 }
@@ -116,6 +120,7 @@ pub struct MetricsCollector {
     pub(crate) set_features: u64,
     pub(crate) suspensions: u64,
     pub(crate) gc_collections: u64,
+    pub(crate) events_processed: u64,
     pub(crate) makespan: SimTime,
 }
 
@@ -139,6 +144,7 @@ impl MetricsCollector {
             set_features: 0,
             suspensions: 0,
             gc_collections: 0,
+            events_processed: 0,
             makespan: SimTime::ZERO,
         }
     }
@@ -191,6 +197,7 @@ impl MetricsCollector {
             set_features: self.set_features,
             suspensions: self.suspensions,
             gc_collections: self.gc_collections,
+            events_processed: self.events_processed,
             makespan: self.makespan,
         }
     }

@@ -14,7 +14,6 @@
 use crate::request::TxnId;
 use rr_flash::calibration::OperatingCondition;
 use rr_flash::timing::SensePhases;
-use std::collections::HashMap;
 
 /// What the controller wants the simulator to do next for one read.
 ///
@@ -53,6 +52,176 @@ pub enum ReadAction {
     CompleteFailure,
 }
 
+/// A short list of [`ReadAction`]s, inline up to four entries.
+///
+/// Controllers emit one or two actions per flash event on the hot path;
+/// boxing each response in a fresh `Vec` was one of the simulator's dominant
+/// allocation sources. The first [`Actions::INLINE`] actions live in the
+/// value itself; longer responses (rare) spill to the heap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Actions {
+    inline: [ReadAction; Self::INLINE],
+    len: u8,
+    spill: Vec<ReadAction>,
+}
+
+impl Default for Actions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Actions {
+    /// Number of actions stored without heap allocation.
+    pub const INLINE: usize = 4;
+
+    /// The placeholder filling unused inline slots (never observed by
+    /// iteration, which is bounded by the length).
+    const FILL: ReadAction = ReadAction::CompleteFailure;
+
+    /// An empty action list.
+    pub const fn new() -> Self {
+        Self {
+            inline: [Self::FILL; Self::INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// A single-action list.
+    pub fn one(a: ReadAction) -> Self {
+        let mut s = Self::new();
+        s.push(a);
+        s
+    }
+
+    /// A two-action list.
+    pub fn pair(a: ReadAction, b: ReadAction) -> Self {
+        let mut s = Self::new();
+        s.push(a);
+        s.push(b);
+        s
+    }
+
+    /// Appends an action.
+    pub fn push(&mut self, a: ReadAction) {
+        if (self.len as usize) < Self::INLINE {
+            self.inline[self.len as usize] = a;
+            self.len += 1;
+        } else {
+            self.spill.push(a);
+        }
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.len as usize + self.spill.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the actions in push order.
+    pub fn iter(&self) -> impl Iterator<Item = ReadAction> + '_ {
+        self.inline[..self.len as usize]
+            .iter()
+            .chain(self.spill.iter())
+            .copied()
+    }
+
+    /// Collects into a `Vec` (test/diagnostic convenience).
+    pub fn to_vec(&self) -> Vec<ReadAction> {
+        self.iter().collect()
+    }
+}
+
+impl From<ReadAction> for Actions {
+    fn from(a: ReadAction) -> Self {
+        Actions::one(a)
+    }
+}
+
+impl IntoIterator for Actions {
+    type Item = ReadAction;
+    type IntoIter = std::iter::Chain<
+        std::iter::Take<std::array::IntoIter<ReadAction, { Actions::INLINE }>>,
+        std::vec::IntoIter<ReadAction>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inline
+            .into_iter()
+            .take(self.len as usize)
+            .chain(self.spill)
+    }
+}
+
+impl FromIterator<ReadAction> for Actions {
+    fn from_iter<I: IntoIterator<Item = ReadAction>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for a in iter {
+            s.push(a);
+        }
+        s
+    }
+}
+
+/// Dense per-transaction state storage keyed by [`TxnId`].
+///
+/// Transaction ids are small, dense slab indices (the simulator's
+/// transaction pool recycles them), so a flat vector with `Option` slots
+/// replaces the hashing a `HashMap<TxnId, T>` would pay on every flash
+/// event. The table grows to the highest id ever inserted and keeps its
+/// allocation for the whole run.
+#[derive(Debug, Clone)]
+pub struct TxnTable<T> {
+    slots: Vec<Option<T>>,
+}
+
+impl<T> Default for TxnTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TxnTable<T> {
+    /// An empty table.
+    pub const fn new() -> Self {
+        Self { slots: Vec::new() }
+    }
+
+    /// Inserts state for `id`, returning any previous state.
+    pub fn insert(&mut self, id: TxnId, value: T) -> Option<T> {
+        let idx = id.0 as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        self.slots[idx].replace(value)
+    }
+
+    /// The state for `id`, if present.
+    pub fn get(&self, id: TxnId) -> Option<&T> {
+        self.slots.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable state for `id`, if present.
+    pub fn get_mut(&mut self, id: TxnId) -> Option<&mut T> {
+        self.slots.get_mut(id.0 as usize).and_then(Option::as_mut)
+    }
+
+    /// Removes and returns the state for `id`.
+    pub fn remove(&mut self, id: TxnId) -> Option<T> {
+        self.slots.get_mut(id.0 as usize).and_then(Option::take)
+    }
+
+    /// Whether state exists for `id`.
+    pub fn contains(&self, id: TxnId) -> bool {
+        self.get(id).is_some()
+    }
+}
+
 /// Immutable facts about a read the controller may use.
 ///
 /// Deliberately *excludes* the ground-truth required retry step — mechanisms
@@ -81,10 +250,10 @@ pub struct ReadContext {
 pub trait RetryController {
     /// A read transaction reached the front of its die queue; the die is
     /// free. Must emit at least one die action.
-    fn on_start(&mut self, ctx: &ReadContext) -> Vec<ReadAction>;
+    fn on_start(&mut self, ctx: &ReadContext) -> Actions;
 
     /// Sensing for `step` completed (data now in the page/cache register).
-    fn on_sense_done(&mut self, ctx: &ReadContext, step: u32) -> Vec<ReadAction>;
+    fn on_sense_done(&mut self, ctx: &ReadContext, step: u32) -> Actions;
 
     /// ECC decode for `step` completed. `success` is whether all errors were
     /// corrected; `margin` is the remaining ECC capability (only meaningful
@@ -95,13 +264,13 @@ pub trait RetryController {
         step: u32,
         success: bool,
         margin: u32,
-    ) -> Vec<ReadAction>;
+    ) -> Actions;
 
     /// A `SET FEATURE` issued by this read completed.
-    fn on_feature_applied(&mut self, ctx: &ReadContext) -> Vec<ReadAction>;
+    fn on_feature_applied(&mut self, ctx: &ReadContext) -> Actions;
 
     /// A `RESET` issued by this read completed. Usually no further action.
-    fn on_reset_done(&mut self, ctx: &ReadContext) -> Vec<ReadAction>;
+    fn on_reset_done(&mut self, ctx: &ReadContext) -> Actions;
 
     /// The transaction is fully finished (after `Complete*`); drop any
     /// per-transaction state. Mechanisms with cross-read state (PSO) update
@@ -119,7 +288,7 @@ pub trait RetryController {
 pub struct BaselineController {
     /// Nothing to remember per read beyond what events carry, but we track
     /// in-flight txns for debug assertions.
-    live: HashMap<TxnId, ()>,
+    live: TxnTable<()>,
 }
 
 impl BaselineController {
@@ -130,13 +299,13 @@ impl BaselineController {
 }
 
 impl RetryController for BaselineController {
-    fn on_start(&mut self, ctx: &ReadContext) -> Vec<ReadAction> {
+    fn on_start(&mut self, ctx: &ReadContext) -> Actions {
         self.live.insert(ctx.txn, ());
-        vec![ReadAction::Sense { step: 0 }]
+        Actions::one(ReadAction::Sense { step: 0 })
     }
 
-    fn on_sense_done(&mut self, _ctx: &ReadContext, step: u32) -> Vec<ReadAction> {
-        vec![ReadAction::Transfer { step }]
+    fn on_sense_done(&mut self, _ctx: &ReadContext, step: u32) -> Actions {
+        Actions::one(ReadAction::Transfer { step })
     }
 
     fn on_decode_done(
@@ -145,26 +314,26 @@ impl RetryController for BaselineController {
         step: u32,
         success: bool,
         _margin: u32,
-    ) -> Vec<ReadAction> {
+    ) -> Actions {
         if success {
-            vec![ReadAction::CompleteSuccess { step }]
+            Actions::one(ReadAction::CompleteSuccess { step })
         } else if step < ctx.max_step {
-            vec![ReadAction::Sense { step: step + 1 }]
+            Actions::one(ReadAction::Sense { step: step + 1 })
         } else {
-            vec![ReadAction::CompleteFailure]
+            Actions::one(ReadAction::CompleteFailure)
         }
     }
 
-    fn on_feature_applied(&mut self, _ctx: &ReadContext) -> Vec<ReadAction> {
+    fn on_feature_applied(&mut self, _ctx: &ReadContext) -> Actions {
         unreachable!("baseline never issues SET FEATURE")
     }
 
-    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Vec<ReadAction> {
+    fn on_reset_done(&mut self, _ctx: &ReadContext) -> Actions {
         unreachable!("baseline never issues RESET")
     }
 
     fn on_end(&mut self, ctx: &ReadContext, _successful_step: Option<u32>) {
-        self.live.remove(&ctx.txn);
+        self.live.remove(ctx.txn);
     }
 
     fn name(&self) -> &str {
@@ -190,23 +359,23 @@ mod tests {
     fn baseline_walks_steps_sequentially() {
         let mut b = BaselineController::new();
         let c = ctx(40);
-        assert_eq!(b.on_start(&c), vec![ReadAction::Sense { step: 0 }]);
+        assert_eq!(b.on_start(&c).to_vec(), vec![ReadAction::Sense { step: 0 }]);
         assert_eq!(
-            b.on_sense_done(&c, 0),
+            b.on_sense_done(&c, 0).to_vec(),
             vec![ReadAction::Transfer { step: 0 }]
         );
         // Fail at step 0 → sense step 1.
         assert_eq!(
-            b.on_decode_done(&c, 0, false, 0),
+            b.on_decode_done(&c, 0, false, 0).to_vec(),
             vec![ReadAction::Sense { step: 1 }]
         );
         assert_eq!(
-            b.on_sense_done(&c, 1),
+            b.on_sense_done(&c, 1).to_vec(),
             vec![ReadAction::Transfer { step: 1 }]
         );
         // Success at step 1 → complete.
         assert_eq!(
-            b.on_decode_done(&c, 1, true, 30),
+            b.on_decode_done(&c, 1, true, 30).to_vec(),
             vec![ReadAction::CompleteSuccess { step: 1 }]
         );
         b.on_end(&c, Some(1));
@@ -218,8 +387,48 @@ mod tests {
         let c = ctx(2);
         b.on_start(&c);
         assert_eq!(
-            b.on_decode_done(&c, 2, false, 0),
+            b.on_decode_done(&c, 2, false, 0).to_vec(),
             vec![ReadAction::CompleteFailure]
         );
+    }
+
+    #[test]
+    fn actions_inline_then_spill() {
+        let mut a = Actions::new();
+        assert!(a.is_empty());
+        for step in 0..6 {
+            a.push(ReadAction::Sense { step });
+        }
+        assert_eq!(a.len(), 6);
+        let collected = a.to_vec();
+        assert_eq!(
+            collected,
+            (0..6)
+                .map(|step| ReadAction::Sense { step })
+                .collect::<Vec<_>>()
+        );
+        let pair = Actions::pair(ReadAction::Reset, ReadAction::CompleteFailure);
+        assert_eq!(
+            pair.to_vec(),
+            vec![ReadAction::Reset, ReadAction::CompleteFailure]
+        );
+        let one: Actions = ReadAction::Reset.into();
+        assert_eq!(one.to_vec(), vec![ReadAction::Reset]);
+        let from_iter: Actions = (0..2).map(|step| ReadAction::Sense { step }).collect();
+        assert_eq!(from_iter.len(), 2);
+    }
+
+    #[test]
+    fn txn_table_insert_get_remove() {
+        let mut t: TxnTable<u32> = TxnTable::new();
+        assert!(!t.contains(TxnId(3)));
+        assert_eq!(t.insert(TxnId(3), 30), None);
+        assert_eq!(t.insert(TxnId(0), 1), None);
+        assert_eq!(t.get(TxnId(3)), Some(&30));
+        *t.get_mut(TxnId(3)).unwrap() += 1;
+        assert_eq!(t.insert(TxnId(3), 99), Some(31));
+        assert_eq!(t.remove(TxnId(3)), Some(99));
+        assert_eq!(t.remove(TxnId(3)), None);
+        assert_eq!(t.get(TxnId(100)), None);
     }
 }

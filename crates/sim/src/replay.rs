@@ -42,11 +42,24 @@ use rr_util::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
+/// Fixed-point denominator of the open-loop rate multiplier (parts per
+/// million, so rates keep derived `Eq`/hash semantics and integer-exact
+/// arrival scaling).
+pub const RATE_PPM: u64 = 1_000_000;
+
 /// How host requests are admitted to the device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ReplayMode {
     /// Replay requests at their trace timestamps (arrival-rate-driven).
     OpenLoop,
+    /// Replay open-loop with every trace inter-arrival time divided by
+    /// `rate_ppm / 1e6` — the offered-load multiplier of rate sweeps.
+    /// `rate_ppm = 2_000_000` doubles the arrival rate; values below 1e6
+    /// stretch the trace out. Build via [`ReplayMode::open_loop_rate`].
+    OpenLoopScaled {
+        /// Arrival-rate multiplier in parts per million (≥ 1).
+        rate_ppm: u64,
+    },
     /// Ignore trace timestamps and keep `queue_depth` requests outstanding,
     /// admitting the next request (in trace order) whenever one completes.
     ClosedLoop {
@@ -67,6 +80,27 @@ impl ReplayMode {
         ReplayMode::ClosedLoop { queue_depth }
     }
 
+    /// Open-loop replay with trace arrival times compressed by `rate`
+    /// (2.0 = twice the offered load, 0.5 = half). A rate of exactly 1.0
+    /// degenerates to plain [`ReplayMode::OpenLoop`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive, or rounds to zero ppm.
+    pub fn open_loop_rate(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rate multiplier must be finite and positive"
+        );
+        let rate_ppm = (rate * RATE_PPM as f64).round() as u64;
+        assert!(rate_ppm >= 1, "rate multiplier rounds to zero");
+        if rate_ppm == RATE_PPM {
+            ReplayMode::OpenLoop
+        } else {
+            ReplayMode::OpenLoopScaled { rate_ppm }
+        }
+    }
+
     /// Whether this mode admits on completion rather than by timestamp.
     pub fn is_closed_loop(&self) -> bool {
         matches!(self, ReplayMode::ClosedLoop { .. })
@@ -76,10 +110,14 @@ impl ReplayMode {
     ///
     /// # Errors
     ///
-    /// Returns a description of the problem (zero queue depth).
+    /// Returns a description of the problem (zero queue depth or rate).
     pub fn validate(&self) -> Result<(), String> {
         match self {
             ReplayMode::OpenLoop => Ok(()),
+            ReplayMode::OpenLoopScaled { rate_ppm: 0 } => {
+                Err("open-loop rate multiplier must be at least 1 ppm".into())
+            }
+            ReplayMode::OpenLoopScaled { .. } => Ok(()),
             ReplayMode::ClosedLoop { queue_depth: 0 } => {
                 Err("closed-loop queue depth must be at least 1".into())
             }
@@ -88,19 +126,41 @@ impl ReplayMode {
     }
 }
 
+/// Scales an arrival timestamp by `rate_ppm` with exact integer math:
+/// `t · 1e6 / rate_ppm`, saturating at the clock's maximum.
+fn scale_arrival(t: SimTime, rate_ppm: u64) -> SimTime {
+    let scaled = (t.as_ns() as u128) * (RATE_PPM as u128) / (rate_ppm as u128);
+    SimTime::from_ns(u64::try_from(scaled).unwrap_or(u64::MAX))
+}
+
 /// The host-side load generator driving one replay.
 ///
 /// Owns the not-yet-admitted backlog; the simulator asks it for the initial
-/// admissions up front and for one follow-up admission per completed request.
+/// admissions up front, then for one follow-up admission per processed
+/// arrival (open loop) or per completed request (closed loop). Feeding
+/// open-loop arrivals one at a time keeps the event heap as small as the
+/// device's actual concurrency instead of as deep as the whole trace —
+/// a large constant-factor win on heap sift costs.
 #[derive(Debug)]
 pub(crate) enum LoadGenerator {
-    /// Open loop: everything was admitted up front at trace timestamps.
-    Open,
+    /// Open loop: arrivals not yet scheduled, in trace order, with their
+    /// (possibly rate-scaled) admission timestamps.
+    Open {
+        /// Remaining arrivals, front = next.
+        pending: VecDeque<(SimTime, HostRequest)>,
+    },
     /// Closed loop: requests not yet handed to the device, in trace order.
     Closed { pending: VecDeque<HostRequest> },
 }
 
 impl LoadGenerator {
+    /// A generator with nothing to admit (the simulator's pre-run state).
+    pub(crate) fn idle() -> Self {
+        LoadGenerator::Open {
+            pending: VecDeque::new(),
+        }
+    }
+
     /// Builds the generator for `mode` over `trace` and returns the requests
     /// to admit immediately, each with its admission timestamp.
     pub(crate) fn start(
@@ -108,9 +168,11 @@ impl LoadGenerator {
         trace: &[HostRequest],
     ) -> (Self, Vec<(SimTime, HostRequest)>) {
         match mode {
-            ReplayMode::OpenLoop => (
-                LoadGenerator::Open,
-                trace.iter().map(|&r| (r.arrival, r)).collect(),
+            ReplayMode::OpenLoop => Self::start_open(trace.iter().map(|&r| (r.arrival, r))),
+            ReplayMode::OpenLoopScaled { rate_ppm } => Self::start_open(
+                trace
+                    .iter()
+                    .map(|&r| (scale_arrival(r.arrival, rate_ppm), r)),
             ),
             ReplayMode::ClosedLoop { queue_depth } => {
                 let window = (queue_depth as usize).min(trace.len());
@@ -128,11 +190,36 @@ impl LoadGenerator {
         }
     }
 
+    fn start_open(
+        arrivals: impl Iterator<Item = (SimTime, HostRequest)>,
+    ) -> (Self, Vec<(SimTime, HostRequest)>) {
+        let mut pending: Vec<(SimTime, HostRequest)> = arrivals.collect();
+        // Lazy admission schedules each arrival while handling the previous
+        // one, so admission order must be time-ordered. Traces built via
+        // `Trace::new` already are; raw request slices may not be — a stable
+        // sort preserves trace order among equal timestamps.
+        if !pending.windows(2).all(|w| w[0].0 <= w[1].0) {
+            pending.sort_by_key(|&(at, _)| at);
+        }
+        let mut pending: VecDeque<(SimTime, HostRequest)> = pending.into();
+        let initial = pending.pop_front().into_iter().collect();
+        (LoadGenerator::Open { pending }, initial)
+    }
+
+    /// An open-loop arrival was processed; returns the next arrival to
+    /// schedule (trace order guarantees non-decreasing timestamps).
+    pub(crate) fn next_arrival(&mut self) -> Option<(SimTime, HostRequest)> {
+        match self {
+            LoadGenerator::Open { pending } => pending.pop_front(),
+            LoadGenerator::Closed { .. } => None,
+        }
+    }
+
     /// A host request completed; returns the next request to admit now (if
     /// the mode admits on completion and backlog remains).
     pub(crate) fn on_completion(&mut self) -> Option<HostRequest> {
         match self {
-            LoadGenerator::Open => None,
+            LoadGenerator::Open { .. } => None,
             LoadGenerator::Closed { pending } => pending.pop_front(),
         }
     }
@@ -150,11 +237,22 @@ mod tests {
     }
 
     #[test]
-    fn open_loop_admits_everything_at_trace_times() {
+    fn open_loop_admits_in_trace_order_one_at_a_time() {
         let t = trace(3);
         let (mut generator, initial) = LoadGenerator::start(ReplayMode::OpenLoop, &t);
-        assert_eq!(initial.len(), 3);
-        assert_eq!(initial[1].0, SimTime::from_us(100));
+        // Only the first arrival is scheduled eagerly; the rest feed in one
+        // per processed arrival so the event heap stays shallow.
+        assert_eq!(initial.len(), 1);
+        assert_eq!(initial[0].0, SimTime::ZERO);
+        assert_eq!(
+            generator.next_arrival(),
+            Some((SimTime::from_us(100), t[1]))
+        );
+        assert_eq!(
+            generator.next_arrival(),
+            Some((SimTime::from_us(200), t[2]))
+        );
+        assert_eq!(generator.next_arrival(), None);
         assert_eq!(generator.on_completion(), None);
     }
 
@@ -186,9 +284,73 @@ mod tests {
         assert!(ReplayMode::ClosedLoop { queue_depth: 0 }
             .validate()
             .is_err());
+        assert!(ReplayMode::OpenLoopScaled { rate_ppm: 0 }
+            .validate()
+            .is_err());
+        assert!(ReplayMode::open_loop_rate(2.0).validate().is_ok());
         assert!(ReplayMode::closed_loop(1).validate().is_ok());
         assert!(ReplayMode::closed_loop(4).is_closed_loop());
         assert!(!ReplayMode::OpenLoop.is_closed_loop());
+        assert!(!ReplayMode::open_loop_rate(2.0).is_closed_loop());
+    }
+
+    #[test]
+    fn rate_one_degenerates_to_plain_open_loop() {
+        assert_eq!(ReplayMode::open_loop_rate(1.0), ReplayMode::OpenLoop);
+    }
+
+    #[test]
+    fn rate_scaling_compresses_and_stretches_arrivals() {
+        let t = trace(3);
+        let drain = |mode: ReplayMode| -> Vec<SimTime> {
+            let (mut generator, initial) = LoadGenerator::start(mode, &t);
+            let mut times: Vec<SimTime> = initial.iter().map(|&(at, _)| at).collect();
+            while let Some((at, _)) = generator.next_arrival() {
+                times.push(at);
+            }
+            times
+        };
+        // Rate 2: arrivals at half their trace offsets.
+        let doubled = drain(ReplayMode::open_loop_rate(2.0));
+        assert_eq!(
+            doubled,
+            vec![SimTime::ZERO, SimTime::from_us(50), SimTime::from_us(100)]
+        );
+        // Rate 0.5: arrivals stretched to twice their offsets.
+        let halved = drain(ReplayMode::open_loop_rate(0.5));
+        assert_eq!(
+            halved,
+            vec![SimTime::ZERO, SimTime::from_us(200), SimTime::from_us(400)]
+        );
+        // Scaling preserves trace order.
+        assert!(halved.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_rate_constructor_panics() {
+        ReplayMode::open_loop_rate(0.0);
+    }
+
+    #[test]
+    fn unsorted_raw_arrivals_are_admitted_in_time_order() {
+        // Raw request slices (no Trace::new sorting) must still replay:
+        // lazy admission sorts them stably by arrival first.
+        let reqs = vec![
+            HostRequest::new(SimTime::from_us(300), IoOp::Read, 0, 1),
+            HostRequest::new(SimTime::from_us(100), IoOp::Read, 1, 1),
+            HostRequest::new(SimTime::from_us(200), IoOp::Read, 2, 1),
+        ];
+        let (mut generator, initial) = LoadGenerator::start(ReplayMode::OpenLoop, &reqs);
+        assert_eq!(initial[0].0, SimTime::from_us(100));
+        assert_eq!(
+            generator.next_arrival(),
+            Some((SimTime::from_us(200), reqs[2]))
+        );
+        assert_eq!(
+            generator.next_arrival(),
+            Some((SimTime::from_us(300), reqs[0]))
+        );
     }
 
     #[test]

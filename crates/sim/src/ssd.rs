@@ -22,13 +22,14 @@ use crate::config::SsdConfig;
 use crate::event::EventQueue;
 use crate::ftl::{Ftl, Ppn, PpnLocation};
 use crate::metrics::{MetricsCollector, SimReport};
-use crate::readflow::{ReadAction, ReadContext, RetryController};
+use crate::readflow::{Actions, ReadAction, ReadContext, RetryController};
 use crate::replay::{LoadGenerator, ReplayMode};
 use crate::request::{HostRequest, IoOp, ReqId, TxnId, TxnKind};
 use crate::scheduler::{ChannelState, DieJob, DieState, Event, QueuedOp, Transfer};
 use rr_flash::calibration::OperatingCondition;
 use rr_flash::error_model::{ErrorModel, PageId};
 use rr_util::time::SimTime;
+use std::sync::Arc;
 
 #[derive(Debug)]
 struct TxnState {
@@ -37,10 +38,16 @@ struct TxnState {
     lpn: u64,
     loc: PpnLocation,
     ctx: Option<ReadContext>,
-    /// `(step, raw errors)` pairs recorded at sense time.
+    /// `(step, raw errors)` pairs recorded at sense time. The buffer is
+    /// recycled with its slot, so a warmed-up pool stops allocating.
     sensed: Vec<(u32, u32)>,
     senses: u32,
     finished: bool,
+    /// Channel-side references (queued/in-flight transfers and decodes)
+    /// still carrying this transaction's id. A slot may only return to the
+    /// free list once this reaches zero — stale pipelined decodes of a
+    /// completed read must find the slot intact, not recycled.
+    pending_io: u32,
     /// For GC reads: the source PPN (to detect concurrent invalidation) and
     /// the GC job index.
     gc_src: Option<(Ppn, usize)>,
@@ -89,7 +96,7 @@ struct GcJobState {
 /// assert_eq!(report.requests_completed, 1);
 /// ```
 pub struct Ssd {
-    cfg: SsdConfig,
+    cfg: Arc<SsdConfig>,
     ftl: Ftl,
     model: ErrorModel,
     controller: Box<dyn RetryController>,
@@ -98,50 +105,202 @@ pub struct Ssd {
     dies: Vec<DieState>,
     channels: Vec<ChannelState>,
     txns: Vec<TxnState>,
+    /// Recycled transaction slots (indices into `txns`), LIFO.
+    free_txns: Vec<u32>,
     reqs: Vec<ReqState>,
     loadgen: LoadGenerator,
     metrics: MetricsCollector,
     gc_jobs: Vec<GcJobState>,
     max_step: u32,
+    slab_reuse: bool,
+}
+
+/// Reusable simulation buffers: one arena per worker amortizes the FTL's
+/// multi-megabyte mapping tables, the die/channel queue slabs, the event
+/// heap, and the transaction pool (with its sense buffers) across the many
+/// short runs of an experiment matrix or sweep.
+///
+/// Runs through an arena are **bit-identical** to fresh [`Ssd::new`] runs:
+/// every buffer is reset to its pristine observable state before reuse
+/// (`tests/hotpath_equiv.rs` asserts this).
+///
+/// # Example
+///
+/// ```
+/// use rr_sim::config::SsdConfig;
+/// use rr_sim::readflow::BaselineController;
+/// use rr_sim::replay::ReplayMode;
+/// use rr_sim::request::{HostRequest, IoOp};
+/// use rr_sim::ssd::{SimArena, Ssd};
+/// use rr_util::time::SimTime;
+///
+/// let cfg = SsdConfig::scaled_for_tests();
+/// let trace = vec![HostRequest::new(SimTime::ZERO, IoOp::Read, 5, 1)];
+/// let mut arena = SimArena::new();
+/// for _ in 0..2 {
+///     let report = Ssd::run_pooled(
+///         &mut arena,
+///         cfg.clone(),
+///         Box::new(BaselineController::new()),
+///         1000,
+///         &trace,
+///         ReplayMode::OpenLoop,
+///     )
+///     .expect("valid configuration");
+///     assert_eq!(report.requests_completed, 1);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct SimArena {
+    ftl: Option<Ftl>,
+    dies: Vec<DieState>,
+    channels: Vec<ChannelState>,
+    events: EventQueue<Event>,
+    txns: Vec<TxnState>,
+    free_txns: Vec<u32>,
+    reqs: Vec<ReqState>,
+}
+
+impl SimArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl Ssd {
     /// Builds a preconditioned SSD: `lpn_count` logical pages are mapped and
     /// carry the configured retention age (cold data).
     ///
+    /// Accepts the configuration by value or as a pre-shared
+    /// `Arc<SsdConfig>`; experiment runners share one `Arc` across cells so
+    /// sweep setup stops copying the config per simulator.
+    ///
     /// # Errors
     ///
     /// Propagates configuration/footprint validation errors.
     pub fn new(
-        cfg: SsdConfig,
+        cfg: impl Into<Arc<SsdConfig>>,
+        controller: Box<dyn RetryController>,
+        lpn_count: u64,
+    ) -> Result<Self, String> {
+        Self::assemble(&mut SimArena::new(), cfg.into(), controller, lpn_count)
+    }
+
+    /// Builds an SSD out of `arena`'s recycled buffers (the arena is left
+    /// empty until the SSD returns them via [`Ssd::run_pooled`]).
+    fn assemble(
+        arena: &mut SimArena,
+        cfg: Arc<SsdConfig>,
         controller: Box<dyn RetryController>,
         lpn_count: u64,
     ) -> Result<Self, String> {
         cfg.validate()?;
-        let mut ftl = Ftl::new(&cfg, lpn_count)?;
+        let mut ftl = match arena.ftl.take() {
+            Some(mut recycled) => {
+                recycled.rebuild(&cfg, lpn_count)?;
+                recycled
+            }
+            None => Ftl::new(&cfg, lpn_count)?,
+        };
         ftl.precondition();
-        let model = ErrorModel::new(cfg.seed).with_outlier_rate(cfg.outlier_rate);
+        let model = ErrorModel::new(cfg.seed)
+            .with_outlier_rate(cfg.outlier_rate)
+            .with_profile_cache(cfg.hotpath.profile_cache);
         let max_step = model.retry_table().max_steps();
-        let dies = (0..cfg.total_dies())
-            .map(|_| DieState::new(cfg.timings.sense))
-            .collect();
-        let channels = (0..cfg.channels).map(|_| ChannelState::new()).collect();
+        let mut dies = std::mem::take(&mut arena.dies);
+        if dies.len() == cfg.total_dies() as usize {
+            for d in &mut dies {
+                d.reset(cfg.timings.sense);
+            }
+        } else {
+            dies = (0..cfg.total_dies())
+                .map(|_| DieState::new(cfg.timings.sense))
+                .collect();
+        }
+        let mut channels = std::mem::take(&mut arena.channels);
+        if channels.len() == cfg.channels as usize {
+            for c in &mut channels {
+                c.reset();
+            }
+        } else {
+            channels = (0..cfg.channels).map(|_| ChannelState::new()).collect();
+        }
+        let mut events = std::mem::take(&mut arena.events);
+        events.reset();
+        let slab_reuse = cfg.hotpath.txn_slab_reuse;
+        let mut txns = std::mem::take(&mut arena.txns);
+        let mut free_txns = std::mem::take(&mut arena.free_txns);
+        if !slab_reuse {
+            // Fresh-allocation semantics: ids must be assigned in append
+            // order with no pooled slots.
+            txns.clear();
+            free_txns.clear();
+        }
+        let mut reqs = std::mem::take(&mut arena.reqs);
+        reqs.clear();
         Ok(Self {
             metrics: MetricsCollector::new(max_step),
             cfg,
             ftl,
             model,
             controller,
-            events: EventQueue::new(),
+            events,
             now: SimTime::ZERO,
             dies,
             channels,
-            txns: Vec::new(),
-            reqs: Vec::new(),
-            loadgen: LoadGenerator::Open,
+            txns,
+            free_txns,
+            reqs,
+            loadgen: LoadGenerator::idle(),
             gc_jobs: Vec::new(),
             max_step,
+            slab_reuse,
         })
+    }
+
+    /// Returns the simulation buffers to `arena` for the next run.
+    fn release_into(mut self, arena: &mut SimArena) {
+        arena.ftl = Some(self.ftl);
+        arena.dies = self.dies;
+        arena.channels = self.channels;
+        arena.events = self.events;
+        // Every slot is free for the next run; keep the sense buffers.
+        for t in &mut self.txns {
+            t.sensed.clear();
+        }
+        self.free_txns.clear();
+        self.free_txns.extend((0..self.txns.len() as u32).rev());
+        arena.free_txns = self.free_txns;
+        arena.txns = self.txns;
+        self.reqs.clear();
+        arena.reqs = self.reqs;
+    }
+
+    /// Runs one trace on recycled `arena` buffers and returns them to the
+    /// arena afterwards — the per-worker fast path of the experiment
+    /// runners. Reports are bit-identical to `Ssd::new(..).run_with(..)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration/footprint validation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replay mode is invalid or a request's LPN range exceeds
+    /// the preconditioned footprint (as [`Ssd::run_with`] does).
+    pub fn run_pooled(
+        arena: &mut SimArena,
+        cfg: impl Into<Arc<SsdConfig>>,
+        controller: Box<dyn RetryController>,
+        lpn_count: u64,
+        trace: &[HostRequest],
+        mode: ReplayMode,
+    ) -> Result<SimReport, String> {
+        let mut ssd = Self::assemble(arena, cfg.into(), controller, lpn_count)?;
+        let report = ssd.run_mut(trace, mode);
+        ssd.release_into(arena);
+        Ok(report)
     }
 
     /// Runs the trace to completion open-loop (requests arrive at their
@@ -161,9 +320,13 @@ impl Ssd {
     ///
     /// # Panics
     ///
-    /// Panics if the replay mode is invalid (zero queue depth) or a
+    /// Panics if the replay mode is invalid (zero queue depth or rate) or a
     /// request's LPN range exceeds the preconditioned footprint.
     pub fn run_with(mut self, trace: &[HostRequest], mode: ReplayMode) -> SimReport {
+        self.run_mut(trace, mode)
+    }
+
+    fn run_mut(&mut self, trace: &[HostRequest], mode: ReplayMode) -> SimReport {
         mode.validate().expect("valid replay mode");
         for r in trace {
             assert!(
@@ -181,6 +344,7 @@ impl Ssd {
         }
         while let Some((t, ev)) = self.events.pop() {
             self.now = t;
+            self.metrics.events_processed += 1;
             match ev {
                 Event::Arrive(id) => self.handle_arrival(id),
                 Event::DieDone { die, gen } => self.handle_die_done(die, gen),
@@ -190,7 +354,8 @@ impl Ssd {
         }
         self.assert_drained();
         let name = self.controller.name().to_string();
-        self.metrics.finish(&name)
+        let collector = std::mem::replace(&mut self.metrics, MetricsCollector::new(self.max_step));
+        collector.finish(&name)
     }
 
     /// After the event queue empties, nothing may remain queued anywhere —
@@ -228,12 +393,17 @@ impl Ssd {
                 r.remaining
             );
         }
-        if let LoadGenerator::Closed { pending } = &self.loadgen {
-            assert!(
+        match &self.loadgen {
+            LoadGenerator::Closed { pending } => assert!(
                 pending.is_empty(),
                 "closed-loop backlog never drained: {} requests left",
                 pending.len()
-            );
+            ),
+            LoadGenerator::Open { pending } => assert!(
+                pending.is_empty(),
+                "open-loop arrivals never scheduled: {} requests left",
+                pending.len()
+            ),
         }
     }
 
@@ -253,6 +423,12 @@ impl Ssd {
     }
 
     fn handle_arrival(&mut self, req: ReqId) {
+        // Open loop feeds arrivals one at a time (trace order is sorted, so
+        // the next admission is never in the past); scheduling it before the
+        // spawned flash work keeps the heap footprint minimal.
+        if let Some((at, r)) = self.loadgen.next_arrival() {
+            self.admit(at, r);
+        }
         let r = &self.reqs[req.0 as usize];
         // No page has completed yet, so `remaining` is the request length.
         let (op, first, last) = (r.op, r.lpn, r.lpn + r.remaining as u64);
@@ -290,18 +466,7 @@ impl Ssd {
             .expect("preconditioned footprint covers all trace LPNs");
         let loc = self.ftl.locate(ppn);
         let (condition, cold) = self.condition_for(lpn);
-        let txn = self.push_txn(TxnState {
-            kind: TxnKind::HostRead,
-            req: Some(req),
-            lpn,
-            loc,
-            ctx: None,
-            sensed: Vec::new(),
-            senses: 0,
-            finished: false,
-            gc_src: None,
-            gc_job: None,
-        });
+        let txn = self.new_txn(TxnKind::HostRead, Some(req), lpn, loc, None, None);
         let ctx = ReadContext {
             txn,
             die: loc.die_global,
@@ -319,18 +484,7 @@ impl Ssd {
             .allocate_for_write(lpn)
             .expect("GC keeps free pages available");
         let loc = self.ftl.locate(alloc.ppn);
-        let txn = self.push_txn(TxnState {
-            kind: TxnKind::HostWrite,
-            req: Some(req),
-            lpn,
-            loc,
-            ctx: None,
-            sensed: Vec::new(),
-            senses: 0,
-            finished: false,
-            gc_src: None,
-            gc_job: None,
-        });
+        let txn = self.new_txn(TxnKind::HostWrite, Some(req), lpn, loc, None, None);
         self.dies[loc.die_global as usize].p2.push_back(txn);
         self.pump_die(loc.die_global);
         if let Some(plane) = alloc.gc_hint {
@@ -338,10 +492,60 @@ impl Ssd {
         }
     }
 
-    fn push_txn(&mut self, t: TxnState) -> TxnId {
-        let id = TxnId(self.txns.len() as u32);
-        self.txns.push(t);
-        id
+    /// Allocates a transaction record, preferring a recycled slot (whose
+    /// sense buffer is kept, cleared) over growing the slab.
+    fn new_txn(
+        &mut self,
+        kind: TxnKind,
+        req: Option<ReqId>,
+        lpn: u64,
+        loc: PpnLocation,
+        gc_src: Option<(Ppn, usize)>,
+        gc_job: Option<usize>,
+    ) -> TxnId {
+        let mut state = TxnState {
+            kind,
+            req,
+            lpn,
+            loc,
+            ctx: None,
+            sensed: Vec::new(),
+            senses: 0,
+            finished: false,
+            pending_io: 0,
+            gc_src,
+            gc_job,
+        };
+        if let Some(i) = self.free_txns.pop() {
+            let slot = &mut self.txns[i as usize];
+            let mut sensed = std::mem::take(&mut slot.sensed);
+            sensed.clear();
+            state.sensed = sensed;
+            *slot = state;
+            TxnId(i)
+        } else {
+            let id = TxnId(self.txns.len() as u32);
+            self.txns.push(state);
+            id
+        }
+    }
+
+    /// Returns a finished transaction's slot to the free list once nothing
+    /// in the machine references it anymore: the die has released ownership
+    /// (reads) or never owned it (writes/erases), and no channel transfer or
+    /// decode still carries its id.
+    fn maybe_recycle(&mut self, txn: TxnId) {
+        if !self.slab_reuse {
+            return;
+        }
+        let t = &self.txns[txn.0 as usize];
+        if !t.finished || t.pending_io != 0 {
+            return;
+        }
+        if self.dies[t.loc.die_global as usize].owner == Some(txn) {
+            return;
+        }
+        self.free_txns.push(txn.0);
     }
 
     fn enqueue_read(&mut self, txn: TxnId, die: u32) {
@@ -378,18 +582,7 @@ impl Ssd {
         for (lpn, src) in job.moves {
             let loc = self.ftl.locate(src);
             let (condition, cold) = self.condition_for(lpn);
-            let txn = self.push_txn(TxnState {
-                kind: TxnKind::GcRead,
-                req: None,
-                lpn,
-                loc,
-                ctx: None,
-                sensed: Vec::new(),
-                senses: 0,
-                finished: false,
-                gc_src: Some((src, job_idx)),
-                gc_job: None,
-            });
+            let txn = self.new_txn(TxnKind::GcRead, None, lpn, loc, Some((src, job_idx)), None);
             let ctx = ReadContext {
                 txn,
                 die: loc.die_global,
@@ -414,18 +607,7 @@ impl Ssd {
                 .allocate_for_gc(lpn, plane)
                 .expect("GC target plane has reserve space");
             let loc = self.ftl.locate(dst);
-            let wtxn = self.push_txn(TxnState {
-                kind: TxnKind::GcWrite,
-                req: None,
-                lpn,
-                loc,
-                ctx: None,
-                sensed: Vec::new(),
-                senses: 0,
-                finished: false,
-                gc_src: None,
-                gc_job: Some(job_idx),
-            });
+            let wtxn = self.new_txn(TxnKind::GcWrite, None, lpn, loc, None, Some(job_idx));
             self.dies[loc.die_global as usize].p2.push_back(wtxn);
             self.pump_die(loc.die_global);
         } else {
@@ -448,18 +630,7 @@ impl Ssd {
         let victim = job.victim_block;
         let ppb = self.cfg.chip.pages_per_block;
         let loc = self.ftl.locate(Ppn(victim * ppb));
-        let txn = self.push_txn(TxnState {
-            kind: TxnKind::GcErase,
-            req: None,
-            lpn: 0,
-            loc,
-            ctx: None,
-            sensed: Vec::new(),
-            senses: 0,
-            finished: false,
-            gc_src: None,
-            gc_job: Some(job_idx),
-        });
+        let txn = self.new_txn(TxnKind::GcErase, None, 0, loc, None, Some(job_idx));
         self.dies[loc.die_global as usize].p2.push_back(txn);
         self.pump_die(loc.die_global);
     }
@@ -503,8 +674,7 @@ impl Ssd {
                 return;
             }
             // P1: first sensings of reads — the new owner.
-            if let Some(&txn) = self.dies[die_idx as usize].p1.front() {
-                self.dies[die_idx as usize].p1.pop_front();
+            if let Some(txn) = self.dies[die_idx as usize].p1.pop_front() {
                 self.dies[die_idx as usize].owner = Some(txn);
                 let ctx = self.txns[txn.0 as usize]
                     .ctx
@@ -520,23 +690,24 @@ impl Ssd {
                 self.events.push(at, Event::DieDone { die: die_idx, gen });
                 return;
             }
-            // P2: programs and erases; GC jumps ahead when a plane is critical.
-            let p2 = &self.dies[die_idx as usize].p2;
-            if p2.is_empty() {
+            // P2: programs and erases; GC jumps ahead when a plane is
+            // critical — an O(1) unlink from the middle of the linked queue.
+            if self.dies[die_idx as usize].p2.is_empty() {
                 return;
             }
             let urgent = self.die_has_critical_plane(die_idx);
-            let pick = if urgent {
-                p2.iter()
-                    .position(|&t| !self.txns[t.0 as usize].kind.is_host())
-                    .unwrap_or(0)
-            } else {
-                0
+            let txn = {
+                let Self { dies, txns, .. } = self;
+                let p2 = &mut dies[die_idx as usize].p2;
+                let gc_first = if urgent {
+                    p2.pop_first_where(|&t| !txns[t.0 as usize].kind.is_host())
+                } else {
+                    None
+                };
+                gc_first
+                    .or_else(|| p2.pop_front())
+                    .expect("P2 checked non-empty")
             };
-            let txn = self.dies[die_idx as usize]
-                .p2
-                .remove(pick)
-                .expect("index from position");
             self.start_p2_txn(die_idx, txn);
             return;
         }
@@ -601,7 +772,9 @@ impl Ssd {
                     },
                     SimTime::MAX,
                 );
-                let channel = self.txns[txn.0 as usize].loc.channel;
+                let t = &mut self.txns[txn.0 as usize];
+                t.pending_io += 1;
+                let channel = t.loc.channel;
                 self.channels[channel as usize].enqueue_transfer(Transfer {
                     txn,
                     step: None,
@@ -663,6 +836,7 @@ impl Ssd {
                 self.ftl.finish_gc(victim);
                 self.metrics.gc_collections += 1;
                 self.txns[txn.0 as usize].finished = true;
+                self.maybe_recycle(txn);
             }
             DieJob::Suspending => {}
         }
@@ -681,7 +855,13 @@ impl Ssd {
         if !self.txns[owner.0 as usize].finished {
             return;
         }
-        if die.p0.iter().any(|&(t, _)| t == owner) {
+        // P0 ops belong exclusively to the die owner, so a non-empty P0
+        // means the owner still has queued work (O(1) check).
+        if !die.p0.is_empty() {
+            debug_assert!(
+                die.p0.iter().all(|&(t, _)| t == owner),
+                "P0 held another read's ops"
+            );
             return;
         }
         let job_is_owners = match die.job {
@@ -694,6 +874,7 @@ impl Ssd {
             return;
         }
         self.dies[die_idx as usize].owner = None;
+        self.maybe_recycle(owner);
     }
 
     fn handle_transfer_done(&mut self, channel: u32) {
@@ -701,12 +882,18 @@ impl Ssd {
         match t.step {
             Some(_) => {
                 // Read data arrived at the controller: queue ECC decode.
+                // The channel reference lives on (transfer → decode), so
+                // `pending_io` stays held until the decode completes.
                 self.channels[channel as usize].enqueue_decode(t);
                 self.pump_ecc(channel);
             }
             None => {
-                // Write data arrived at the chip: start programming.
-                let die_idx = self.txns[t.txn.0 as usize].loc.die_global;
+                // Write data arrived at the chip: the channel reference
+                // drops and programming starts.
+                let txn_state = &mut self.txns[t.txn.0 as usize];
+                debug_assert!(txn_state.pending_io > 0);
+                txn_state.pending_io -= 1;
+                let die_idx = txn_state.loc.die_global;
                 let until = self.now + self.cfg.timings.t_prog;
                 let die = &mut self.dies[die_idx as usize];
                 debug_assert!(matches!(
@@ -734,8 +921,16 @@ impl Ssd {
         let d = self.channels[channel as usize].end_decode();
         self.pump_ecc(channel);
         let step = d.step.expect("only reads are decoded");
+        {
+            let t = &mut self.txns[d.txn.0 as usize];
+            debug_assert!(t.pending_io > 0, "decode without a channel reference");
+            t.pending_io -= 1;
+        }
         if self.txns[d.txn.0 as usize].finished {
-            return; // stale pipelined transfer after completion
+            // Stale pipelined transfer after completion: the dropped channel
+            // reference may have been the last thing pinning the slot.
+            self.maybe_recycle(d.txn);
+            return;
         }
         let success = d.errors <= self.cfg.ecc.capability;
         let margin = self.cfg.ecc.capability.saturating_sub(d.errors);
@@ -746,9 +941,9 @@ impl Ssd {
 
     // ---- action execution ----------------------------------------------------
 
-    fn execute_actions(&mut self, txn: TxnId, actions: Vec<ReadAction>) {
+    fn execute_actions(&mut self, txn: TxnId, actions: Actions) {
         let die_idx = self.txns[txn.0 as usize].loc.die_global;
-        for a in actions {
+        for a in actions.iter() {
             match a {
                 ReadAction::Sense { step } => {
                     self.dies[die_idx as usize]
@@ -763,7 +958,7 @@ impl Ssd {
                     self.maybe_suspend(die_idx);
                 }
                 ReadAction::Transfer { step } => {
-                    let t = &self.txns[txn.0 as usize];
+                    let t = &mut self.txns[txn.0 as usize];
                     let errors = t
                         .sensed
                         .iter()
@@ -771,6 +966,7 @@ impl Ssd {
                         .find(|&&(s, _)| s == step)
                         .map(|&(_, e)| e)
                         .expect("transfer of a step that was sensed");
+                    t.pending_io += 1;
                     let channel = t.loc.channel;
                     self.channels[channel as usize].enqueue_transfer(Transfer {
                         txn,
@@ -808,7 +1004,11 @@ impl Ssd {
             }
         }
         // Drop any not-yet-started ops this txn queued (stale speculation).
-        die.p0.retain(|&(t, _)| t != txn);
+        // P0 holds only the issuing read's (the owner's) ops, so the whole
+        // queue empties — no scan-and-compare retain.
+        while let Some((t, _)) = die.p0.pop_front() {
+            debug_assert_eq!(t, txn, "P0 held another read's op during RESET");
+        }
         let gen = die.begin(DieJob::Reset { txn }, until);
         self.events
             .push(until, Event::DieDone { die: die_idx, gen });
@@ -874,6 +1074,9 @@ impl Ssd {
         if let Some(job_idx) = self.txns[txn.0 as usize].gc_job {
             self.gc_move_done(job_idx);
         }
+        // Writes never own their die and their lone data transfer completed
+        // before programming began, so the slot frees immediately.
+        self.maybe_recycle(txn);
     }
 
     fn complete_req_part(&mut self, req: ReqId) {
@@ -1099,6 +1302,30 @@ mod tests {
         let report = ssd.run(&trace);
         assert_eq!(report.requests_completed, 3000);
         assert!(report.gc_collections > 0, "GC must have run");
+    }
+
+    #[test]
+    fn open_loop_accepts_unsorted_raw_request_slices() {
+        // `run` takes a raw slice, not a (pre-sorted) Trace; arrivals out of
+        // trace order must replay as if time-sorted, not panic.
+        let cfg = cfg_at(0.0, 0.0);
+        let mk = |reqs: Vec<HostRequest>| {
+            Ssd::new(cfg.clone(), Box::new(BaselineController::new()), 10_000)
+                .unwrap()
+                .run(&reqs)
+        };
+        let unsorted = mk(vec![
+            HostRequest::new(SimTime::from_ms(2), IoOp::Read, 7, 1),
+            HostRequest::new(SimTime::from_ms(1), IoOp::Read, 11, 1),
+            HostRequest::new(SimTime::ZERO, IoOp::Write, 3, 1),
+        ]);
+        let sorted = mk(vec![
+            HostRequest::new(SimTime::ZERO, IoOp::Write, 3, 1),
+            HostRequest::new(SimTime::from_ms(1), IoOp::Read, 11, 1),
+            HostRequest::new(SimTime::from_ms(2), IoOp::Read, 7, 1),
+        ]);
+        assert_eq!(unsorted.requests_completed, 3);
+        assert_eq!(unsorted, sorted);
     }
 
     #[test]

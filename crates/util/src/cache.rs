@@ -1,0 +1,180 @@
+//! A small, deterministic open-addressed cache for memoizing pure functions.
+//!
+//! The simulator's hot path repeatedly re-derives values that are *pure
+//! functions* of a key (e.g. the per-page read profile of the flash error
+//! model). [`StationaryCache`] memoizes such derivations in a fixed-capacity
+//! open-addressed table with bounded linear probing and
+//! overwrite-on-collision eviction:
+//!
+//! * **lookups and inserts are O(1)** — at most [`StationaryCache::probe`]
+//!   slots are inspected, never the whole table;
+//! * **no allocation after construction** — the slot array is sized once;
+//! * **results are exact** — a hit is returned only on full key equality, so
+//!   a cached value is always bit-identical to recomputing it. Cache
+//!   *contents* depend on the access order (eviction is overwrite-based),
+//!   but the values observed by callers never do, which is what keeps
+//!   memoized simulation runs bit-identical to unmemoized ones.
+//!
+//! The caller supplies the hash for each key (typically via
+//! [`crate::rng::mix64`]), keeping this type free of any hashing policy.
+//!
+//! # Example
+//!
+//! ```
+//! use rr_util::cache::StationaryCache;
+//! use rr_util::rng::mix64;
+//!
+//! let mut cache: StationaryCache<u64, u32> = StationaryCache::new(8, 2);
+//! let h = |k: u64| mix64(k, 0xCAFE);
+//! assert_eq!(cache.get(h(7), &7), None);
+//! cache.insert(h(7), 7, 49);
+//! assert_eq!(cache.get(h(7), &7), Some(49));
+//! ```
+
+/// A fixed-capacity open-addressed memo table with bounded linear probing.
+///
+/// `K` is compared by full equality on every probe, so false hits are
+/// impossible; a colliding insert past the probe window simply overwrites
+/// the window's first slot (direct-mapped eviction).
+#[derive(Debug, Clone)]
+pub struct StationaryCache<K, V> {
+    slots: Vec<Option<(K, V)>>,
+    mask: usize,
+    probe: usize,
+}
+
+impl<K: PartialEq, V: Copy> StationaryCache<K, V> {
+    /// Creates a cache with `1 << capacity_log2` slots and a linear-probe
+    /// window of `probe` slots (clamped to the table size, minimum 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_log2` would overflow `usize` indexing.
+    pub fn new(capacity_log2: u32, probe: usize) -> Self {
+        let capacity = 1usize
+            .checked_shl(capacity_log2)
+            .expect("cache capacity must fit in usize");
+        Self {
+            slots: (0..capacity).map(|_| None).collect(),
+            mask: capacity - 1,
+            probe: probe.clamp(1, capacity),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The linear-probe window length.
+    pub fn probe(&self) -> usize {
+        self.probe
+    }
+
+    /// Looks `key` up under its (caller-computed) `hash`.
+    pub fn get(&self, hash: u64, key: &K) -> Option<V> {
+        let base = hash as usize;
+        for i in 0..self.probe {
+            if let Some((k, v)) = &self.slots[(base + i) & self.mask] {
+                if k == key {
+                    return Some(*v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Inserts `key → value`. Reuses the key's existing slot or the first
+    /// empty slot in the probe window; if the window is full of other keys,
+    /// overwrites its first slot.
+    pub fn insert(&mut self, hash: u64, key: K, value: V) {
+        let base = hash as usize;
+        for i in 0..self.probe {
+            let idx = (base + i) & self.mask;
+            match &self.slots[idx] {
+                Some((k, _)) if *k == key => {
+                    self.slots[idx] = Some((key, value));
+                    return;
+                }
+                None => {
+                    self.slots[idx] = Some((key, value));
+                    return;
+                }
+                Some(_) => {}
+            }
+        }
+        self.slots[base & self.mask] = Some((key, value));
+    }
+
+    /// Empties the cache, keeping its allocation.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::mix64;
+
+    fn h(k: u64) -> u64 {
+        mix64(k, 0x5eed)
+    }
+
+    #[test]
+    fn hit_requires_exact_key_match() {
+        let mut c: StationaryCache<u64, u64> = StationaryCache::new(4, 2);
+        c.insert(h(1), 1, 100);
+        assert_eq!(c.get(h(1), &1), Some(100));
+        // Same hash, different key must miss (no false hits).
+        assert_eq!(c.get(h(1), &2), None);
+    }
+
+    #[test]
+    fn collision_overwrites_deterministically() {
+        // A 1-slot table with probe 1: every insert lands in slot 0.
+        let mut c: StationaryCache<u64, u64> = StationaryCache::new(0, 1);
+        assert_eq!(c.capacity(), 1);
+        c.insert(h(1), 1, 10);
+        c.insert(h(2), 2, 20);
+        // Key 1 was evicted; key 2 is served; neither is ever wrong.
+        assert_eq!(c.get(h(1), &1), None);
+        assert_eq!(c.get(h(2), &2), Some(20));
+    }
+
+    #[test]
+    fn probe_window_holds_colliding_keys() {
+        let mut c: StationaryCache<u64, u64> = StationaryCache::new(4, 4);
+        // Force all keys into the same base slot.
+        for k in 0..4u64 {
+            c.insert(0, k, k * 10);
+        }
+        for k in 0..4u64 {
+            assert_eq!(c.get(0, &k), Some(k * 10), "key {k}");
+        }
+        // A fifth colliding key overwrites the window's first slot only.
+        c.insert(0, 99, 990);
+        assert_eq!(c.get(0, &99), Some(990));
+        assert_eq!(c.get(0, &0), None, "window head was evicted");
+        assert_eq!(c.get(0, &1), Some(10));
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c: StationaryCache<u64, u64> = StationaryCache::new(3, 2);
+        c.insert(h(5), 5, 1);
+        c.insert(h(5), 5, 2);
+        assert_eq!(c.get(h(5), &5), Some(2));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut c: StationaryCache<u64, u64> = StationaryCache::new(3, 2);
+        c.insert(h(5), 5, 1);
+        c.clear();
+        assert_eq!(c.get(h(5), &5), None);
+        assert_eq!(c.capacity(), 8);
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`interp`] — clamped bilinear interpolation over anchor grids; the flash
 //!   error-model calibration (DESIGN.md §5) is expressed as anchor grids over
 //!   (P/E cycles × retention months).
+//! * [`cache`] — a deterministic open-addressed memo table for pure-function
+//!   results (the flash error model's per-page profile cache sits on it).
 //!
 //! # Example
 //!
@@ -31,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod dist;
 pub mod interp;
 pub mod rng;

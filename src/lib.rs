@@ -43,8 +43,8 @@ pub use rr_workloads as workloads;
 pub mod prelude {
     pub use rr_charact::platform::TestPlatform;
     pub use rr_core::experiment::{
-        run_matrix, run_matrix_parallel, run_one, run_one_with_mode, run_qd_sweep, Mechanism,
-        OperatingPoint, QdSweepCell,
+        run_matrix, run_matrix_parallel, run_one, run_one_with_mode, run_qd_sweep, run_rate_sweep,
+        Mechanism, OperatingPoint, QdSweepCell, RateSweepCell,
     };
     pub use rr_core::rpt::ReadTimingParamTable;
     pub use rr_core::{Ar2Controller, PnAr2Controller, Pr2Controller, PsoController};
@@ -55,7 +55,7 @@ pub mod prelude {
     pub use rr_sim::readflow::BaselineController;
     pub use rr_sim::replay::ReplayMode;
     pub use rr_sim::request::{HostRequest, IoOp};
-    pub use rr_sim::ssd::Ssd;
+    pub use rr_sim::ssd::{SimArena, Ssd};
     pub use rr_util::rng::Rng;
     pub use rr_util::time::SimTime;
     pub use rr_workloads::msrc::MsrcWorkload;

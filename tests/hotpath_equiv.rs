@@ -1,0 +1,173 @@
+//! Hot-path equivalence suite: every performance switch must be
+//! **semantics-neutral**. The page-profile cache, the pooled transaction
+//! slab, and the cross-run arena may only change wall-clock — a run's
+//! [`ssd_readretry::sim::metrics::SimReport`] must be bit-identical with any
+//! combination of them on or off, across workload families, replay modes,
+//! and queue depths.
+
+use ssd_readretry::prelude::*;
+use ssd_readretry::sim::replay::ReplayMode as Mode;
+
+fn base_cfg() -> SsdConfig {
+    SsdConfig::scaled_for_tests().with_seed(0xE9_BEEF)
+}
+
+fn workloads() -> Vec<Trace> {
+    vec![
+        MsrcWorkload::Mds1.synthesize(300, 11),
+        YcsbWorkload::C.synthesize(300, 11),
+    ]
+}
+
+fn modes() -> Vec<Mode> {
+    vec![Mode::OpenLoop, Mode::closed_loop(1), Mode::closed_loop(16)]
+}
+
+/// Runs every (workload, mode) cell under two configs and asserts equality.
+fn assert_equivalent(reference: &SsdConfig, variant: &SsdConfig, what: &str) {
+    let rpt = ReadTimingParamTable::default();
+    let point = OperatingPoint::new(2000.0, 6.0);
+    for mechanism in [Mechanism::Baseline, Mechanism::PnAr2] {
+        for trace in workloads() {
+            for mode in modes() {
+                let a = run_one_with_mode(reference, mechanism, point, &trace, &rpt, mode);
+                let b = run_one_with_mode(variant, mechanism, point, &trace, &rpt, mode);
+                assert_eq!(
+                    a,
+                    b,
+                    "{what} changed the report: {} on {} under {:?}",
+                    mechanism.name(),
+                    trace.name,
+                    mode
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn profile_cache_is_bit_neutral_across_msrc_ycsb_and_queue_depths() {
+    let cached = base_cfg();
+    let mut plain = base_cfg();
+    plain.hotpath.profile_cache = false;
+    assert_equivalent(&cached, &plain, "profile cache");
+}
+
+#[test]
+fn txn_slab_reuse_is_bit_neutral_across_msrc_ycsb_and_queue_depths() {
+    let pooled = base_cfg();
+    let mut fresh = base_cfg();
+    fresh.hotpath.txn_slab_reuse = false;
+    assert_equivalent(&pooled, &fresh, "transaction slab reuse");
+}
+
+#[test]
+fn all_hotpath_switches_off_matches_all_on() {
+    let fast = base_cfg();
+    let mut slow = base_cfg();
+    slow.hotpath.profile_cache = false;
+    slow.hotpath.txn_slab_reuse = false;
+    assert_equivalent(&fast, &slow, "hot-path switches");
+}
+
+#[test]
+fn arena_reuse_across_cells_matches_fresh_construction() {
+    // One arena carried across different traces, footprints, mechanisms and
+    // operating points — exactly what a matrix worker does — must produce
+    // the same reports as building a fresh simulator per cell.
+    let rpt = ReadTimingParamTable::default();
+    let mut arena = SimArena::new();
+    let cells: Vec<(Trace, Mechanism, OperatingPoint, Mode)> = vec![
+        (
+            MsrcWorkload::Mds1.synthesize(250, 5),
+            Mechanism::Baseline,
+            OperatingPoint::new(2000.0, 12.0),
+            Mode::OpenLoop,
+        ),
+        (
+            YcsbWorkload::C.synthesize(180, 5),
+            Mechanism::PnAr2,
+            OperatingPoint::new(1000.0, 6.0),
+            Mode::closed_loop(8),
+        ),
+        (
+            MsrcWorkload::Stg0.synthesize(220, 6),
+            Mechanism::Pr2,
+            OperatingPoint::new(2000.0, 6.0),
+            Mode::open_loop_rate(2.0),
+        ),
+    ];
+    for (trace, mechanism, point, mode) in &cells {
+        let base =
+            base_cfg().with_condition(ssd_readretry::flash::calibration::OperatingCondition::new(
+                point.pec,
+                point.retention_months,
+                30.0,
+            ));
+        let pooled = Ssd::run_pooled(
+            &mut arena,
+            base.clone(),
+            mechanism.make_controller(&rpt),
+            trace.footprint_pages,
+            &trace.requests,
+            *mode,
+        )
+        .expect("valid configuration");
+        let fresh = Ssd::new(base, mechanism.make_controller(&rpt), trace.footprint_pages)
+            .expect("valid configuration")
+            .run_with(&trace.requests, *mode);
+        assert_eq!(
+            pooled,
+            fresh,
+            "arena run diverged for {} on {}",
+            mechanism.name(),
+            trace.name
+        );
+    }
+}
+
+#[test]
+fn matrix_runner_matches_per_cell_fresh_runs() {
+    // The matrix runner's shared-arena, shared-Arc-config path must report
+    // exactly what independent run_one calls report.
+    let base = base_cfg();
+    let traces = vec![
+        (MsrcWorkload::Mds1.synthesize(200, 3), true),
+        (YcsbWorkload::C.synthesize(150, 3), true),
+    ];
+    let points = [
+        OperatingPoint::new(1000.0, 6.0),
+        OperatingPoint::new(2000.0, 12.0),
+    ];
+    let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2, Mechanism::NoRR];
+    let cells = run_matrix(&base, &traces, &points, &mechanisms);
+    let rpt = ReadTimingParamTable::default();
+    for c in &cells {
+        let (trace, _) = traces
+            .iter()
+            .find(|(t, _)| t.name == c.workload)
+            .expect("cell names a known trace");
+        let mechanism = mechanisms
+            .iter()
+            .copied()
+            .find(|m| m.name() == c.mechanism)
+            .expect("cell names a known mechanism");
+        let report = run_one(&base, mechanism, c.point, trace, &rpt);
+        assert_eq!(c.avg_response_us, report.avg_response_us());
+        assert_eq!(c.read_latency, report.read_latency);
+        assert_eq!(c.events, report.events_processed);
+        assert!(c.events > 0, "a simulated cell must process events");
+    }
+}
+
+#[test]
+fn events_processed_is_deterministic_and_nonzero() {
+    let rpt = ReadTimingParamTable::default();
+    let trace = MsrcWorkload::Mds1.synthesize(150, 2);
+    let point = OperatingPoint::new(2000.0, 6.0);
+    let a = run_one(&base_cfg(), Mechanism::Baseline, point, &trace, &rpt);
+    let b = run_one(&base_cfg(), Mechanism::Baseline, point, &trace, &rpt);
+    assert_eq!(a.events_processed, b.events_processed);
+    // Every request needs at least an arrival event plus flash work.
+    assert!(a.events_processed > a.requests_completed);
+}
