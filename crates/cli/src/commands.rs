@@ -4,12 +4,13 @@ use crate::render::{markdown_table, pct, shade, us_opt};
 use rr_charact::figures::{self, TimingParam};
 use rr_charact::platform::TestPlatform;
 use rr_core::experiment::{
-    reduction_vs, run_matrix_parallel, run_qd_sweep, run_rate_sweep, Mechanism, OperatingPoint,
+    reduction_vs, run_matrix_parallel, run_qd_sweep, run_qd_sweep_queued, run_rate_sweep,
+    run_rate_sweep_queued, Mechanism, OperatingPoint, QueueSetup,
 };
 use rr_core::rpt::ReadTimingParamTable;
 use rr_flash::calibration::ECC_CAPABILITY_PER_KIB;
 use rr_flash::timing::NandTimings;
-use rr_sim::config::SsdConfig;
+use rr_sim::config::{ArbPolicy, SsdConfig};
 use rr_sim::metrics::LatencySummary;
 use rr_workloads::msrc::MsrcWorkload;
 use rr_workloads::trace::Trace;
@@ -29,6 +30,17 @@ pub struct Options {
     pub queue_depths: Vec<u32>,
     /// Open-loop arrival-rate multipliers for `sweep-rate`.
     pub rates: Vec<f64>,
+    /// Host submission queues feeding the device in the load sweeps
+    /// (1 = the plain single-generator front end).
+    pub queues: u32,
+    /// RR/WRR arbitration for the multi-queue front end.
+    pub arb: ArbPolicy,
+    /// Consecutive commands fetched per arbitration credit.
+    pub burst: u32,
+    /// Per-queue WRR weights (`None` = descending defaults under WRR).
+    pub weights: Option<Vec<u32>>,
+    /// Device admission window override (`None` = each sweep's default).
+    pub window: Option<u32>,
     /// Output directory for `export` CSVs.
     pub csv_dir: Option<String>,
 }
@@ -60,6 +72,16 @@ impl Options {
 
     fn platform(&self) -> TestPlatform {
         TestPlatform::new(self.chips(), self.seed)
+    }
+
+    fn queue_setup(&self) -> QueueSetup {
+        QueueSetup {
+            queues: self.queues,
+            arb: self.arb,
+            burst: self.burst,
+            weights: self.weights.clone(),
+            window: self.window,
+        }
     }
 }
 
@@ -614,12 +636,14 @@ pub fn sweep_qd(opts: &Options) {
     let traces = sweep_traces(opts);
     let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2];
     let point = OperatingPoint::new(2000.0, 6.0);
-    let cells = run_qd_sweep(
+    let setup = opts.queue_setup();
+    let cells = run_qd_sweep_queued(
         &base,
         &traces,
         point,
         &opts.queue_depths,
         &mechanisms,
+        &setup,
         opts.jobs,
     );
 
@@ -687,10 +711,68 @@ pub fn sweep_qd(opts: &Options) {
             &rows
         )
     );
+    if setup.queues > 1 {
+        print_per_queue_reads(
+            &setup,
+            cells.iter().map(|c| {
+                (
+                    format!("{} / {} / QD={}", c.workload, c.mechanism, c.queue_depth),
+                    &c.per_queue_reads,
+                )
+            }),
+        );
+    }
     println!(
         "\n(closed-loop: trace timestamps ignored, QD requests kept outstanding;\n\
          QD=1 is the serial-device reference — deeper queues trade latency for\n\
          throughput via multi-die interleaving under channel contention)"
+    );
+}
+
+/// The per-queue read-latency table of a multi-queue sweep: one row per
+/// (cell, submission queue), so WRR weight skew is visible per queue.
+fn print_per_queue_reads<'a>(
+    setup: &QueueSetup,
+    cells: impl Iterator<Item = (String, &'a Vec<LatencySummary>)>,
+) {
+    let weights = setup.resolved_weights();
+    println!(
+        "\nper-queue read latency (µs; {} arbitration, weights {:?}, burst {}):",
+        match setup.arb {
+            ArbPolicy::RoundRobin => "RR",
+            ArbPolicy::WeightedRoundRobin => "WRR",
+        },
+        weights,
+        setup.burst,
+    );
+    let mut rows = Vec::new();
+    for (prefix, per_queue) in cells {
+        for (q, s) in per_queue.iter().enumerate() {
+            rows.push(vec![
+                prefix.clone(),
+                format!("q{q} (w={})", weights.get(q).copied().unwrap_or(1)),
+                s.count.to_string(),
+                us_opt(s.p50),
+                us_opt(s.p95),
+                us_opt(s.p99),
+                us_opt(s.p999),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "run".into(),
+                "queue".into(),
+                "n".into(),
+                "p50".into(),
+                "p95".into(),
+                "p99".into(),
+                "p99.9".into(),
+            ],
+            &rows
+        )
     );
 }
 
@@ -705,7 +787,16 @@ pub fn sweep_rate(opts: &Options) {
     let traces = sweep_traces(opts);
     let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2];
     let point = OperatingPoint::new(2000.0, 6.0);
-    let cells = run_rate_sweep(&base, &traces, point, &opts.rates, &mechanisms, opts.jobs);
+    let setup = opts.queue_setup();
+    let cells = run_rate_sweep_queued(
+        &base,
+        &traces,
+        point,
+        &opts.rates,
+        &mechanisms,
+        &setup,
+        opts.jobs,
+    );
 
     println!("latency distributions (µs; — = class empty in this run):");
     let mut rows = Vec::new();
@@ -767,6 +858,17 @@ pub fn sweep_rate(opts: &Options) {
             &rows
         )
     );
+    if setup.queues > 1 {
+        print_per_queue_reads(
+            &setup,
+            cells.iter().map(|c| {
+                (
+                    format!("{} / {} / rate={}", c.workload, c.mechanism, c.rate),
+                    &c.per_queue_reads,
+                )
+            }),
+        );
+    }
     println!(
         "\n(open-loop: trace timestamps divided by the rate multiplier; rates past\n\
          the device's saturation point produce the latency hockey-stick that\n\
@@ -794,6 +896,146 @@ pub fn matrix(opts: &Options) {
     );
 }
 
+/// The perf regression gate fails a run below this fraction of the trailing
+/// median events/sec.
+const PERF_GATE_RATIO: f64 = 0.7;
+/// Comparable archived runs required before the gate engages.
+const PERF_GATE_MIN_RUNS: usize = 3;
+/// The gate's trailing window (most recent comparable runs).
+const PERF_GATE_TRAILING: usize = 10;
+/// Append-only events/sec archive, one JSON object per line.
+const PERF_HISTORY_FILE: &str = "BENCH_history.jsonl";
+
+/// Extracts `"key": <number>` from a single-line JSON object. The workspace's
+/// serde is an offline no-op shim, so the history file sticks to one object
+/// per line and is parsed by key lookup.
+fn json_f64_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key": true|false` from a single-line JSON object.
+fn json_bool_field(line: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line[start..].trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Extracts `"key": "value"` from a single-line JSON object (values never
+/// contain escapes here — they are joined numeric lists).
+fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// The sweep axes that shape a `repro perf` measurement, joined for the
+/// archive's comparability key: two runs are only comparable when they
+/// measured the same queue-depth and rate lists.
+fn perf_axes(opts: &Options) -> (String, String) {
+    let qd = opts
+        .queue_depths
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let rates = opts
+        .rates
+        .iter()
+        .map(f64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    (qd, rates)
+}
+
+/// The ROADMAP's perf trajectory gate: compares this run's overall
+/// events/sec against the trailing median of earlier comparable archived
+/// runs (same `--quick`, `--jobs`, and `--seed`) in [`PERF_HISTORY_FILE`].
+/// Returns `false` — failing `repro perf` and therefore CI — when throughput
+/// drops below [`PERF_GATE_RATIO`] of that median; skips gracefully while
+/// fewer than [`PERF_GATE_MIN_RUNS`] comparable runs exist. Only runs that
+/// pass (or skip) the gate are archived — appending regressed runs would let
+/// repeated re-runs drag the median down until a real regression passes.
+fn perf_gate(opts: &Options, events_per_sec: f64) -> bool {
+    let (qd_axis, rate_axis) = perf_axes(opts);
+    let prior: Vec<f64> = std::fs::read_to_string(PERF_HISTORY_FILE)
+        .map(|s| {
+            s.lines()
+                .filter(|l| {
+                    json_bool_field(l, "quick") == Some(opts.quick)
+                        && json_f64_field(l, "jobs") == Some(opts.jobs as f64)
+                        && json_f64_field(l, "seed") == Some(opts.seed as f64)
+                        && json_str_field(l, "qd") == Some(qd_axis.as_str())
+                        && json_str_field(l, "rates") == Some(rate_axis.as_str())
+                })
+                .filter_map(|l| json_f64_field(l, "events_per_sec"))
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let recent = &prior[prior.len().saturating_sub(PERF_GATE_TRAILING)..];
+    let ok = if recent.len() < PERF_GATE_MIN_RUNS {
+        println!(
+            "perf gate: {} comparable archived run(s) (< {PERF_GATE_MIN_RUNS}) — \
+             recorded {events_per_sec:.0} events/sec, gate skipped",
+            recent.len()
+        );
+        true
+    } else {
+        let mut sorted = recent.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite events/sec"));
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        let floor = PERF_GATE_RATIO * median;
+        if events_per_sec < floor {
+            eprintln!(
+                "perf gate: {events_per_sec:.0} events/sec is below {PERF_GATE_RATIO}× the \
+                 trailing median of {} runs ({median:.0} → floor {floor:.0}) — perf \
+                 regression (run not archived)",
+                recent.len()
+            );
+            false
+        } else {
+            println!(
+                "perf gate: {events_per_sec:.0} events/sec vs trailing median {median:.0} \
+                 over {} run(s) — ok (floor {floor:.0})",
+                recent.len()
+            );
+            true
+        }
+    };
+    if ok {
+        let line = format!(
+            "{{\"quick\": {}, \"jobs\": {}, \"seed\": {}, \"qd\": \"{qd_axis}\", \
+             \"rates\": \"{rate_axis}\", \"events_per_sec\": {events_per_sec:.1}}}\n",
+            opts.quick, opts.jobs, opts.seed
+        );
+        let mut archive = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(PERF_HISTORY_FILE)
+            .expect("open perf history archive");
+        std::io::Write::write_all(&mut archive, line.as_bytes()).expect("append perf history");
+    }
+    ok
+}
+
 /// One measured workload of `repro perf`.
 struct PerfRow {
     name: &'static str,
@@ -811,8 +1053,10 @@ impl PerfRow {
 
 /// Measures simulator throughput (events/sec) over the evaluation matrix and
 /// both load sweeps, prints a summary, and writes `BENCH_sim.json` so the
-/// numbers accumulate as a tracked artifact. Returns `false` (CLI failure)
-/// if any workload processed zero events.
+/// numbers accumulate as a tracked artifact. Every run is also appended to
+/// the `BENCH_history.jsonl` archive and checked against the trailing median
+/// of comparable runs (see [`perf_gate`]). Returns `false` (CLI failure) if
+/// any workload processed zero events or the regression gate trips.
 pub fn perf(opts: &Options) -> bool {
     heading(
         "Perf — simulator hot-path throughput",
@@ -914,7 +1158,12 @@ pub fn perf(opts: &Options) -> bool {
     if !ok {
         eprintln!("perf: a workload processed zero events — the simulator did no work");
     }
-    ok
+    let total_events: u64 = rows.iter().map(|r| r.events).sum();
+    let total_wall: f64 = rows.iter().map(|r| r.wall_s).sum();
+    let overall = total_events as f64 / total_wall.max(1e-9);
+    // A zero-events run is broken, not slow: fail before the gate so the
+    // archive never absorbs its depressed events/sec as a baseline.
+    ok && perf_gate(opts, overall)
 }
 
 /// §8 extensions: Eager-PnAR2 (speculative retry start) and AR2-Regular
@@ -1109,16 +1358,26 @@ pub fn export(opts: &Options) {
         let cells = run_eval(opts, &Mechanism::FIG14);
         write("matrix.csv", eval_csv::matrix_csv(&cells));
         let traces = sweep_traces(opts);
-        let qd = run_qd_sweep(
+        let setup = opts.queue_setup();
+        let qd = run_qd_sweep_queued(
             &base,
             &traces,
             point,
             &opts.queue_depths,
             &mechanisms,
+            &setup,
             opts.jobs,
         );
         write("sweep_qd.csv", eval_csv::qd_sweep_csv(&qd));
-        let rate = run_rate_sweep(&base, &traces, point, &opts.rates, &mechanisms, opts.jobs);
+        let rate = run_rate_sweep_queued(
+            &base,
+            &traces,
+            point,
+            &opts.rates,
+            &mechanisms,
+            &setup,
+            opts.jobs,
+        );
         write("sweep_rate.csv", eval_csv::rate_sweep_csv(&rate));
     }
     write(

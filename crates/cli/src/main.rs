@@ -18,7 +18,8 @@
 //!   fig14    response time: Baseline / PR2 / AR2 / PnAR2 / NoRR
 //!   fig15    response time: PSO vs. PSO+PnAR2
 //!   matrix   the full Fig. 14 evaluation matrix (wall-clock on stderr)
-//!   sweep-qd closed-loop tail latency vs. queue depth (--queue-depth list)
+//!   sweep-qd closed-loop tail latency vs. queue depth (--queue-depth list;
+//!            --queues N --arb rr|wrr adds the NVMe multi-queue front end)
 //!   sweep-rate  open-loop tail latency vs. offered load (--rate list)
 //!   perf     simulator events/sec over matrix + sweeps → BENCH_sim.json
 //!   extensions  the §8 future-work mechanisms (Eager-PnAR2, AR2-Regular)
@@ -39,6 +40,11 @@ fn main() -> ExitCode {
     let mut jobs = 1usize;
     let mut queue_depths = vec![1u32, 4, 16];
     let mut rates = vec![0.5f64, 1.0, 2.0, 4.0];
+    let mut queues = 1u32;
+    let mut arb = rr_sim::config::ArbPolicy::RoundRobin;
+    let mut burst = 1u32;
+    let mut weights: Option<Vec<u32>> = None;
+    let mut window: Option<u32> = None;
     let mut csv_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -86,17 +92,18 @@ fn main() -> ExitCode {
                 let parsed: Option<Option<Vec<f64>>> = args.get(i).map(|s| {
                     s.split(',')
                         .map(|d| {
-                            d.trim().parse::<f64>().ok().filter(|v| {
-                                // Mirror ReplayMode::open_loop_rate's ppm
-                                // fixed-point: reject values that round to
-                                // zero there.
-                                v.is_finite() && (*v * 1e6).round() >= 1.0
-                            })
+                            // Any finite positive rate is accepted;
+                            // ReplayMode::try_open_loop_rate clamps sub-ppm
+                            // values to its 1 ppm fixed-point floor.
+                            d.trim()
+                                .parse::<f64>()
+                                .ok()
+                                .filter(|v| v.is_finite() && *v > 0.0)
                         })
                         .collect::<Option<Vec<f64>>>()
                 });
                 let Some(Some(v)) = parsed else {
-                    eprintln!("--rate requires a comma-separated list of positive multipliers >= 0.000001 (e.g. 0.5,1,2,4)");
+                    eprintln!("--rate requires a comma-separated list of positive multipliers (e.g. 0.5,1,2,4)");
                     return ExitCode::FAILURE;
                 };
                 if v.is_empty() {
@@ -104,6 +111,72 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 rates = v;
+            }
+            "--queues" => {
+                i += 1;
+                let Some(v) = args
+                    .get(i)
+                    .and_then(|s| s.parse::<u32>().ok())
+                    .filter(|&v| v >= 1)
+                else {
+                    eprintln!("--queues requires an integer value >= 1");
+                    return ExitCode::FAILURE;
+                };
+                queues = v;
+            }
+            "--arb" => {
+                i += 1;
+                arb = match args.get(i).map(String::as_str) {
+                    Some("rr") => rr_sim::config::ArbPolicy::RoundRobin,
+                    Some("wrr") => rr_sim::config::ArbPolicy::WeightedRoundRobin,
+                    _ => {
+                        eprintln!("--arb requires 'rr' or 'wrr'");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--burst" => {
+                i += 1;
+                let Some(v) = args
+                    .get(i)
+                    .and_then(|s| s.parse::<u32>().ok())
+                    .filter(|&v| v >= 1)
+                else {
+                    eprintln!("--burst requires an integer value >= 1");
+                    return ExitCode::FAILURE;
+                };
+                burst = v;
+            }
+            "--weights" => {
+                i += 1;
+                let parsed: Option<Option<Vec<u32>>> = args.get(i).map(|s| {
+                    s.split(',')
+                        .map(|d| d.trim().parse::<u32>().ok().filter(|&v| v >= 1))
+                        .collect::<Option<Vec<u32>>>()
+                });
+                let Some(Some(v)) = parsed else {
+                    eprintln!(
+                        "--weights requires a comma-separated list of integers >= 1 (e.g. 3,1)"
+                    );
+                    return ExitCode::FAILURE;
+                };
+                if v.is_empty() {
+                    eprintln!("--weights requires at least one weight");
+                    return ExitCode::FAILURE;
+                }
+                weights = Some(v);
+            }
+            "--window" => {
+                i += 1;
+                let Some(v) = args
+                    .get(i)
+                    .and_then(|s| s.parse::<u32>().ok())
+                    .filter(|&v| v >= 1)
+                else {
+                    eprintln!("--window requires an integer value >= 1");
+                    return ExitCode::FAILURE;
+                };
+                window = Some(v);
             }
             "--csv" => {
                 i += 1;
@@ -142,12 +215,33 @@ fn main() -> ExitCode {
         print_help();
         return ExitCode::FAILURE;
     };
+    if let Some(w) = &weights {
+        if w.len() != queues as usize {
+            eprintln!(
+                "--weights expects one weight per queue ({} queues, {} weights)",
+                queues,
+                w.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        // Round-robin ignores weights; accepting them would label the
+        // per-queue tables with weights that never took effect.
+        if arb == rr_sim::config::ArbPolicy::RoundRobin {
+            eprintln!("--weights requires --arb wrr (round-robin ignores weights)");
+            return ExitCode::FAILURE;
+        }
+    }
     let opts = commands::Options {
         quick,
         seed,
         jobs,
         queue_depths,
         rates,
+        queues,
+        arb,
+        burst,
+        weights,
+        window,
         csv_dir,
     };
     let mut failed = false;
@@ -223,6 +317,11 @@ fn print_help() {
          --jobs N  worker threads for the evaluation matrices and sweeps\n           (default 1; any N produces results identical to the serial run)\n\
          --queue-depth L  comma-separated closed-loop queue depths for sweep-qd\n           (default 1,4,16; alias --qd)\n\
          --rate L  comma-separated arrival-rate multipliers for sweep-rate\n           (default 0.5,1,2,4)\n\
+         --queues N  host submission queues feeding the device in the sweeps\n           (default 1 = plain front end; trace striped request i -> queue i mod N)\n\
+         --arb rr|wrr  queue arbitration policy (default rr; wrr defaults to\n           descending weights N..1 unless --weights is given)\n\
+         --weights L  comma-separated per-queue WRR weights (e.g. 3,1)\n\
+         --burst N  commands fetched per arbitration credit (default 1)\n\
+         --window N  device admission window; default: the swept queue depth\n           for sweep-qd, unbounded for sweep-rate\n\
          --csv DIR for export: write figure + evaluation CSVs into DIR"
     );
 }

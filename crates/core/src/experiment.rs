@@ -10,7 +10,8 @@ use crate::mechanisms::{Ar2Controller, PnAr2Controller, Pr2Controller};
 use crate::pso::PsoController;
 use crate::rpt::ReadTimingParamTable;
 use rr_flash::calibration::OperatingCondition;
-use rr_sim::config::SsdConfig;
+use rr_sim::config::{ArbPolicy, SsdConfig};
+use rr_sim::hostq::HostQueueConfig;
 use rr_sim::metrics::{LatencySummary, SimReport};
 use rr_sim::readflow::{BaselineController, RetryController};
 use rr_sim::replay::ReplayMode;
@@ -220,15 +221,113 @@ fn run_one_prepared(
     rpt: &ReadTimingParamTable,
     mode: ReplayMode,
 ) -> SimReport {
-    Ssd::run_pooled(
+    run_one_prepared_queued(
+        arena,
+        cfg,
+        mechanism,
+        trace,
+        rpt,
+        &HostQueueConfig::single(mode),
+    )
+}
+
+/// [`run_one_prepared`] under an explicit multi-queue host front end.
+fn run_one_prepared_queued(
+    arena: &mut SimArena,
+    cfg: &Arc<SsdConfig>,
+    mechanism: Mechanism,
+    trace: &Trace,
+    rpt: &ReadTimingParamTable,
+    queues: &HostQueueConfig,
+) -> SimReport {
+    Ssd::run_pooled_queued(
         arena,
         Arc::clone(cfg),
         mechanism.make_controller(rpt),
         trace.footprint_pages,
         &trace.requests,
-        mode,
+        queues,
     )
     .expect("experiment configuration must be valid")
+}
+
+/// The host front-end axis of the load sweeps: how many NVMe-style
+/// submission queues feed the device, under which arbitration policy, and
+/// with what device admission window — the `--queues N --arb rr|wrr` knobs
+/// of `repro sweep-qd` / `repro sweep-rate`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueSetup {
+    /// Number of submission queues (trace striped request *i* → queue
+    /// *i mod N*).
+    pub queues: u32,
+    /// Round-robin or weighted-round-robin device arbitration.
+    pub arb: ArbPolicy,
+    /// Consecutive commands fetched per arbitration credit.
+    pub burst: u32,
+    /// Per-queue WRR weights. `None` defaults to all-1 under round-robin
+    /// and to descending `[N, N−1, …, 1]` under weighted-round-robin, so the
+    /// WRR skew is visible without extra flags.
+    pub weights: Option<Vec<u32>>,
+    /// Device admission window. `None` picks each sweep's natural default:
+    /// the swept queue depth for QD sweeps (each queue backfills the shared
+    /// window, so arbitration apportions a load comparable to the
+    /// single-queue sweep), unbounded for open-loop rate sweeps.
+    pub window: Option<u32>,
+}
+
+impl QueueSetup {
+    /// The single-queue front end — sweeps behave bit-identically to the
+    /// plain (pre-multi-queue) runners.
+    pub fn single() -> Self {
+        Self {
+            queues: 1,
+            arb: ArbPolicy::RoundRobin,
+            burst: 1,
+            weights: None,
+            window: None,
+        }
+    }
+
+    /// `queues` submission queues under `arb` with default burst/weights.
+    pub fn multi(queues: u32, arb: ArbPolicy) -> Self {
+        Self {
+            queues,
+            arb,
+            ..Self::single()
+        }
+    }
+
+    /// Resolved per-queue weights (see the `weights` field for defaults).
+    pub fn resolved_weights(&self) -> Vec<u32> {
+        match (&self.weights, self.arb) {
+            (Some(w), _) => w.clone(),
+            (None, ArbPolicy::WeightedRoundRobin) => (1..=self.queues).rev().collect(),
+            (None, ArbPolicy::RoundRobin) => vec![1; self.queues as usize],
+        }
+    }
+
+    /// Builds the concrete front end for one sweep cell: every queue
+    /// replays `mode`, and the window falls back to `default_window` for
+    /// multi-queue setups with no explicit window.
+    fn front(&self, mode: ReplayMode, default_window: Option<u32>) -> HostQueueConfig {
+        let mut cfg = HostQueueConfig::uniform(self.queues, mode)
+            .with_arb(self.arb)
+            .with_burst(self.burst)
+            .with_weights(&self.resolved_weights());
+        let window = self
+            .window
+            .or_else(|| (self.queues > 1).then_some(default_window).flatten());
+        if let Some(w) = window {
+            cfg = cfg.with_window(w);
+        }
+        cfg
+    }
+}
+
+impl Default for QueueSetup {
+    fn default() -> Self {
+        Self::single()
+    }
 }
 
 /// One cell of a Fig. 14/15-style matrix.
@@ -448,6 +547,12 @@ pub struct QdSweepCell {
     pub kiops: f64,
     /// Discrete simulator events this cell processed.
     pub events: u64,
+    /// Number of host submission queues feeding the device (1 = the plain
+    /// single-generator closed loop).
+    pub queues: u32,
+    /// Per-queue read latency distributions, one entry per submission queue
+    /// (submission-queue wait included).
+    pub per_queue_reads: Vec<LatencySummary>,
 }
 
 /// Sweeps closed-loop queue depths over `traces` × `queue_depths` ×
@@ -464,6 +569,35 @@ pub fn run_qd_sweep(
     point: OperatingPoint,
     queue_depths: &[u32],
     mechanisms: &[Mechanism],
+    jobs: usize,
+) -> Vec<QdSweepCell> {
+    run_qd_sweep_queued(
+        base,
+        traces,
+        point,
+        queue_depths,
+        mechanisms,
+        &QueueSetup::single(),
+        jobs,
+    )
+}
+
+/// [`run_qd_sweep`] under a multi-queue host front end.
+///
+/// Each cell stripes the trace over `setup.queues` submission queues; every
+/// queue runs closed-loop at the swept depth and the device window defaults
+/// to that same depth, so the queues permanently backfill their submission
+/// queues and the RR/WRR arbiter decides whose requests occupy the window —
+/// host-side queueing (and any WRR weight skew) lands in the per-queue
+/// tails. With [`QueueSetup::single`] this is exactly [`run_qd_sweep`].
+/// Output is bit-identical for any `jobs` value.
+pub fn run_qd_sweep_queued(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    queue_depths: &[u32],
+    mechanisms: &[Mechanism],
+    setup: &QueueSetup,
     jobs: usize,
 ) -> Vec<QdSweepCell> {
     let rpt = ReadTimingParamTable::default();
@@ -484,14 +618,8 @@ pub fn run_qd_sweep(
         jobs,
         SimArena::new,
         |arena, &(trace, queue_depth, m)| {
-            let report = run_one_prepared(
-                arena,
-                cfgs.get(m),
-                m,
-                trace,
-                &rpt,
-                ReplayMode::closed_loop(queue_depth),
-            );
+            let front = setup.front(ReplayMode::closed_loop(queue_depth), Some(queue_depth));
+            let report = run_one_prepared_queued(arena, cfgs.get(m), m, trace, &rpt, &front);
             QdSweepCell {
                 workload: trace.name.clone(),
                 mechanism: m.name().to_string(),
@@ -503,6 +631,8 @@ pub fn run_qd_sweep(
                 avg_response_us: report.avg_response_us(),
                 kiops: report.kiops(),
                 events: report.events_processed,
+                queues: setup.queues,
+                per_queue_reads: report.per_queue.iter().map(|q| q.reads).collect(),
             }
         },
     )
@@ -533,6 +663,12 @@ pub struct RateSweepCell {
     pub kiops: f64,
     /// Discrete simulator events this cell processed.
     pub events: u64,
+    /// Number of host submission queues feeding the device (1 = the plain
+    /// single-generator open loop).
+    pub queues: u32,
+    /// Per-queue read latency distributions, one entry per submission queue
+    /// (submission-queue wait included).
+    pub per_queue_reads: Vec<LatencySummary>,
 }
 
 /// Sweeps open-loop offered load over `traces` × `rates` × `mechanisms` at
@@ -551,6 +687,35 @@ pub fn run_rate_sweep(
     mechanisms: &[Mechanism],
     jobs: usize,
 ) -> Vec<RateSweepCell> {
+    run_rate_sweep_queued(
+        base,
+        traces,
+        point,
+        rates,
+        mechanisms,
+        &QueueSetup::single(),
+        jobs,
+    )
+}
+
+/// [`run_rate_sweep`] under a multi-queue host front end.
+///
+/// Each cell stripes the trace over `setup.queues` open-loop queues, all
+/// rate-scaled by the swept multiplier. The window defaults to unbounded
+/// (arrivals admit at their timestamps); set [`QueueSetup::window`] to make
+/// past-saturation arrivals park in their submission queues, where RR/WRR
+/// arbitration splits the queueing delay between the queues. With
+/// [`QueueSetup::single`] this is exactly [`run_rate_sweep`]. Output is
+/// bit-identical for any `jobs` value.
+pub fn run_rate_sweep_queued(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    rates: &[f64],
+    mechanisms: &[Mechanism],
+    setup: &QueueSetup,
+    jobs: usize,
+) -> Vec<RateSweepCell> {
     let rpt = ReadTimingParamTable::default();
     let cfgs = CellConfigs::new(base, point, mechanisms);
     let groups: Vec<(&Trace, f64, Mechanism)> = traces
@@ -562,14 +727,8 @@ pub fn run_rate_sweep(
         })
         .collect();
     parallel_ordered(&groups, jobs, SimArena::new, |arena, &(trace, rate, m)| {
-        let report = run_one_prepared(
-            arena,
-            cfgs.get(m),
-            m,
-            trace,
-            &rpt,
-            ReplayMode::open_loop_rate(rate),
-        );
+        let front = setup.front(ReplayMode::open_loop_rate(rate), None);
+        let report = run_one_prepared_queued(arena, cfgs.get(m), m, trace, &rpt, &front);
         RateSweepCell {
             workload: trace.name.clone(),
             mechanism: m.name().to_string(),
@@ -581,6 +740,8 @@ pub fn run_rate_sweep(
             avg_response_us: report.avg_response_us(),
             kiops: report.kiops(),
             events: report.events_processed,
+            queues: setup.queues,
+            per_queue_reads: report.per_queue.iter().map(|q| q.reads).collect(),
         }
     })
 }
@@ -821,6 +982,96 @@ mod tests {
         // Every cell of this read-only workload reports a real read tail.
         assert!(serial.iter().all(|c| c.reads.p99.is_some()));
         assert!(serial.iter().all(|c| c.writes.p99.is_none()));
+    }
+
+    #[test]
+    fn queued_sweeps_with_single_setup_match_the_plain_runners() {
+        let base = SsdConfig::scaled_for_tests();
+        let traces = vec![tiny_trace("a", 50)];
+        let point = OperatingPoint::new(2000.0, 6.0);
+        let plain_qd = run_qd_sweep(&base, &traces, point, &[1, 8], &[Mechanism::Baseline], 1);
+        let queued_qd = run_qd_sweep_queued(
+            &base,
+            &traces,
+            point,
+            &[1, 8],
+            &[Mechanism::Baseline],
+            &QueueSetup::single(),
+            1,
+        );
+        assert_eq!(plain_qd, queued_qd);
+        // Single-queue cells still carry their (one) per-queue distribution,
+        // and it matches the aggregate read class.
+        assert_eq!(plain_qd[0].queues, 1);
+        assert_eq!(plain_qd[0].per_queue_reads, vec![plain_qd[0].reads]);
+        let plain_rate = run_rate_sweep(&base, &traces, point, &[2.0], &[Mechanism::Baseline], 1);
+        let queued_rate = run_rate_sweep_queued(
+            &base,
+            &traces,
+            point,
+            &[2.0],
+            &[Mechanism::Baseline],
+            &QueueSetup::single(),
+            1,
+        );
+        assert_eq!(plain_rate, queued_rate);
+    }
+
+    #[test]
+    fn multi_queue_sweeps_are_bit_identical_across_jobs() {
+        let base = SsdConfig::scaled_for_tests();
+        let traces = vec![tiny_trace("a", 60), tiny_trace("b", 40)];
+        let point = OperatingPoint::new(2000.0, 6.0);
+        let setup = QueueSetup::multi(2, ArbPolicy::WeightedRoundRobin);
+        assert_eq!(setup.resolved_weights(), vec![2, 1]);
+        let serial = run_qd_sweep_queued(
+            &base,
+            &traces,
+            point,
+            &[4, 16],
+            &[Mechanism::Baseline],
+            &setup,
+            1,
+        );
+        for jobs in [2, 8] {
+            let parallel = run_qd_sweep_queued(
+                &base,
+                &traces,
+                point,
+                &[4, 16],
+                &[Mechanism::Baseline],
+                &setup,
+                jobs,
+            );
+            assert_eq!(serial, parallel, "jobs = {jobs} diverged");
+        }
+        // Every cell carries one read distribution per queue, covering the
+        // whole trace between them.
+        for c in &serial {
+            assert_eq!(c.queues, 2);
+            assert_eq!(c.per_queue_reads.len(), 2);
+            let per_queue: u64 = c.per_queue_reads.iter().map(|q| q.count).sum();
+            assert_eq!(per_queue, c.reads.count);
+        }
+        let rate_serial = run_rate_sweep_queued(
+            &base,
+            &traces,
+            point,
+            &[1.0, 4.0],
+            &[Mechanism::Baseline],
+            &setup,
+            1,
+        );
+        let rate_parallel = run_rate_sweep_queued(
+            &base,
+            &traces,
+            point,
+            &[1.0, 4.0],
+            &[Mechanism::Baseline],
+            &setup,
+            4,
+        );
+        assert_eq!(rate_serial, rate_parallel);
     }
 
     #[test]

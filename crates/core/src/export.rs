@@ -31,6 +31,22 @@ fn latency_header(class: &str) -> String {
     format!("{class}_count,{class}_p50_us,{class}_p95_us,{class}_p99_us,{class}_p999_us")
 }
 
+/// Header fragment for the per-host-queue read p99 columns, one per queue up
+/// to the widest cell in the sweep (leading comma included).
+fn per_queue_header(max_queues: usize) -> String {
+    (0..max_queues)
+        .map(|i| format!(",q{i}_reads_p99_us"))
+        .collect()
+}
+
+/// The per-queue read p99 columns of one cell, blank-padded to `max_queues`
+/// (leading comma included).
+fn per_queue_cols(per_queue_reads: &[LatencySummary], max_queues: usize) -> String {
+    (0..max_queues)
+        .map(|i| format!(",{}", opt(per_queue_reads.get(i).and_then(|s| s.p99))))
+        .collect()
+}
+
 /// Fig. 14/15-style matrix cells as CSV.
 pub fn matrix_csv(cells: &[MatrixCell]) -> String {
     let mut out = format!(
@@ -58,22 +74,27 @@ pub fn matrix_csv(cells: &[MatrixCell]) -> String {
     out
 }
 
-/// Closed-loop queue-depth sweep cells as CSV.
+/// Closed-loop queue-depth sweep cells as CSV. Multi-queue sweeps append
+/// one `q{i}_reads_p99_us` column per host submission queue (blank-padded
+/// when cells differ in queue count).
 pub fn qd_sweep_csv(cells: &[QdSweepCell]) -> String {
+    let max_queues = cells.iter().map(|c| c.queues as usize).max().unwrap_or(1);
     let mut out = format!(
-        "workload,mechanism,queue_depth,pec,retention_months,\
-         avg_response_us,kiops,events,{},{},{}\n",
+        "workload,mechanism,queue_depth,queues,pec,retention_months,\
+         avg_response_us,kiops,events,{},{},{}{}\n",
         latency_header("reads"),
         latency_header("writes"),
-        latency_header("retried_reads")
+        latency_header("retried_reads"),
+        per_queue_header(max_queues)
     );
     for c in cells {
         writeln!(
             out,
-            "{},{},{},{},{},{:.3},{:.3},{},{},{},{}",
+            "{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}{}",
             c.workload,
             c.mechanism,
             c.queue_depth,
+            c.queues,
             c.point.pec,
             c.point.retention_months,
             c.avg_response_us,
@@ -81,29 +102,35 @@ pub fn qd_sweep_csv(cells: &[QdSweepCell]) -> String {
             c.events,
             latency_cols(&c.reads),
             latency_cols(&c.writes),
-            latency_cols(&c.retried_reads)
+            latency_cols(&c.retried_reads),
+            per_queue_cols(&c.per_queue_reads, max_queues)
         )
         .expect("writing to a String cannot fail");
     }
     out
 }
 
-/// Open-loop rate sweep cells as CSV.
+/// Open-loop rate sweep cells as CSV. Multi-queue sweeps append one
+/// `q{i}_reads_p99_us` column per host submission queue (blank-padded when
+/// cells differ in queue count).
 pub fn rate_sweep_csv(cells: &[RateSweepCell]) -> String {
+    let max_queues = cells.iter().map(|c| c.queues as usize).max().unwrap_or(1);
     let mut out = format!(
-        "workload,mechanism,rate,pec,retention_months,\
-         avg_response_us,kiops,events,{},{},{}\n",
+        "workload,mechanism,rate,queues,pec,retention_months,\
+         avg_response_us,kiops,events,{},{},{}{}\n",
         latency_header("reads"),
         latency_header("writes"),
-        latency_header("retried_reads")
+        latency_header("retried_reads"),
+        per_queue_header(max_queues)
     );
     for c in cells {
         writeln!(
             out,
-            "{},{},{},{},{},{:.3},{:.3},{},{},{},{}",
+            "{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}{}",
             c.workload,
             c.mechanism,
             c.rate,
+            c.queues,
             c.point.pec,
             c.point.retention_months,
             c.avg_response_us,
@@ -111,7 +138,8 @@ pub fn rate_sweep_csv(cells: &[RateSweepCell]) -> String {
             c.events,
             latency_cols(&c.reads),
             latency_cols(&c.writes),
-            latency_cols(&c.retried_reads)
+            latency_cols(&c.retried_reads),
+            per_queue_cols(&c.per_queue_reads, max_queues)
         )
         .expect("writing to a String cannot fail");
     }
@@ -191,6 +219,43 @@ mod tests {
             .lines()
             .nth(1)
             .expect("row")
-            .starts_with("ro,Baseline,2,"));
+            .starts_with("ro,Baseline,2,1,"));
+    }
+
+    #[test]
+    fn sweep_csvs_carry_per_queue_p99_columns() {
+        use crate::experiment::{run_qd_sweep_queued, QueueSetup};
+        use rr_sim::config::ArbPolicy;
+
+        let base = SsdConfig::scaled_for_tests();
+        let requests = (0..40)
+            .map(|i| HostRequest::new(SimTime::ZERO, IoOp::Read, i * 3, 1))
+            .collect();
+        let trace = Trace::new("mq", requests, 1_000);
+        let cells = run_qd_sweep_queued(
+            &base,
+            std::slice::from_ref(&trace),
+            OperatingPoint::new(0.0, 0.0),
+            &[4],
+            &[Mechanism::Baseline],
+            &QueueSetup::multi(2, ArbPolicy::WeightedRoundRobin),
+            1,
+        );
+        let csv = qd_sweep_csv(&cells);
+        let header = csv.lines().next().expect("header");
+        assert!(header.contains("queues"), "{header}");
+        assert!(
+            header.ends_with("q0_reads_p99_us,q1_reads_p99_us"),
+            "{header}"
+        );
+        let row = csv.lines().nth(1).expect("one data row");
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols.len(), header.split(',').count(), "ragged row: {row}");
+        // Both queues completed reads, so both p99 columns are populated.
+        let p99s = &cols[cols.len() - 2..];
+        assert!(
+            p99s.iter().all(|v| v.parse::<f64>().is_ok()),
+            "per-queue p99 columns populated: {p99s:?}"
+        );
     }
 }

@@ -5,6 +5,57 @@ use rr_flash::calibration::OperatingCondition;
 use rr_flash::geometry::ChipGeometry;
 use rr_flash::timing::NandTimings;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rejected configuration value, carrying a human-readable description of
+/// the first inconsistency found.
+///
+/// Returned by the fallible constructors and validators of the host-side
+/// front end ([`ReplayMode::try_open_loop_rate`](crate::replay::ReplayMode),
+/// [`HostQueueConfig::validate`](crate::hostq::HostQueueConfig)) so callers
+/// driven by external input (CLI flags, sweep scripts) can surface the
+/// problem instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates an error from a description.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for String {
+    fn from(e: ConfigError) -> Self {
+        e.message
+    }
+}
+
+/// How the device-side arbiter drains the host submission queues
+/// (NVMe §4.13-style command arbitration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ArbPolicy {
+    /// Plain round-robin: every queue gets `burst` consecutive commands per
+    /// turn, idle queues forfeit their turn.
+    #[default]
+    RoundRobin,
+    /// Weighted round-robin: queue `q` gets `weight_q × burst` consecutive
+    /// commands per turn — higher-weight queues drain proportionally faster
+    /// while backlogged, and a starved queue still progresses every round.
+    WeightedRoundRobin,
+}
 
 /// Configuration of the simulated SSD.
 ///

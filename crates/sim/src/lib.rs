@@ -50,6 +50,7 @@
 pub mod config;
 pub mod event;
 pub mod ftl;
+pub mod hostq;
 pub mod metrics;
 pub mod readflow;
 pub mod replay;
@@ -57,9 +58,11 @@ pub mod request;
 pub mod scheduler;
 pub mod ssd;
 
-pub use config::SsdConfig;
-pub use metrics::{LatencySummary, SimReport};
+pub use config::{ArbPolicy, ConfigError, SsdConfig};
+pub use hostq::{HostQueueConfig, QueueSpec};
+pub use metrics::{LatencySummary, QueueLatency, SimReport};
 pub use readflow::{BaselineController, ReadAction, ReadContext, RetryController};
 pub use replay::ReplayMode;
 pub use request::{HostRequest, IoOp};
+pub use scheduler::Arbiter;
 pub use ssd::Ssd;

@@ -54,6 +54,25 @@ pub struct SimReport {
     pub events_processed: u64,
     /// Total simulated time at the last completion.
     pub makespan: SimTime,
+    /// Per-host-queue latency distributions (one entry per submission queue
+    /// of the front end; a single entry, matching the aggregate classes, for
+    /// plain single-generator replays). Response times include any
+    /// submission-queue wait, so arbitration skew between queues is visible
+    /// here while the aggregate classes above blend it away.
+    pub per_queue: Vec<QueueLatency>,
+}
+
+/// One host queue's slice of a run: how many of its requests completed and
+/// their read/write latency distributions (µs, measured from submission —
+/// host-side queueing included).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct QueueLatency {
+    /// Host requests of this queue that completed.
+    pub completed: u64,
+    /// Read latency distribution of this queue.
+    pub reads: LatencySummary,
+    /// Write latency distribution of this queue.
+    pub writes: LatencySummary,
 }
 
 impl SimReport {
@@ -112,6 +131,7 @@ pub struct MetricsCollector {
     pub(crate) read_latencies: Percentiles,
     pub(crate) write_latencies: Percentiles,
     pub(crate) retried_read_latencies: Percentiles,
+    pub(crate) per_queue: Vec<QueueCollector>,
     pub(crate) retry_steps: Histogram,
     pub(crate) requests_completed: u64,
     pub(crate) read_failures: u64,
@@ -124,11 +144,20 @@ pub struct MetricsCollector {
     pub(crate) makespan: SimTime,
 }
 
+/// Per-host-queue accumulator behind [`QueueLatency`].
+#[derive(Debug, Default)]
+pub(crate) struct QueueCollector {
+    completed: u64,
+    reads: Percentiles,
+    writes: Percentiles,
+}
+
 impl MetricsCollector {
-    /// Creates an empty collector. The retry histogram is sized to the retry
-    /// table's depth (`max_retry_steps` bins plus the no-retry bin and one
-    /// beyond), so every recordable step count has a real bin.
-    pub fn new(max_retry_steps: u32) -> Self {
+    /// Creates an empty collector for `queues` host queues. The retry
+    /// histogram is sized to the retry table's depth (`max_retry_steps` bins
+    /// plus the no-retry bin and one beyond), so every recordable step count
+    /// has a real bin.
+    pub fn new(max_retry_steps: u32, queues: usize) -> Self {
         Self {
             response_us: OnlineStats::new(),
             read_response_us: OnlineStats::new(),
@@ -136,6 +165,7 @@ impl MetricsCollector {
             read_latencies: Percentiles::new(),
             write_latencies: Percentiles::new(),
             retried_read_latencies: Percentiles::new(),
+            per_queue: (0..queues).map(|_| QueueCollector::default()).collect(),
             retry_steps: Histogram::new(max_retry_steps as usize + 2),
             requests_completed: 0,
             read_failures: 0,
@@ -149,10 +179,12 @@ impl MetricsCollector {
         }
     }
 
-    /// Records a completed host request. `retried` marks a read whose pages
-    /// needed at least one retry step (ignored for writes).
+    /// Records a completed host request of host queue `queue`. `retried`
+    /// marks a read whose pages needed at least one retry step (ignored for
+    /// writes).
     pub fn record_request(
         &mut self,
+        queue: u16,
         is_read: bool,
         retried: bool,
         response: SimTime,
@@ -160,15 +192,19 @@ impl MetricsCollector {
     ) {
         let us = response.as_us_f64();
         self.response_us.push(us);
+        let q = &mut self.per_queue[queue as usize];
+        q.completed += 1;
         if is_read {
             self.read_response_us.push(us);
             self.read_latencies.push(us);
+            q.reads.push(us);
             if retried {
                 self.retried_read_latencies.push(us);
             }
         } else {
             self.write_response_us.push(us);
             self.write_latencies.push(us);
+            q.writes.push(us);
         }
         self.requests_completed += 1;
         self.makespan = self.makespan.max(now);
@@ -189,6 +225,15 @@ impl MetricsCollector {
             read_latency: self.read_latencies.summary(),
             write_latency: self.write_latencies.summary(),
             retried_read_latency: self.retried_read_latencies.summary(),
+            per_queue: self
+                .per_queue
+                .iter_mut()
+                .map(|q| QueueLatency {
+                    completed: q.completed,
+                    reads: q.reads.summary(),
+                    writes: q.writes.summary(),
+                })
+                .collect(),
             retry_steps: self.retry_steps,
             requests_completed: self.requests_completed,
             read_failures: self.read_failures,
@@ -209,10 +254,16 @@ mod tests {
 
     #[test]
     fn collector_aggregates_by_direction() {
-        let mut m = MetricsCollector::new(40);
-        m.record_request(true, false, SimTime::from_us(100), SimTime::from_us(100));
-        m.record_request(true, true, SimTime::from_us(300), SimTime::from_us(400));
-        m.record_request(false, false, SimTime::from_us(700), SimTime::from_us(1100));
+        let mut m = MetricsCollector::new(40, 1);
+        m.record_request(0, true, false, SimTime::from_us(100), SimTime::from_us(100));
+        m.record_request(0, true, true, SimTime::from_us(300), SimTime::from_us(400));
+        m.record_request(
+            0,
+            false,
+            false,
+            SimTime::from_us(700),
+            SimTime::from_us(1100),
+        );
         m.record_retry_steps(3);
         m.record_retry_steps(5);
         let r = m.finish("Test");
@@ -233,9 +284,9 @@ mod tests {
 
     #[test]
     fn p99_reflects_tail() {
-        let mut m = MetricsCollector::new(40);
+        let mut m = MetricsCollector::new(40, 1);
         for i in 1..=100 {
-            m.record_request(true, false, SimTime::from_us(i), SimTime::from_us(i));
+            m.record_request(0, true, false, SimTime::from_us(i), SimTime::from_us(i));
         }
         let r = m.finish("T");
         assert_eq!(r.read_p99_us(), Some(99.0));
@@ -245,8 +296,14 @@ mod tests {
     #[test]
     fn classes_without_requests_have_no_tail() {
         // A write-only run must NOT fabricate a 0 µs read tail.
-        let mut m = MetricsCollector::new(40);
-        m.record_request(false, false, SimTime::from_us(700), SimTime::from_us(700));
+        let mut m = MetricsCollector::new(40, 1);
+        m.record_request(
+            0,
+            false,
+            false,
+            SimTime::from_us(700),
+            SimTime::from_us(700),
+        );
         let r = m.finish("T");
         assert_eq!(r.read_p99_us(), None);
         assert_eq!(r.read_latency.count, 0);
@@ -256,9 +313,10 @@ mod tests {
 
     #[test]
     fn kiops_counts_completions_per_second() {
-        let mut m = MetricsCollector::new(40);
+        let mut m = MetricsCollector::new(40, 1);
         for i in 1..=1000u64 {
             m.record_request(
+                0,
                 true,
                 false,
                 SimTime::from_us(100),

@@ -37,6 +37,7 @@
 //! assert_eq!(report.read_latency.count, 8);
 //! ```
 
+use crate::config::ConfigError;
 use crate::request::HostRequest;
 use rr_util::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -86,19 +87,38 @@ impl ReplayMode {
     ///
     /// # Panics
     ///
-    /// Panics if `rate` is not finite and positive, or rounds to zero ppm.
+    /// Panics if `rate` is rejected by [`ReplayMode::try_open_loop_rate`]
+    /// (not finite, or not positive).
     pub fn open_loop_rate(rate: f64) -> Self {
-        assert!(
-            rate.is_finite() && rate > 0.0,
-            "rate multiplier must be finite and positive"
-        );
-        let rate_ppm = (rate * RATE_PPM as f64).round() as u64;
-        assert!(rate_ppm >= 1, "rate multiplier rounds to zero");
-        if rate_ppm == RATE_PPM {
+        Self::try_open_loop_rate(rate).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`ReplayMode::open_loop_rate`] for rates coming from
+    /// external input (CLI flags, sweep scripts).
+    ///
+    /// The valid range is any finite `rate > 0`. Rates are stored in ppm
+    /// fixed point, so values below 1 ppm (10⁻⁶) — including sub-ppm inputs
+    /// like `1e-9` — clamp to the 1 ppm floor instead of rounding to an
+    /// (invalid) zero multiplier, and values beyond `u64::MAX` ppm saturate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when `rate` is not finite and positive
+    /// (NaN, ±∞, zero, or negative).
+    pub fn try_open_loop_rate(rate: f64) -> Result<Self, ConfigError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(ConfigError::new(format!(
+                "open-loop rate multiplier must be finite and positive, got {rate}"
+            )));
+        }
+        // `as u64` saturates at the type bounds; the max(1) clamps sub-ppm
+        // rates onto the documented floor.
+        let rate_ppm = ((rate * RATE_PPM as f64).round() as u64).max(1);
+        Ok(if rate_ppm == RATE_PPM {
             ReplayMode::OpenLoop
         } else {
             ReplayMode::OpenLoopScaled { rate_ppm }
-        }
+        })
     }
 
     /// Whether this mode admits on completion rather than by timestamp.
@@ -223,6 +243,15 @@ impl LoadGenerator {
             LoadGenerator::Closed { pending } => pending.pop_front(),
         }
     }
+
+    /// Requests the generator has not yet handed out (scheduled arrivals or
+    /// closed-loop backlog) — must be zero once a replay drains.
+    pub(crate) fn pending_len(&self) -> usize {
+        match self {
+            LoadGenerator::Open { pending } => pending.len(),
+            LoadGenerator::Closed { pending } => pending.len(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +359,39 @@ mod tests {
     #[should_panic(expected = "finite and positive")]
     fn zero_rate_constructor_panics() {
         ReplayMode::open_loop_rate(0.0);
+    }
+
+    #[test]
+    fn sub_ppm_rates_clamp_to_the_fixed_point_floor() {
+        // Regression: `(1e-9 · 1e6).round()` is 0 ppm, which used to trip an
+        // `assert!(rate_ppm >= 1)` panic. Sub-ppm rates now clamp to 1 ppm.
+        for tiny in [1e-9, 1e-7, f64::MIN_POSITIVE] {
+            assert_eq!(
+                ReplayMode::try_open_loop_rate(tiny),
+                Ok(ReplayMode::OpenLoopScaled { rate_ppm: 1 }),
+                "rate {tiny} must clamp, not panic"
+            );
+        }
+        // The clamped mode validates and replays (maximally stretched).
+        let mode = ReplayMode::open_loop_rate(1e-9);
+        assert!(mode.validate().is_ok());
+        let t = trace(2);
+        let (_, initial) = LoadGenerator::start(mode, &t);
+        assert_eq!(initial.len(), 1);
+        // Huge rates saturate instead of wrapping.
+        assert!(ReplayMode::try_open_loop_rate(1e30).is_ok());
+    }
+
+    #[test]
+    fn non_finite_and_non_positive_rates_are_config_errors() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1.0] {
+            let err = ReplayMode::try_open_loop_rate(bad)
+                .expect_err("non-finite/non-positive rates must be rejected");
+            assert!(
+                String::from(err).contains("finite and positive"),
+                "error names the valid range"
+            );
+        }
     }
 
     #[test]

@@ -21,9 +21,10 @@
 use crate::config::SsdConfig;
 use crate::event::EventQueue;
 use crate::ftl::{Ftl, Ppn, PpnLocation};
+use crate::hostq::{FrontEnd, HostQueueConfig};
 use crate::metrics::{MetricsCollector, SimReport};
 use crate::readflow::{Actions, ReadAction, ReadContext, RetryController};
-use crate::replay::{LoadGenerator, ReplayMode};
+use crate::replay::ReplayMode;
 use crate::request::{HostRequest, IoOp, ReqId, TxnId, TxnKind};
 use crate::scheduler::{ChannelState, DieJob, DieState, Event, QueuedOp, Transfer};
 use rr_flash::calibration::OperatingCondition;
@@ -59,11 +60,15 @@ struct TxnState {
 struct ReqState {
     op: IoOp,
     lpn: u64,
-    /// Admission time: the trace timestamp (open loop) or the instant the
-    /// load generator handed the request to the device (closed loop).
+    /// Submission time: the trace timestamp (open loop) or the instant the
+    /// load generator submitted the request (closed loop). Response times
+    /// run from here, so any submission-queue wait before the arbiter
+    /// admits the request counts as host-observed latency.
     arrival: SimTime,
+    /// The host submission queue this request was submitted to.
+    queue: u16,
     /// Page transactions not yet completed. Equals the request length until
-    /// arrival handling spawns the transactions.
+    /// admission spawns the transactions.
     remaining: u32,
     /// Whether any page read of this request needed ≥ 1 retry step.
     retried: bool,
@@ -108,7 +113,7 @@ pub struct Ssd {
     /// Recycled transaction slots (indices into `txns`), LIFO.
     free_txns: Vec<u32>,
     reqs: Vec<ReqState>,
-    loadgen: LoadGenerator,
+    front: FrontEnd,
     metrics: MetricsCollector,
     gc_jobs: Vec<GcJobState>,
     max_step: u32,
@@ -240,7 +245,7 @@ impl Ssd {
         let mut reqs = std::mem::take(&mut arena.reqs);
         reqs.clear();
         Ok(Self {
-            metrics: MetricsCollector::new(max_step),
+            metrics: MetricsCollector::new(max_step, 1),
             cfg,
             ftl,
             model,
@@ -252,7 +257,7 @@ impl Ssd {
             txns,
             free_txns,
             reqs,
-            loadgen: LoadGenerator::idle(),
+            front: FrontEnd::idle(),
             gc_jobs: Vec::new(),
             max_step,
             slab_reuse,
@@ -297,8 +302,37 @@ impl Ssd {
         trace: &[HostRequest],
         mode: ReplayMode,
     ) -> Result<SimReport, String> {
+        Self::run_pooled_queued(
+            arena,
+            cfg,
+            controller,
+            lpn_count,
+            trace,
+            &HostQueueConfig::single(mode),
+        )
+    }
+
+    /// [`Ssd::run_pooled`] under a multi-queue host front end (see
+    /// [`crate::hostq`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration/footprint validation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front-end configuration is invalid or a request's LPN
+    /// range exceeds the preconditioned footprint.
+    pub fn run_pooled_queued(
+        arena: &mut SimArena,
+        cfg: impl Into<Arc<SsdConfig>>,
+        controller: Box<dyn RetryController>,
+        lpn_count: u64,
+        trace: &[HostRequest],
+        queues: &HostQueueConfig,
+    ) -> Result<SimReport, String> {
         let mut ssd = Self::assemble(arena, cfg.into(), controller, lpn_count)?;
-        let report = ssd.run_mut(trace, mode);
+        let report = ssd.run_mut(trace, queues);
         ssd.release_into(arena);
         Ok(report)
     }
@@ -323,11 +357,30 @@ impl Ssd {
     /// Panics if the replay mode is invalid (zero queue depth or rate) or a
     /// request's LPN range exceeds the preconditioned footprint.
     pub fn run_with(mut self, trace: &[HostRequest], mode: ReplayMode) -> SimReport {
-        self.run_mut(trace, mode)
+        self.run_mut(trace, &HostQueueConfig::single(mode))
     }
 
-    fn run_mut(&mut self, trace: &[HostRequest], mode: ReplayMode) -> SimReport {
-        mode.validate().expect("valid replay mode");
+    /// Runs the trace under a multi-queue host front end: the trace is
+    /// striped over the configured submission queues, each queue replays its
+    /// stripe under its own [`ReplayMode`], and the device admits from the
+    /// queues through the configured RR/WRR arbiter and admission window
+    /// (see [`crate::hostq`]).
+    ///
+    /// A [`HostQueueConfig::single`] front end is bit-identical to
+    /// [`Ssd::run_with`] with the same mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front-end configuration is invalid or a request's LPN
+    /// range exceeds the preconditioned footprint.
+    pub fn run_with_queues(mut self, trace: &[HostRequest], queues: &HostQueueConfig) -> SimReport {
+        self.run_mut(trace, queues)
+    }
+
+    fn run_mut(&mut self, trace: &[HostRequest], queues: &HostQueueConfig) -> SimReport {
+        queues
+            .validate()
+            .expect("valid host-queue configuration and replay modes");
         for r in trace {
             assert!(
                 r.lpn + r.len_pages as u64 <= self.ftl.lpn_count(),
@@ -337,10 +390,11 @@ impl Ssd {
                 self.ftl.lpn_count()
             );
         }
-        let (loadgen, initial) = LoadGenerator::start(mode, trace);
-        self.loadgen = loadgen;
-        for (arrival, r) in initial {
-            self.admit(arrival, r);
+        self.metrics = MetricsCollector::new(self.max_step, queues.queue_count());
+        let (front, initial) = FrontEnd::start(queues, trace);
+        self.front = front;
+        for (queue, arrival, r) in initial {
+            self.submit(arrival, queue, r);
         }
         while let Some((t, ev)) = self.events.pop() {
             self.now = t;
@@ -354,7 +408,8 @@ impl Ssd {
         }
         self.assert_drained();
         let name = self.controller.name().to_string();
-        let collector = std::mem::replace(&mut self.metrics, MetricsCollector::new(self.max_step));
+        let collector =
+            std::mem::replace(&mut self.metrics, MetricsCollector::new(self.max_step, 1));
         collector.finish(&name)
     }
 
@@ -393,29 +448,38 @@ impl Ssd {
                 r.remaining
             );
         }
-        match &self.loadgen {
-            LoadGenerator::Closed { pending } => assert!(
-                pending.is_empty(),
-                "closed-loop backlog never drained: {} requests left",
-                pending.len()
-            ),
-            LoadGenerator::Open { pending } => assert!(
-                pending.is_empty(),
-                "open-loop arrivals never scheduled: {} requests left",
-                pending.len()
-            ),
-        }
+        assert_eq!(
+            self.front.pending_submissions(),
+            0,
+            "host queues never submitted {} requests",
+            self.front.pending_submissions()
+        );
+        assert_eq!(
+            self.front.parked(),
+            0,
+            "{} submitted requests were never admitted",
+            self.front.parked()
+        );
+        assert_eq!(
+            self.front.in_flight(),
+            0,
+            "{} admitted requests never completed",
+            self.front.in_flight()
+        );
     }
 
-    // ---- admission & transaction creation ---------------------------------
+    // ---- submission, arbitration & transaction creation -------------------
 
-    /// Hands one host request to the device at `arrival`.
-    fn admit(&mut self, arrival: SimTime, r: HostRequest) {
+    /// Submits one host request of `queue` at `arrival` (schedules its
+    /// `Arrive` event; the request reaches its submission queue when the
+    /// event fires).
+    fn submit(&mut self, arrival: SimTime, queue: u16, r: HostRequest) {
         let id = ReqId(self.reqs.len() as u32);
         self.reqs.push(ReqState {
             op: r.op,
             lpn: r.lpn,
             arrival,
+            queue,
             remaining: r.len_pages,
             retried: false,
         });
@@ -423,12 +487,30 @@ impl Ssd {
     }
 
     fn handle_arrival(&mut self, req: ReqId) {
-        // Open loop feeds arrivals one at a time (trace order is sorted, so
-        // the next admission is never in the past); scheduling it before the
-        // spawned flash work keeps the heap footprint minimal.
-        if let Some((at, r)) = self.loadgen.next_arrival() {
-            self.admit(at, r);
+        let queue = self.reqs[req.0 as usize].queue;
+        // Open loop feeds each queue's arrivals one at a time (stripes are
+        // time-sorted, so the next submission is never in the past);
+        // scheduling it before the spawned flash work keeps the heap
+        // footprint minimal.
+        if let Some((at, r)) = self.front.next_arrival(queue) {
+            self.submit(at, queue, r);
         }
+        self.front.enqueue(queue, req);
+        self.pump_admission();
+    }
+
+    /// Drains the submission queues into the device while the admission
+    /// window has room, in the arbiter's RR/WRR order — the front-end hook
+    /// of the admission path. With an unbounded window this degenerates to
+    /// admit-on-submission.
+    fn pump_admission(&mut self) {
+        while let Some(req) = self.front.try_admit() {
+            self.dispatch(req);
+        }
+    }
+
+    /// Splits an admitted request into its per-page flash transactions.
+    fn dispatch(&mut self, req: ReqId) {
         let r = &self.reqs[req.0 as usize];
         // No page has completed yet, so `remaining` is the request length.
         let (op, first, last) = (r.op, r.lpn, r.lpn + r.remaining as u64);
@@ -1086,12 +1168,18 @@ impl Ssd {
             let response = self.now - r.arrival;
             let is_read = r.op == IoOp::Read;
             let retried = r.retried;
+            let queue = r.queue;
             self.metrics
-                .record_request(is_read, retried, response, self.now);
-            // Closed-loop: the freed slot admits the next backlog request.
-            if let Some(next) = self.loadgen.on_completion() {
-                self.admit(self.now, next);
+                .record_request(queue, is_read, retried, response, self.now);
+            // Closed loop: the completing queue submits its next backlog
+            // request (an `Arrive` event at `now`, FIFO within the tick, so
+            // same-tick completion bursts submit in trace order per queue).
+            if let Some(next) = self.front.complete(queue) {
+                self.submit(self.now, queue, next);
             }
+            // The freed window slot can admit a parked submission from
+            // whichever queue the arbiter picks.
+            self.pump_admission();
         }
     }
 }
@@ -1337,6 +1425,33 @@ mod tests {
         assert_eq!(report.requests_completed, 1);
         // 8 pages across 8 planes: mostly parallel, bounded by channel DMA.
         assert!(report.read_response_us.mean() < 400.0);
+    }
+
+    #[test]
+    fn empty_trace_reports_zero_throughput_without_nan() {
+        // Regression (zero-duration runs): an empty trace must report 0
+        // kIOPS and finite means — never ∞/NaN from a 0/0 — and the report
+        // must stay comparable (the CLI prints these fields verbatim).
+        let cfg = cfg_at(0.0, 0.0);
+        let mk = || {
+            Ssd::new(cfg.clone(), Box::new(BaselineController::new()), 1_000)
+                .unwrap()
+                .run(&[])
+        };
+        let report = mk();
+        assert_eq!(report.requests_completed, 0);
+        assert_eq!(report.kiops(), 0.0);
+        assert!(report.kiops().is_finite());
+        assert_eq!(report.avg_response_us(), 0.0);
+        assert!(report.avg_response_us().is_finite());
+        assert_eq!(report.read_p99_us(), None);
+        assert_eq!(report.makespan, SimTime::ZERO);
+        assert_eq!(report, mk(), "empty runs are comparable and stable");
+        // Closed loop over an empty trace is equally inert.
+        let closed = Ssd::new(cfg.clone(), Box::new(BaselineController::new()), 1_000)
+            .unwrap()
+            .run_with(&[], ReplayMode::closed_loop(4));
+        assert_eq!(closed.kiops(), 0.0);
     }
 
     #[test]

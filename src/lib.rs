@@ -43,18 +43,21 @@ pub use rr_workloads as workloads;
 pub mod prelude {
     pub use rr_charact::platform::TestPlatform;
     pub use rr_core::experiment::{
-        run_matrix, run_matrix_parallel, run_one, run_one_with_mode, run_qd_sweep, run_rate_sweep,
-        Mechanism, OperatingPoint, QdSweepCell, RateSweepCell,
+        run_matrix, run_matrix_parallel, run_one, run_one_with_mode, run_qd_sweep,
+        run_qd_sweep_queued, run_rate_sweep, run_rate_sweep_queued, Mechanism, OperatingPoint,
+        QdSweepCell, QueueSetup, RateSweepCell,
     };
     pub use rr_core::rpt::ReadTimingParamTable;
     pub use rr_core::{Ar2Controller, PnAr2Controller, Pr2Controller, PsoController};
     pub use rr_ecc::engine::{BchEccEngine, EccEngineModel, EccOutcome};
     pub use rr_flash::prelude::*;
-    pub use rr_sim::config::SsdConfig;
-    pub use rr_sim::metrics::LatencySummary;
+    pub use rr_sim::config::{ArbPolicy, ConfigError, SsdConfig};
+    pub use rr_sim::hostq::{HostQueueConfig, QueueSpec};
+    pub use rr_sim::metrics::{LatencySummary, QueueLatency};
     pub use rr_sim::readflow::BaselineController;
     pub use rr_sim::replay::ReplayMode;
     pub use rr_sim::request::{HostRequest, IoOp};
+    pub use rr_sim::scheduler::Arbiter;
     pub use rr_sim::ssd::{SimArena, Ssd};
     pub use rr_util::rng::Rng;
     pub use rr_util::time::SimTime;

@@ -161,6 +161,89 @@ fn matrix_runner_matches_per_cell_fresh_runs() {
 }
 
 #[test]
+fn single_queue_rr_front_end_is_bit_identical_to_plain_replay() {
+    // The multi-queue front end degenerates at N = 1: one round-robin queue
+    // with no admission window must replay exactly like the plain
+    // single-generator path — same events, same latencies, same report,
+    // bit for bit — for every replay mode.
+    let rpt = ReadTimingParamTable::default();
+    let base = base_cfg().with_condition(
+        ssd_readretry::flash::calibration::OperatingCondition::new(2000.0, 6.0, 30.0),
+    );
+    let modes = vec![
+        Mode::OpenLoop,
+        Mode::open_loop_rate(2.0),
+        Mode::closed_loop(1),
+        Mode::closed_loop(16),
+    ];
+    for trace in workloads() {
+        for &mode in &modes {
+            let plain = Ssd::new(
+                base.clone(),
+                Mechanism::PnAr2.make_controller(&rpt),
+                trace.footprint_pages,
+            )
+            .expect("valid configuration")
+            .run_with(&trace.requests, mode);
+            let queued = Ssd::new(
+                base.clone(),
+                Mechanism::PnAr2.make_controller(&rpt),
+                trace.footprint_pages,
+            )
+            .expect("valid configuration")
+            .run_with_queues(&trace.requests, &HostQueueConfig::single(mode));
+            assert_eq!(
+                plain, queued,
+                "single-queue front end diverged on {} under {:?}",
+                trace.name, mode
+            );
+            // The lone per-queue entry mirrors the aggregate classes.
+            assert_eq!(queued.per_queue.len(), 1);
+            assert_eq!(queued.per_queue[0].reads, queued.read_latency);
+            assert_eq!(queued.per_queue[0].writes, queued.write_latency);
+            assert_eq!(queued.per_queue[0].completed, queued.requests_completed);
+        }
+    }
+}
+
+#[test]
+fn hotpath_switches_are_bit_neutral_under_multi_queue_wrr() {
+    // The profile cache and transaction-slab pooling must stay
+    // semantics-neutral when requests arrive through the windowed WRR
+    // front end (submission-queue waits, arbitration, per-queue metrics).
+    let rpt = ReadTimingParamTable::default();
+    let front = HostQueueConfig::uniform(2, Mode::closed_loop(8))
+        .with_arb(ssd_readretry::sim::config::ArbPolicy::WeightedRoundRobin)
+        .with_weights(&[3, 1])
+        .with_window(8);
+    let mut slow = base_cfg();
+    slow.hotpath.profile_cache = false;
+    slow.hotpath.txn_slab_reuse = false;
+    for trace in workloads() {
+        let run = |cfg: &SsdConfig| {
+            let cfg = cfg.clone().with_condition(
+                ssd_readretry::flash::calibration::OperatingCondition::new(2000.0, 6.0, 30.0),
+            );
+            Ssd::new(
+                cfg,
+                Mechanism::PnAr2.make_controller(&rpt),
+                trace.footprint_pages,
+            )
+            .expect("valid configuration")
+            .run_with_queues(&trace.requests, &front)
+        };
+        let fast_report = run(&base_cfg());
+        let slow_report = run(&slow);
+        assert_eq!(
+            fast_report, slow_report,
+            "hot-path switches changed a multi-queue report on {}",
+            trace.name
+        );
+        assert_eq!(fast_report.per_queue.len(), 2);
+    }
+}
+
+#[test]
 fn events_processed_is_deterministic_and_nonzero() {
     let rpt = ReadTimingParamTable::default();
     let trace = MsrcWorkload::Mds1.synthesize(150, 2);

@@ -105,6 +105,75 @@ fn multi_die_closed_loop_is_bit_identical_across_jobs_and_reruns() {
 }
 
 #[test]
+fn same_tick_completion_bursts_admit_backlog_in_trace_order() {
+    // On a fresh SSD every read costs the same Eq. 2 latency, so a QD-8
+    // window of 8 reads striped over 8 distinct dies completes as one
+    // same-tick burst — and each burst admits the next 8 backlog requests
+    // within that tick. Admission must follow (tick, trace index): each
+    // completion pops the backlog front (FIFO = trace order), never the
+    // completion-heap pop order of whichever die finished "first". The
+    // replay must be bit-identical across reruns and `--jobs`, and QD = 1
+    // on the same trace must still equal the fully spaced open-loop replay.
+    let cfg = SsdConfig::scaled_for_tests();
+    let rpt = ReadTimingParamTable::default();
+    let point = OperatingPoint::new(0.0, 0.0);
+    // 64 single-page reads, 8 waves of 8 distinct dies (consecutive LPNs
+    // stripe across planes), all with arrival 0 → every wave is one
+    // same-tick completion burst under closed loop.
+    let requests: Vec<HostRequest> = (0..64)
+        .map(|i| HostRequest::new(SimTime::ZERO, IoOp::Read, i, 1))
+        .collect();
+    let trace = Trace::new("burst", requests, 1_000);
+    let mk = |qd| {
+        run_one_with_mode(
+            &cfg,
+            Mechanism::Baseline,
+            point,
+            &trace,
+            &rpt,
+            ReplayMode::closed_loop(qd),
+        )
+    };
+    let a = mk(8);
+    let b = mk(8);
+    assert_eq!(a, b, "same-tick bursts must replay bit-identically");
+    assert_eq!(a.requests_completed, 64);
+    // Trace-order admission keeps every wave's 8 reads on 8 distinct dies,
+    // so waves stay fully parallel: the makespan is ~8 isolated-read
+    // latencies, not serialized die contention.
+    let serial = mk(1);
+    assert!(
+        a.makespan.as_us_f64() < 0.3 * serial.makespan.as_us_f64(),
+        "QD-8 bursts must overlap: {} vs serial {}",
+        a.makespan,
+        serial.makespan
+    );
+    // The sweep over the bursty trace is job-count-invariant like any other.
+    let cells_serial = run_qd_sweep(
+        &cfg,
+        std::slice::from_ref(&trace),
+        point,
+        &[1, 8],
+        &[Mechanism::Baseline],
+        1,
+    );
+    let cells_parallel = run_qd_sweep(
+        &cfg,
+        std::slice::from_ref(&trace),
+        point,
+        &[1, 8],
+        &[Mechanism::Baseline],
+        4,
+    );
+    assert_eq!(cells_serial, cells_parallel);
+    // And QD = 1 ≡ the spaced-out serial device, request for request.
+    let spaced = respaced(&trace, 10_000);
+    let open = run_one(&cfg, Mechanism::Baseline, point, &spaced, &rpt);
+    assert_eq!(open.read_latency, serial.read_latency);
+    assert_eq!(open.senses, serial.senses);
+}
+
+#[test]
 fn qd_sweep_covers_msrc_and_ycsb_with_full_distributions() {
     // The acceptance shape: QD ∈ {1, 4, 16} on an MSRC and a YCSB workload,
     // every cell reporting p50/p95/p99/p99.9 for reads.
