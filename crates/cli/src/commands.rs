@@ -11,7 +11,8 @@ use rr_core::rpt::ReadTimingParamTable;
 use rr_flash::calibration::ECC_CAPABILITY_PER_KIB;
 use rr_flash::timing::NandTimings;
 use rr_sim::config::{ArbPolicy, SsdConfig};
-use rr_sim::metrics::LatencySummary;
+use rr_sim::gc::GcPolicy;
+use rr_sim::metrics::{GcStalls, LatencySummary};
 use rr_workloads::msrc::MsrcWorkload;
 use rr_workloads::trace::Trace;
 use rr_workloads::ycsb::YcsbWorkload;
@@ -41,6 +42,17 @@ pub struct Options {
     pub weights: Option<Vec<u32>>,
     /// Device admission window override (`None` = each sweep's default).
     pub window: Option<u32>,
+    /// Garbage-collection policy for the load sweeps and their exports
+    /// (`GcPolicy::Greedy` = the pre-policy default behavior).
+    pub gc_policy: GcPolicy,
+    /// Run the load sweeps on the GC-stress workload (shrunken geometry +
+    /// write-heavy hot-range trace filling the usable space) instead of the
+    /// MSRC/YCSB set, so garbage collection actually contends with host
+    /// traffic and the GC policies become distinguishable.
+    pub gc_stress: bool,
+    /// `repro perf --plot`: render the archived throughput trajectory
+    /// instead of measuring a new run.
+    pub plot: bool,
     /// Output directory for `export` CSVs.
     pub csv_dir: Option<String>,
 }
@@ -625,6 +637,37 @@ fn sweep_traces(opts: &Options) -> Vec<Trace> {
     traces
 }
 
+/// The `--gc-stress` SSD: the test-scaled geometry shrunk further (16
+/// blocks/plane × 12 pages/block) so the stress trace's footprint fills the
+/// usable space and garbage collection runs continuously during the sweep.
+/// The synthesized MSRC/YCSB footprints stay proportional to their touched
+/// pages, so the stock sweeps never trigger GC — this mode exists to make
+/// GC-vs-host contention (and the `--gc-policy` knob) observable.
+fn gc_stress_base(opts: &Options) -> SsdConfig {
+    let mut cfg = SsdConfig::scaled_for_tests()
+        .with_seed(opts.seed)
+        .with_gc_policy(opts.gc_policy);
+    cfg.chip.blocks_per_plane = 16;
+    cfg.chip.pages_per_block = 12;
+    cfg
+}
+
+/// The (config, trace set) a load sweep runs on: the stock MSRC/YCSB set,
+/// or the GC-stress pair (shared generator
+/// [`rr_workloads::synth::gc_stress_trace`]) under `--gc-stress`.
+fn sweep_setup(opts: &Options) -> (SsdConfig, Vec<Trace>) {
+    if opts.gc_stress {
+        let base = gc_stress_base(opts);
+        let trace = rr_workloads::synth::gc_stress_trace(base.max_lpns(), opts.trace_len());
+        (base, vec![trace])
+    } else {
+        let base = SsdConfig::scaled_for_tests()
+            .with_seed(opts.seed)
+            .with_gc_policy(opts.gc_policy);
+        (base, sweep_traces(opts))
+    }
+}
+
 /// Queue-depth sweep: closed-loop replay at each configured queue depth,
 /// reporting full per-class latency distributions and throughput.
 pub fn sweep_qd(opts: &Options) {
@@ -632,8 +675,7 @@ pub fn sweep_qd(opts: &Options) {
         "QD sweep — closed-loop tail latency vs. queue depth",
         "load as a first-class knob: fio-style --iodepth sweep of the §7.1 SSD at the (2K, 6 mo) highlight point",
     );
-    let base = SsdConfig::scaled_for_tests().with_seed(opts.seed);
-    let traces = sweep_traces(opts);
+    let (base, traces) = sweep_setup(opts);
     let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2];
     let point = OperatingPoint::new(2000.0, 6.0);
     let setup = opts.queue_setup();
@@ -722,6 +764,17 @@ pub fn sweep_qd(opts: &Options) {
             }),
         );
     }
+    if opts.gc_policy != GcPolicy::Greedy {
+        print_per_queue_gc(
+            opts.gc_policy,
+            cells.iter().map(|c| {
+                (
+                    format!("{} / {} / QD={}", c.workload, c.mechanism, c.queue_depth),
+                    &c.per_queue_gc,
+                )
+            }),
+        );
+    }
     println!(
         "\n(closed-loop: trace timestamps ignored, QD requests kept outstanding;\n\
          QD=1 is the serial-device reference — deeper queues trade latency for\n\
@@ -776,6 +829,48 @@ fn print_per_queue_reads<'a>(
     );
 }
 
+/// The per-queue GC-stall attribution table of a sweep run under a
+/// non-default GC policy: who absorbed GC interference, and how much.
+fn print_per_queue_gc<'a>(
+    policy: GcPolicy,
+    cells: impl Iterator<Item = (String, &'a Vec<GcStalls>)>,
+) {
+    println!(
+        "\nper-queue GC stalls ({} policy; stall µs = suspension latency per \
+         (forced) suspension + residual busy time per wait):",
+        policy.name()
+    );
+    let mut rows = Vec::new();
+    for (prefix, per_queue) in cells {
+        for (q, gc) in per_queue.iter().enumerate() {
+            rows.push(vec![
+                prefix.clone(),
+                format!("q{q}"),
+                gc.suspensions.to_string(),
+                gc.preemptions.to_string(),
+                gc.waits.to_string(),
+                gc.deferrals.to_string(),
+                format!("{:.1}", gc.stall_us),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "run".into(),
+                "queue".into(),
+                "suspensions".into(),
+                "preemptions".into(),
+                "waits".into(),
+                "deferrals".into(),
+                "stall µs".into(),
+            ],
+            &rows
+        )
+    );
+}
+
 /// Offered-load sweep: open-loop replay with each configured arrival-rate
 /// multiplier — the hockey-stick sibling of `sweep-qd`.
 pub fn sweep_rate(opts: &Options) {
@@ -783,8 +878,7 @@ pub fn sweep_rate(opts: &Options) {
         "Rate sweep — open-loop tail latency vs. offered load",
         "arrival-rate multiplier over the trace's native timing; latency turns up sharply past device saturation",
     );
-    let base = SsdConfig::scaled_for_tests().with_seed(opts.seed);
-    let traces = sweep_traces(opts);
+    let (base, traces) = sweep_setup(opts);
     let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2];
     let point = OperatingPoint::new(2000.0, 6.0);
     let setup = opts.queue_setup();
@@ -865,6 +959,17 @@ pub fn sweep_rate(opts: &Options) {
                 (
                     format!("{} / {} / rate={}", c.workload, c.mechanism, c.rate),
                     &c.per_queue_reads,
+                )
+            }),
+        );
+    }
+    if opts.gc_policy != GcPolicy::Greedy {
+        print_per_queue_gc(
+            opts.gc_policy,
+            cells.iter().map(|c| {
+                (
+                    format!("{} / {} / rate={}", c.workload, c.mechanism, c.rate),
+                    &c.per_queue_gc,
                 )
             }),
         );
@@ -961,14 +1066,18 @@ fn perf_axes(opts: &Options) -> (String, String) {
     (qd, rates)
 }
 
-/// The ROADMAP's perf trajectory gate: compares this run's overall
-/// events/sec against the trailing median of earlier comparable archived
-/// runs (same `--quick`, `--jobs`, and `--seed`) in [`PERF_HISTORY_FILE`].
-/// Returns `false` — failing `repro perf` and therefore CI — when throughput
-/// drops below [`PERF_GATE_RATIO`] of that median; skips gracefully while
-/// fewer than [`PERF_GATE_MIN_RUNS`] comparable runs exist. Only runs that
-/// pass (or skip) the gate are archived — appending regressed runs would let
-/// repeated re-runs drag the median down until a real regression passes.
+/// The ROADMAP's perf trajectory gate. The canonical spec lives in the
+/// README's "Perf regression gate" subsection; in code terms: this run's
+/// overall events/sec is compared against the median of the last
+/// [`PERF_GATE_TRAILING`] (10) *comparable* archived runs in
+/// [`PERF_HISTORY_FILE`], where comparable means the same `--quick`,
+/// `--jobs`, `--seed`, `--queue-depth`, and `--rate` values. Returns
+/// `false` — failing `repro perf` and therefore CI — when throughput drops
+/// below [`PERF_GATE_RATIO`] (0.7×) of that median; skips gracefully while
+/// fewer than [`PERF_GATE_MIN_RUNS`] (3) comparable runs exist. Only runs
+/// that pass (or skip) the gate are archived — appending regressed runs
+/// would let repeated re-runs drag the median down until a real regression
+/// passes.
 fn perf_gate(opts: &Options, events_per_sec: f64) -> bool {
     let (qd_axis, rate_axis) = perf_axes(opts);
     let prior: Vec<f64> = std::fs::read_to_string(PERF_HISTORY_FILE)
@@ -1166,6 +1275,81 @@ pub fn perf(opts: &Options) -> bool {
     ok && perf_gate(opts, overall)
 }
 
+/// One-line unicode sparkline over `values`, min-to-max scaled (a flat
+/// series renders mid-height bars).
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max > min {
+                BARS[(((v - min) / (max - min)) * 7.0).round() as usize]
+            } else {
+                BARS[3]
+            }
+        })
+        .collect()
+}
+
+/// `repro perf --plot`: renders the `BENCH_history.jsonl` events/sec
+/// trajectory (the ROADMAP's standing plot item) without measuring a new
+/// run — one ASCII sparkline per comparability group (same
+/// `--quick`/`--jobs`/`--seed`/`--queue-depth`/`--rate`), plus a
+/// `BENCH_trajectory.csv` export for external plotting. Returns `false`
+/// only when the archive exists but holds no parsable runs.
+pub fn perf_plot(_opts: &Options) -> bool {
+    heading(
+        "Perf trajectory — archived events/sec over time",
+        "BENCH_history.jsonl rendered as one sparkline per comparability group; CSV → BENCH_trajectory.csv",
+    );
+    let Ok(history) = std::fs::read_to_string(PERF_HISTORY_FILE) else {
+        println!("no {PERF_HISTORY_FILE} yet — run `repro perf` first to record a data point");
+        return true;
+    };
+    // Group runs by comparability key, preserving first-appearance order.
+    let mut groups: Vec<(String, Vec<f64>)> = Vec::new();
+    for line in history.lines() {
+        let Some(eps) = json_f64_field(line, "events_per_sec") else {
+            continue;
+        };
+        let key = format!(
+            "quick={} jobs={} seed={} qd={} rates={}",
+            json_bool_field(line, "quick").unwrap_or(false),
+            json_f64_field(line, "jobs").unwrap_or(0.0),
+            json_f64_field(line, "seed").unwrap_or(0.0),
+            json_str_field(line, "qd").unwrap_or("?"),
+            json_str_field(line, "rates").unwrap_or("?"),
+        );
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, runs)) => runs.push(eps),
+            None => groups.push((key, vec![eps])),
+        }
+    }
+    if groups.is_empty() {
+        eprintln!("{PERF_HISTORY_FILE} holds no parsable runs");
+        return false;
+    }
+    let mut csv = String::from("group,run,events_per_sec\n");
+    for (key, runs) in &groups {
+        let min = runs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = runs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let latest = *runs.last().expect("group holds at least one run");
+        println!("\n{key}  ({} run(s))", runs.len());
+        println!(
+            "  {}  min {min:.0} / max {max:.0} / latest {latest:.0} events/sec",
+            sparkline(runs)
+        );
+        for (i, eps) in runs.iter().enumerate() {
+            csv.push_str(&format!("\"{key}\",{i},{eps:.1}\n"));
+        }
+    }
+    std::fs::write("BENCH_trajectory.csv", &csv).expect("write BENCH_trajectory.csv");
+    println!("\nwrote BENCH_trajectory.csv");
+    true
+}
+
 /// §8 extensions: Eager-PnAR2 (speculative retry start) and AR2-Regular
 /// (reduced-timing regular reads), against PnAR2 and the NoRR bound.
 pub fn extensions(opts: &Options) {
@@ -1352,12 +1536,11 @@ pub fn export(opts: &Options) {
     };
     if opts.csv_dir.is_some() {
         use rr_core::export as eval_csv;
-        let base = SsdConfig::scaled_for_tests().with_seed(opts.seed);
+        let (base, traces) = sweep_setup(opts);
         let point = OperatingPoint::new(2000.0, 6.0);
         let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2];
         let cells = run_eval(opts, &Mechanism::FIG14);
         write("matrix.csv", eval_csv::matrix_csv(&cells));
-        let traces = sweep_traces(opts);
         let setup = opts.queue_setup();
         let qd = run_qd_sweep_queued(
             &base,

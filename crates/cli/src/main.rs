@@ -19,9 +19,14 @@
 //!   fig15    response time: PSO vs. PSO+PnAR2
 //!   matrix   the full Fig. 14 evaluation matrix (wall-clock on stderr)
 //!   sweep-qd closed-loop tail latency vs. queue depth (--queue-depth list;
-//!            --queues N --arb rr|wrr adds the NVMe multi-queue front end)
-//!   sweep-rate  open-loop tail latency vs. offered load (--rate list)
-//!   perf     simulator events/sec over matrix + sweeps → BENCH_sim.json
+//!            --queues N --arb rr|wrr adds the NVMe multi-queue front end;
+//!            --gc-policy NAME [--gc-budget N] picks the GC policy)
+//!   sweep-rate  open-loop tail latency vs. offered load (--rate list;
+//!            same --queues/--arb/--weights/--burst/--window and
+//!            --gc-policy/--gc-budget/--gc-stress knobs as sweep-qd)
+//!   perf     simulator events/sec over matrix + sweeps → BENCH_sim.json,
+//!            gated at 0.7× the trailing-10 median of comparable runs
+//!            (--plot renders the archived trajectory instead)
 //!   extensions  the §8 future-work mechanisms (Eager-PnAR2, AR2-Regular)
 //!   ablation    design-choice ablations (fixed vs adaptive tPRE, PSO guard)
 //!   all      everything above
@@ -45,6 +50,10 @@ fn main() -> ExitCode {
     let mut burst = 1u32;
     let mut weights: Option<Vec<u32>> = None;
     let mut window: Option<u32> = None;
+    let mut gc_policy_name: Option<String> = None;
+    let mut gc_budget: Option<u32> = None;
+    let mut gc_stress = false;
+    let mut plot = false;
     let mut csv_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -178,6 +187,27 @@ fn main() -> ExitCode {
                 };
                 window = Some(v);
             }
+            "--gc-policy" => {
+                i += 1;
+                let Some(v) = args.get(i).filter(|s| !s.starts_with('-')) else {
+                    eprintln!(
+                        "--gc-policy requires a policy name \
+                         (greedy, read-preempt, windowed-tokens, or queue-shield)"
+                    );
+                    return ExitCode::FAILURE;
+                };
+                gc_policy_name = Some(v.clone());
+            }
+            "--gc-budget" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<u32>().ok()) else {
+                    eprintln!("--gc-budget requires a non-negative integer value");
+                    return ExitCode::FAILURE;
+                };
+                gc_budget = Some(v);
+            }
+            "--plot" => plot = true,
+            "--gc-stress" => gc_stress = true,
             "--csv" => {
                 i += 1;
                 let Some(v) = args.get(i).filter(|s| !s.starts_with('-')) else {
@@ -231,6 +261,33 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if gc_budget.is_some() && gc_policy_name.is_none() {
+        eprintln!("--gc-budget requires --gc-policy read-preempt|windowed-tokens|queue-shield");
+        return ExitCode::FAILURE;
+    }
+    let gc_policy =
+        match rr_sim::gc::GcPolicy::parse(gc_policy_name.as_deref().unwrap_or("greedy"), gc_budget)
+        {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("--gc-policy: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    if plot && command != "perf" {
+        eprintln!("--plot applies to the perf command only");
+        return ExitCode::FAILURE;
+    }
+    // The GC knobs only reach the load sweeps and their export; accepting
+    // them elsewhere would print default-policy results under a flag the
+    // user believes took effect.
+    let gc_flags_given = gc_policy_name.is_some() || gc_budget.is_some() || gc_stress;
+    if gc_flags_given && !matches!(command.as_str(), "sweep-qd" | "sweep-rate" | "export") {
+        eprintln!(
+            "--gc-policy/--gc-budget/--gc-stress apply to sweep-qd, sweep-rate, and export only"
+        );
+        return ExitCode::FAILURE;
+    }
     let opts = commands::Options {
         quick,
         seed,
@@ -242,6 +299,9 @@ fn main() -> ExitCode {
         burst,
         weights,
         window,
+        gc_policy,
+        gc_stress,
+        plot,
         csv_dir,
     };
     let mut failed = false;
@@ -265,7 +325,13 @@ fn main() -> ExitCode {
             "matrix" => commands::matrix(&opts),
             "sweep-qd" => commands::sweep_qd(&opts),
             "sweep-rate" => commands::sweep_rate(&opts),
-            "perf" => failed |= !commands::perf(&opts),
+            "perf" => {
+                failed |= !if opts.plot {
+                    commands::perf_plot(&opts)
+                } else {
+                    commands::perf(&opts)
+                }
+            }
             _ => return false,
         }
         true
@@ -322,6 +388,15 @@ fn print_help() {
          --weights L  comma-separated per-queue WRR weights (e.g. 3,1)\n\
          --burst N  commands fetched per arbitration credit (default 1)\n\
          --window N  device admission window; default: the swept queue depth\n           for sweep-qd, unbounded for sweep-rate\n\
-         --csv DIR for export: write figure + evaluation CSVs into DIR"
+         --gc-policy NAME  GC policy for sweep-qd/sweep-rate/export: greedy\n           (default, bit-identical to the pre-policy engine), read-preempt,\n           windowed-tokens, or queue-shield\n\
+         --gc-budget N  per-policy knob: preemptions per GC job (read-preempt,\n           default 4), tokens per 1 ms window (windowed-tokens, default 8),\n           or the shielded queue index (queue-shield, default 0)\n\
+         --gc-stress  run the sweeps on the GC-stress workload (shrunken\n           geometry, write-heavy hot range filling the usable space) so GC\n           contends with host traffic; with --queues 2 every read lands on\n           queue 0 and every write on queue 1\n\
+         --plot    for perf: render the BENCH_history.jsonl events/sec\n           trajectory (sparkline + BENCH_trajectory.csv) instead of measuring\n\
+         --csv DIR for export: write figure + evaluation CSVs into DIR\n\
+         \n\
+         perf regression gate: fails below 0.7x the median of the last 10\n\
+         comparable archived runs (same --quick/--jobs/--seed/--queue-depth/\n\
+         --rate); engages once 3 comparable runs exist — see README\n\
+         'Perf regression gate'"
     );
 }

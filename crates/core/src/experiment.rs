@@ -12,7 +12,7 @@ use crate::rpt::ReadTimingParamTable;
 use rr_flash::calibration::OperatingCondition;
 use rr_sim::config::{ArbPolicy, SsdConfig};
 use rr_sim::hostq::HostQueueConfig;
-use rr_sim::metrics::{LatencySummary, SimReport};
+use rr_sim::metrics::{GcStalls, LatencySummary, SimReport};
 use rr_sim::readflow::{BaselineController, RetryController};
 use rr_sim::replay::ReplayMode;
 use rr_sim::ssd::{SimArena, Ssd};
@@ -33,7 +33,7 @@ pub enum Mechanism {
     PnAr2,
     /// Ideal SSD where no read-retry ever occurs (upper bound).
     NoRR,
-    /// The MICRO'19 state-of-the-art retry-count reducer [84].
+    /// The MICRO'19 state-of-the-art retry-count reducer \[84\].
     Pso,
     /// PSO with PR² + AR² on top (Fig. 15's headline).
     PsoPnAr2,
@@ -495,9 +495,10 @@ fn parallel_ordered<T: Sync, R: Send, C>(
 
 /// [`run_matrix`] spread across `jobs` worker threads.
 ///
-/// The (trace × point) groups run under [`parallel_ordered`], so the
-/// returned vector is **bit-identical to [`run_matrix`]'s output**
-/// regardless of thread count or scheduling.
+/// The (trace × point) groups run under the crate's order-preserving
+/// work-stealing helper (`parallel_ordered`), so the returned vector is
+/// **bit-identical to [`run_matrix`]'s output** regardless of thread count
+/// or scheduling.
 pub fn run_matrix_parallel(
     base: &SsdConfig,
     traces: &[(Trace, bool)],
@@ -553,6 +554,9 @@ pub struct QdSweepCell {
     /// Per-queue read latency distributions, one entry per submission queue
     /// (submission-queue wait included).
     pub per_queue_reads: Vec<LatencySummary>,
+    /// Per-queue GC-induced stall attribution (suspensions, preemptions,
+    /// waits, deferrals, total stall µs), one entry per submission queue.
+    pub per_queue_gc: Vec<GcStalls>,
 }
 
 /// Sweeps closed-loop queue depths over `traces` × `queue_depths` ×
@@ -633,6 +637,7 @@ pub fn run_qd_sweep_queued(
                 events: report.events_processed,
                 queues: setup.queues,
                 per_queue_reads: report.per_queue.iter().map(|q| q.reads).collect(),
+                per_queue_gc: report.per_queue.iter().map(|q| q.gc).collect(),
             }
         },
     )
@@ -669,6 +674,9 @@ pub struct RateSweepCell {
     /// Per-queue read latency distributions, one entry per submission queue
     /// (submission-queue wait included).
     pub per_queue_reads: Vec<LatencySummary>,
+    /// Per-queue GC-induced stall attribution (suspensions, preemptions,
+    /// waits, deferrals, total stall µs), one entry per submission queue.
+    pub per_queue_gc: Vec<GcStalls>,
 }
 
 /// Sweeps open-loop offered load over `traces` × `rates` × `mechanisms` at
@@ -742,6 +750,7 @@ pub fn run_rate_sweep_queued(
             events: report.events_processed,
             queues: setup.queues,
             per_queue_reads: report.per_queue.iter().map(|q| q.reads).collect(),
+            per_queue_gc: report.per_queue.iter().map(|q| q.gc).collect(),
         }
     })
 }

@@ -7,7 +7,7 @@
 //! rather than fabricating a `0.0` tail, mirroring the CLI's `—` cells.
 
 use crate::experiment::{MatrixCell, QdSweepCell, RateSweepCell};
-use rr_sim::metrics::LatencySummary;
+use rr_sim::metrics::{GcStalls, LatencySummary};
 use std::fmt::Write as _;
 
 fn opt(v: Option<f64>) -> String {
@@ -47,6 +47,27 @@ fn per_queue_cols(per_queue_reads: &[LatencySummary], max_queues: usize) -> Stri
         .collect()
 }
 
+/// Header fragment for the per-host-queue GC-stall columns (stall-event
+/// count + total attributed stall µs per queue; leading comma included).
+fn per_queue_gc_header(max_queues: usize) -> String {
+    (0..max_queues)
+        .map(|i| format!(",q{i}_gc_stalls,q{i}_gc_stall_us"))
+        .collect()
+}
+
+/// The per-queue GC-stall columns of one cell, blank-padded to `max_queues`
+/// (leading comma included) — a queue the cell does not have stays
+/// distinguishable from one that measured zero stalls, mirroring
+/// [`per_queue_cols`].
+fn per_queue_gc_cols(per_queue_gc: &[GcStalls], max_queues: usize) -> String {
+    (0..max_queues)
+        .map(|i| match per_queue_gc.get(i) {
+            Some(gc) => format!(",{},{:.3}", gc.stalls(), gc.stall_us),
+            None => ",,".to_string(),
+        })
+        .collect()
+}
+
 /// Fig. 14/15-style matrix cells as CSV.
 pub fn matrix_csv(cells: &[MatrixCell]) -> String {
     let mut out = format!(
@@ -76,21 +97,23 @@ pub fn matrix_csv(cells: &[MatrixCell]) -> String {
 
 /// Closed-loop queue-depth sweep cells as CSV. Multi-queue sweeps append
 /// one `q{i}_reads_p99_us` column per host submission queue (blank-padded
-/// when cells differ in queue count).
+/// when cells differ in queue count), followed by the per-queue
+/// `q{i}_gc_stalls` / `q{i}_gc_stall_us` GC-attribution columns.
 pub fn qd_sweep_csv(cells: &[QdSweepCell]) -> String {
     let max_queues = cells.iter().map(|c| c.queues as usize).max().unwrap_or(1);
     let mut out = format!(
         "workload,mechanism,queue_depth,queues,pec,retention_months,\
-         avg_response_us,kiops,events,{},{},{}{}\n",
+         avg_response_us,kiops,events,{},{},{}{}{}\n",
         latency_header("reads"),
         latency_header("writes"),
         latency_header("retried_reads"),
-        per_queue_header(max_queues)
+        per_queue_header(max_queues),
+        per_queue_gc_header(max_queues)
     );
     for c in cells {
         writeln!(
             out,
-            "{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}{}",
+            "{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}{}{}",
             c.workload,
             c.mechanism,
             c.queue_depth,
@@ -103,7 +126,8 @@ pub fn qd_sweep_csv(cells: &[QdSweepCell]) -> String {
             latency_cols(&c.reads),
             latency_cols(&c.writes),
             latency_cols(&c.retried_reads),
-            per_queue_cols(&c.per_queue_reads, max_queues)
+            per_queue_cols(&c.per_queue_reads, max_queues),
+            per_queue_gc_cols(&c.per_queue_gc, max_queues)
         )
         .expect("writing to a String cannot fail");
     }
@@ -112,21 +136,23 @@ pub fn qd_sweep_csv(cells: &[QdSweepCell]) -> String {
 
 /// Open-loop rate sweep cells as CSV. Multi-queue sweeps append one
 /// `q{i}_reads_p99_us` column per host submission queue (blank-padded when
-/// cells differ in queue count).
+/// cells differ in queue count), followed by the per-queue
+/// `q{i}_gc_stalls` / `q{i}_gc_stall_us` GC-attribution columns.
 pub fn rate_sweep_csv(cells: &[RateSweepCell]) -> String {
     let max_queues = cells.iter().map(|c| c.queues as usize).max().unwrap_or(1);
     let mut out = format!(
         "workload,mechanism,rate,queues,pec,retention_months,\
-         avg_response_us,kiops,events,{},{},{}{}\n",
+         avg_response_us,kiops,events,{},{},{}{}{}\n",
         latency_header("reads"),
         latency_header("writes"),
         latency_header("retried_reads"),
-        per_queue_header(max_queues)
+        per_queue_header(max_queues),
+        per_queue_gc_header(max_queues)
     );
     for c in cells {
         writeln!(
             out,
-            "{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}{}",
+            "{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}{}{}",
             c.workload,
             c.mechanism,
             c.rate,
@@ -139,7 +165,8 @@ pub fn rate_sweep_csv(cells: &[RateSweepCell]) -> String {
             latency_cols(&c.reads),
             latency_cols(&c.writes),
             latency_cols(&c.retried_reads),
-            per_queue_cols(&c.per_queue_reads, max_queues)
+            per_queue_cols(&c.per_queue_reads, max_queues),
+            per_queue_gc_cols(&c.per_queue_gc, max_queues)
         )
         .expect("writing to a String cannot fail");
     }
@@ -245,17 +272,26 @@ mod tests {
         let header = csv.lines().next().expect("header");
         assert!(header.contains("queues"), "{header}");
         assert!(
-            header.ends_with("q0_reads_p99_us,q1_reads_p99_us"),
+            header.contains("q0_reads_p99_us,q1_reads_p99_us"),
+            "{header}"
+        );
+        assert!(
+            header.ends_with("q0_gc_stalls,q0_gc_stall_us,q1_gc_stalls,q1_gc_stall_us"),
             "{header}"
         );
         let row = csv.lines().nth(1).expect("one data row");
         let cols: Vec<&str> = row.split(',').collect();
         assert_eq!(cols.len(), header.split(',').count(), "ragged row: {row}");
-        // Both queues completed reads, so both p99 columns are populated.
-        let p99s = &cols[cols.len() - 2..];
+        // Both queues completed reads, so both p99 columns are populated,
+        // and the GC-stall columns parse as (count, µs) pairs.
+        let tail = &cols[cols.len() - 6..];
         assert!(
-            p99s.iter().all(|v| v.parse::<f64>().is_ok()),
-            "per-queue p99 columns populated: {p99s:?}"
+            tail[0].parse::<f64>().is_ok() && tail[1].parse::<f64>().is_ok(),
+            "per-queue p99 columns populated: {tail:?}"
+        );
+        assert!(
+            tail[2].parse::<u64>().is_ok() && tail[3].parse::<f64>().is_ok(),
+            "per-queue GC-stall columns populated: {tail:?}"
         );
     }
 }

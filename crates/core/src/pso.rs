@@ -1,4 +1,4 @@
-//! PSO — Process-Similarity-aware Optimization (Shim et al., MICRO'19 [84]),
+//! PSO — Process-Similarity-aware Optimization (Shim et al., MICRO'19 \[84\]),
 //! the state-of-the-art read-retry *reduction* technique the paper compares
 //! against and composes with (§7.3, Fig. 15).
 //!

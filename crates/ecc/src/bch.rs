@@ -2,7 +2,7 @@
 //!
 //! Modern SSDs protect each 1-KiB codeword with ECC able to correct several
 //! tens of raw bit errors — the paper assumes 72 bits per 1-KiB codeword
-//! (§2.4, [73]). This module implements the real thing: a shortened binary
+//! (§2.4, \[73\]). This module implements the real thing: a shortened binary
 //! BCH code over GF(2^14) with syndrome decoding (Berlekamp–Massey + Chien
 //! search), so the "ECC-capability margin" the paper's AR² exploits is a
 //! measurable property of an actual codec here, not just a threshold.

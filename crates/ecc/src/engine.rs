@@ -6,7 +6,7 @@
 //!   read-retry (§2.4). This is exactly the abstraction the paper's MQSim
 //!   extension uses.
 //! * [`BchEccEngine`] — the same interface backed by the real
-//!   [`BchCode`](crate::bch::BchCode) codec, for bit-accurate demos.
+//!   [`BchCode`] codec, for bit-accurate demos.
 
 use crate::bch::{BchCode, BchError};
 use crate::bits::BitVec;

@@ -5,13 +5,13 @@
 //! to every quantitative statement in §3.1 and §5 of the paper:
 //!
 //! * **Retry-step counts** (Fig. 5) — bilinear anchor grid over
-//!   (P/E cycles × retention months), [`mean_retry_steps`].
+//!   (P/E cycles × retention months), `mean_retry_steps`.
 //! * **M_ERR, the max raw bit errors per 1 KiB in the final retry step**
 //!   (Fig. 7) — anchor grid at 85 °C plus additive temperature offsets,
-//!   [`m_err`].
+//!   `m_err`.
 //! * **ΔM_ERR from read-timing reduction** (Figs. 8–10) — exponential penalty
 //!   curves per parameter with a super-additive tPRE×tDISCH coupling term,
-//!   [`delta_m_err`].
+//!   `delta_m_err`.
 //! * **The "Fail" boundary** (Fig. 11) — reductions beyond a hard threshold
 //!   make sensing collapse outright, [`TPRE_HARD_FAIL_REDUCTION`].
 //!
@@ -22,7 +22,7 @@ use rr_util::interp::Grid2;
 use serde::{Deserialize, Serialize};
 
 /// ECC correction capability: 72 raw bit errors per 1-KiB codeword (§2.4,
-/// quoting Micron's 3D NAND flyer [73]).
+/// quoting Micron's 3D NAND flyer \[73\]).
 pub const ECC_CAPABILITY_PER_KIB: u32 = 72;
 
 /// Codewords per 16-KiB page (1-KiB codewords).
@@ -98,7 +98,7 @@ impl OperatingCondition {
     pub const ROOM: f64 = 30.0;
 
     /// The worst-case condition prescribed by manufacturers that the paper
-    /// quotes throughout: 1-year retention [24] at 1.5K P/E cycles [73].
+    /// quotes throughout: 1-year retention \[24\] at 1.5K P/E cycles \[73\].
     pub fn manufacturer_worst_case() -> Self {
         Self::new(1500.0, 12.0, 30.0)
     }

@@ -1,4 +1,4 @@
-//! ONFI-style command encoding (Open NAND Flash Interface 4.2 [90]).
+//! ONFI-style command encoding (Open NAND Flash Interface 4.2 \[90\]).
 //!
 //! The paper's techniques ride on four chip commands — `PAGE READ`,
 //! `CACHE READ`, `RESET`, and `SET FEATURE` — all standard ONFI operations.

@@ -1,5 +1,6 @@
 //! SSD configuration (§7.1 of the paper) and validation.
 
+use crate::gc::GcPolicy;
 use rr_ecc::engine::EccEngineModel;
 use rr_flash::calibration::OperatingCondition;
 use rr_flash::geometry::ChipGeometry;
@@ -96,6 +97,10 @@ pub struct SsdConfig {
     pub outlier_rate: f64,
     /// Free-block low-water mark per plane at which garbage collection starts.
     pub gc_threshold_blocks: u32,
+    /// When garbage collection may run and who may preempt it (see
+    /// [`crate::gc`]). The default [`GcPolicy::Greedy`] is bit-identical to
+    /// the engine's historical behavior.
+    pub gc_policy: GcPolicy,
     /// Remaining program/erase time below which suspension is not worth it.
     pub min_suspend_benefit_us: u64,
     /// Hot-path optimization switches (results are bit-identical with any
@@ -142,6 +147,7 @@ impl SsdConfig {
             ideal_no_retry: false,
             outlier_rate: 0.0,
             gc_threshold_blocks: 4,
+            gc_policy: GcPolicy::Greedy,
             min_suspend_benefit_us: 100,
             hotpath: HotpathConfig::default(),
         }
@@ -166,6 +172,12 @@ impl SsdConfig {
     /// Sets the seed (builder-style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the garbage-collection policy (builder-style).
+    pub fn with_gc_policy(mut self, policy: GcPolicy) -> Self {
+        self.gc_policy = policy;
         self
     }
 
@@ -230,6 +242,7 @@ impl SsdConfig {
         if self.chip.blocks_per_plane <= self.gc_threshold_blocks + 2 {
             return Err("geometry too small for the GC reserve".into());
         }
+        self.gc_policy.validate().map_err(String::from)?;
         Ok(())
     }
 }

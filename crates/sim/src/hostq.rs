@@ -1,7 +1,7 @@
 //! NVMe-style multi-queue host front end: per-core submission queues with
 //! device-side round-robin / weighted-round-robin arbitration.
 //!
-//! The single [`crate::replay::LoadGenerator`] models *one* host thread. Real
+//! The single load generator of [`crate::replay`] models *one* host thread. Real
 //! NVMe hosts run one submission/completion queue pair per core, and the
 //! device controller fetches commands from those queues under an arbitration
 //! policy — which means requests can queue up *host-side* before the device

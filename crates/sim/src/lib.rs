@@ -50,6 +50,7 @@
 pub mod config;
 pub mod event;
 pub mod ftl;
+pub mod gc;
 pub mod hostq;
 pub mod metrics;
 pub mod readflow;
@@ -59,8 +60,9 @@ pub mod scheduler;
 pub mod ssd;
 
 pub use config::{ArbPolicy, ConfigError, SsdConfig};
+pub use gc::GcPolicy;
 pub use hostq::{HostQueueConfig, QueueSpec};
-pub use metrics::{LatencySummary, QueueLatency, SimReport};
+pub use metrics::{GcStalls, LatencySummary, QueueLatency, SimReport};
 pub use readflow::{BaselineController, ReadAction, ReadContext, RetryController};
 pub use replay::ReplayMode;
 pub use request::{HostRequest, IoOp};

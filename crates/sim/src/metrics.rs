@@ -73,6 +73,49 @@ pub struct QueueLatency {
     pub reads: LatencySummary,
     /// Write latency distribution of this queue.
     pub writes: LatencySummary,
+    /// GC-induced stalls absorbed by this queue (see [`GcStalls`]).
+    pub gc: GcStalls,
+}
+
+/// GC-induced stalls attributed to one host queue: every time garbage
+/// collection delayed (or was delayed by) this queue's reads, the engine
+/// records it here, so multi-queue runs show *which* queue absorbs GC
+/// interference instead of blending it into the aggregate tail.
+///
+/// The stall definitions (all attributed to the queue of the waiting read):
+///
+/// * **suspension** — an in-flight GC program/erase was suspended for this
+///   queue's read under the default suspension-benefit rule;
+/// * **preemption** — a policy-forced suspension beyond the default rule
+///   ([`crate::gc::GcPolicy::ReadPreempt`] budget or
+///   [`crate::gc::GcPolicy::QueueShield`] shield);
+/// * **wait** — this queue's read enqueued behind a GC die operation it
+///   could not suspend and had to wait out;
+/// * **deferral** — a non-critical GC job start was deferred on this
+///   queue's behalf (shielding) or charged to it (token rate-limiting at
+///   the queue's triggering write);
+/// * **`stall_us`** — total attributed stall time: the suspension latency
+///   per (forced) suspension plus the residual busy time per wait.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct GcStalls {
+    /// GC programs/erases suspended for this queue's reads (default rule).
+    pub suspensions: u64,
+    /// Policy-forced suspensions beyond the default benefit rule.
+    pub preemptions: u64,
+    /// Reads that enqueued behind an unsuspendable GC die operation.
+    pub waits: u64,
+    /// Non-critical GC job starts deferred on this queue's account.
+    pub deferrals: u64,
+    /// Total attributed stall time, µs.
+    pub stall_us: f64,
+}
+
+impl GcStalls {
+    /// Stall events this queue actually absorbed (suspensions + preemptions
+    /// + waits; deferrals are avoided stalls, not absorbed ones).
+    pub fn stalls(&self) -> u64 {
+        self.suspensions + self.preemptions + self.waits
+    }
 }
 
 impl SimReport {
@@ -150,6 +193,7 @@ pub(crate) struct QueueCollector {
     completed: u64,
     reads: Percentiles,
     writes: Percentiles,
+    gc: GcStalls,
 }
 
 impl MetricsCollector {
@@ -215,6 +259,34 @@ impl MetricsCollector {
         self.retry_steps.record(steps as usize);
     }
 
+    /// Records a GC program/erase suspended for a read of host queue
+    /// `queue`, stalling it for `stall_us`; `forced` marks a policy-granted
+    /// preemption beyond the default suspension-benefit rule.
+    pub fn record_gc_suspension(&mut self, queue: u16, stall_us: f64, forced: bool) {
+        let gc = &mut self.per_queue[queue as usize].gc;
+        if forced {
+            gc.preemptions += 1;
+        } else {
+            gc.suspensions += 1;
+        }
+        gc.stall_us += stall_us;
+    }
+
+    /// Records a read of host queue `queue` enqueueing behind a GC die
+    /// operation it cannot suspend, waiting out `stall_us` of residual busy
+    /// time.
+    pub fn record_gc_wait(&mut self, queue: u16, stall_us: f64) {
+        let gc = &mut self.per_queue[queue as usize].gc;
+        gc.waits += 1;
+        gc.stall_us += stall_us;
+    }
+
+    /// Records a non-critical GC job start deferred on host queue `queue`'s
+    /// account.
+    pub fn record_gc_deferral(&mut self, queue: u16) {
+        self.per_queue[queue as usize].gc.deferrals += 1;
+    }
+
     /// Finalizes into a report.
     pub fn finish(mut self, mechanism: &str) -> SimReport {
         SimReport {
@@ -232,6 +304,7 @@ impl MetricsCollector {
                     completed: q.completed,
                     reads: q.reads.summary(),
                     writes: q.writes.summary(),
+                    gc: q.gc,
                 })
                 .collect(),
             retry_steps: self.retry_steps,
@@ -309,6 +382,28 @@ mod tests {
         assert_eq!(r.read_latency.count, 0);
         assert_eq!(r.retried_read_latency.p999, None);
         assert_eq!(r.write_latency.p50, Some(700.0));
+    }
+
+    #[test]
+    fn gc_stalls_attribute_to_their_queue() {
+        let mut m = MetricsCollector::new(40, 2);
+        m.record_gc_suspension(0, 20.0, false);
+        m.record_gc_suspension(0, 20.0, true);
+        m.record_gc_wait(1, 350.0);
+        m.record_gc_deferral(1);
+        m.record_gc_deferral(1);
+        let r = m.finish("T");
+        let q0 = &r.per_queue[0].gc;
+        let q1 = &r.per_queue[1].gc;
+        assert_eq!(q0.suspensions, 1);
+        assert_eq!(q0.preemptions, 1);
+        assert_eq!(q0.waits, 0);
+        assert_eq!(q0.stalls(), 2);
+        assert!((q0.stall_us - 40.0).abs() < 1e-12);
+        assert_eq!(q1.waits, 1);
+        assert_eq!(q1.deferrals, 2);
+        assert_eq!(q1.stalls(), 1);
+        assert!((q1.stall_us - 350.0).abs() < 1e-12);
     }
 
     #[test]

@@ -49,6 +49,25 @@ use std::collections::VecDeque;
 pub const RATE_PPM: u64 = 1_000_000;
 
 /// How host requests are admitted to the device.
+///
+/// # Example
+///
+/// ```
+/// use rr_sim::replay::ReplayMode;
+///
+/// // Closed loop: 8 requests kept outstanding, trace timestamps ignored.
+/// let qd = ReplayMode::closed_loop(8);
+/// assert!(qd.is_closed_loop());
+///
+/// // Open loop at twice the trace's native arrival rate; rate 1.0
+/// // degenerates to the plain timestamp-driven replay.
+/// let doubled = ReplayMode::open_loop_rate(2.0);
+/// assert!(!doubled.is_closed_loop());
+/// assert_eq!(ReplayMode::open_loop_rate(1.0), ReplayMode::OpenLoop);
+///
+/// // Rates from external input validate instead of panicking.
+/// assert!(ReplayMode::try_open_loop_rate(f64::NAN).is_err());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ReplayMode {
     /// Replay requests at their trace timestamps (arrival-rate-driven).

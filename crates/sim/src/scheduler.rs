@@ -3,15 +3,16 @@
 //! This module holds the per-resource state the SSD orchestrator
 //! ([`crate::ssd::Ssd`]) schedules over:
 //!
-//! * [`DieState`] — one flash die: the currently executing [`DieJob`], three
-//!   priority queues (P0 retry continuations, P1 first sensings, P2
-//!   programs/erases), program/erase suspension, and the die's installed
-//!   sensing phases;
-//! * [`ChannelState`] — one channel: a DMA bus (tDMA per page, FIFO
-//!   arbitration) and a dedicated ECC decoder (tECC per page, FIFO), so
-//!   sensing on one die can overlap a transfer and a decode of other pages
-//!   (Fig. 6);
-//! * [`Event`] — the discrete-event vocabulary connecting them.
+//! * `DieState` (crate-private) — one flash die: the currently executing
+//!   `DieJob`, three priority queues (P0 retry continuations, P1 first
+//!   sensings, P2 programs/erases), program/erase suspension, and the die's
+//!   installed sensing phases;
+//! * `ChannelState` (crate-private) — one channel: a DMA bus (tDMA per
+//!   page, FIFO arbitration) and a dedicated ECC decoder (tECC per page,
+//!   FIFO), so sensing on one die can overlap a transfer and a decode of
+//!   other pages (Fig. 6);
+//! * `Event` (crate-private) — the discrete-event vocabulary connecting
+//!   them.
 //!
 //! Die-level scheduling priorities (enforced by `Ssd::pump_die`):
 //!

@@ -16,11 +16,15 @@
 //!
 //! The per-die priority queues and per-channel FIFO arbitration live in
 //! [`crate::scheduler`]; this module owns the FTL, the error model, garbage
-//! collection, the retry controller, and metrics collection.
+//! collection (whose start/preempt/yield decisions are delegated to the
+//! configured [`crate::gc::GcPolicy`], with per-queue stall attribution in
+//! [`crate::metrics::GcStalls`]), the retry controller, and metrics
+//! collection.
 
 use crate::config::SsdConfig;
 use crate::event::EventQueue;
 use crate::ftl::{Ftl, Ppn, PpnLocation};
+use crate::gc::{GcPolicy, GcThrottle};
 use crate::hostq::{FrontEnd, HostQueueConfig};
 use crate::metrics::{MetricsCollector, SimReport};
 use crate::readflow::{Actions, ReadAction, ReadContext, RetryController};
@@ -80,6 +84,9 @@ struct GcJobState {
     plane: u32,
     remaining_moves: u32,
     erase_issued: bool,
+    /// Unconditional read preemptions this job may still absorb
+    /// ([`GcPolicy::ReadPreempt`]'s per-job budget; 0 under other policies).
+    preemptions_left: u32,
 }
 
 /// The simulated SSD.
@@ -116,6 +123,11 @@ pub struct Ssd {
     front: FrontEnd,
     metrics: MetricsCollector,
     gc_jobs: Vec<GcJobState>,
+    gc_policy: GcPolicy,
+    gc_throttle: GcThrottle,
+    /// Per host queue: admitted read requests not yet completed — the
+    /// "queue is busy" signal of [`GcPolicy::QueueShield`].
+    reads_outstanding: Vec<u32>,
     max_step: u32,
     slab_reuse: bool,
 }
@@ -246,6 +258,7 @@ impl Ssd {
         reqs.clear();
         Ok(Self {
             metrics: MetricsCollector::new(max_step, 1),
+            gc_policy: cfg.gc_policy,
             cfg,
             ftl,
             model,
@@ -259,6 +272,8 @@ impl Ssd {
             reqs,
             front: FrontEnd::idle(),
             gc_jobs: Vec::new(),
+            gc_throttle: GcThrottle::default(),
+            reads_outstanding: Vec::new(),
             max_step,
             slab_reuse,
         })
@@ -391,6 +406,9 @@ impl Ssd {
             );
         }
         self.metrics = MetricsCollector::new(self.max_step, queues.queue_count());
+        self.reads_outstanding.clear();
+        self.reads_outstanding.resize(queues.queue_count(), 0);
+        self.gc_throttle.reset();
         let (front, initial) = FrontEnd::start(queues, trace);
         self.front = front;
         for (queue, arrival, r) in initial {
@@ -514,6 +532,9 @@ impl Ssd {
         let r = &self.reqs[req.0 as usize];
         // No page has completed yet, so `remaining` is the request length.
         let (op, first, last) = (r.op, r.lpn, r.lpn + r.remaining as u64);
+        if op == IoOp::Read {
+            self.reads_outstanding[r.queue as usize] += 1;
+        }
         match op {
             IoOp::Read => {
                 for lpn in first..last {
@@ -570,7 +591,8 @@ impl Ssd {
         self.dies[loc.die_global as usize].p2.push_back(txn);
         self.pump_die(loc.die_global);
         if let Some(plane) = alloc.gc_hint {
-            self.maybe_start_gc(plane);
+            let trigger_queue = self.reqs[req.0 as usize].queue;
+            self.maybe_start_gc(plane, trigger_queue);
         }
     }
 
@@ -632,19 +654,61 @@ impl Ssd {
 
     fn enqueue_read(&mut self, txn: TxnId, die: u32) {
         self.dies[die as usize].p1.push_back(txn);
-        self.maybe_suspend(die);
+        self.maybe_suspend(die, txn);
+        self.record_gc_wait_if_blocked(die, txn);
         self.pump_die(die);
     }
 
     // ---- garbage collection ------------------------------------------------
 
-    fn maybe_start_gc(&mut self, plane: u32) {
+    /// Whether the GC policy admits a new non-critical job on `plane` right
+    /// now, recording a deferral against the accountable queue when it does
+    /// not. Critically low planes (≤ 1 free block) always collect.
+    fn gc_policy_admits(&mut self, plane: u32, trigger_queue: u16) -> bool {
+        match self.gc_policy {
+            GcPolicy::Greedy | GcPolicy::ReadPreempt { .. } => true,
+            GcPolicy::WindowedTokens { tokens, window_us } => {
+                if self.ftl.plane_is_critical(plane) {
+                    return true;
+                }
+                if self
+                    .gc_throttle
+                    .try_take(self.now, tokens, SimTime::from_us(window_us))
+                {
+                    true
+                } else {
+                    self.metrics.record_gc_deferral(trigger_queue);
+                    false
+                }
+            }
+            GcPolicy::QueueShield { queue } => {
+                if self.ftl.plane_is_critical(plane) {
+                    return true;
+                }
+                let shield_busy = self
+                    .reads_outstanding
+                    .get(queue as usize)
+                    .is_some_and(|&n| n > 0);
+                if shield_busy {
+                    self.metrics.record_gc_deferral(queue);
+                    false
+                } else {
+                    true
+                }
+            }
+        }
+    }
+
+    fn maybe_start_gc(&mut self, plane: u32, trigger_queue: u16) {
         // One active job per plane at a time.
         if self
             .gc_jobs
             .iter()
             .any(|j| j.plane == plane && (j.remaining_moves > 0 || !j.erase_issued))
         {
+            return;
+        }
+        if !self.gc_policy_admits(plane, trigger_queue) {
             return;
         }
         let Some(job) = self.ftl.start_gc(plane) else {
@@ -656,6 +720,7 @@ impl Ssd {
             plane,
             remaining_moves: job.moves.len() as u32,
             erase_issued: false,
+            preemptions_left: self.gc_policy.job_preempt_budget(),
         });
         if job.moves.is_empty() {
             self.issue_gc_erase(job_idx);
@@ -719,16 +784,103 @@ impl Ssd {
 
     // ---- die scheduling -----------------------------------------------------
 
-    /// Suspend an in-flight program/erase if a read is waiting (§7.2).
-    fn maybe_suspend(&mut self, die_idx: u32) {
+    /// Suspend an in-flight program/erase because `reader` is waiting
+    /// (§7.2). Host programs always arbitrate under the default
+    /// minimum-benefit rule; for GC programs/erases the [`GcPolicy`] may
+    /// force the suspension (ignoring the benefit rule) or veto it outright,
+    /// and every GC suspension is attributed to the waiting read's host
+    /// queue ([`crate::metrics::GcStalls`]).
+    fn maybe_suspend(&mut self, die_idx: u32, reader: TxnId) {
         let min_benefit = SimTime::from_us(self.cfg.min_suspend_benefit_us);
         let t_suspend = self.cfg.timings.t_suspend;
+        // The in-flight GC program/erase this suspension would interrupt,
+        // if any (only data-loaded programs and erases are suspendable).
+        let gc_job = match self.dies[die_idx as usize].job {
+            Some(DieJob::Program {
+                txn,
+                data_loaded: true,
+            })
+            | Some(DieJob::Erase { txn }) => self.txns[txn.0 as usize].gc_job,
+            _ => None,
+        };
+        let reader_queue = self.txns[reader.0 as usize]
+            .req
+            .map(|r| self.reqs[r.0 as usize].queue);
+        let mut benefit_floor = min_benefit;
+        let mut forced = false;
+        if let Some(job_idx) = gc_job {
+            match self.gc_policy {
+                GcPolicy::Greedy | GcPolicy::WindowedTokens { .. } => {}
+                GcPolicy::ReadPreempt { .. } => {
+                    // GC readers keep the default rule; host reads spend the
+                    // job's preemption budget, after which the job's
+                    // operations run to completion unsuspended.
+                    if reader_queue.is_some() {
+                        if self.gc_jobs[job_idx].preemptions_left > 0 {
+                            benefit_floor = SimTime::ZERO;
+                            forced = true;
+                        } else {
+                            return;
+                        }
+                    }
+                }
+                GcPolicy::QueueShield { queue } => {
+                    if reader_queue == Some(queue) {
+                        benefit_floor = SimTime::ZERO;
+                        forced = true;
+                    }
+                }
+            }
+        }
+        let now = self.now;
         let die = &mut self.dies[die_idx as usize];
-        if let Some(gen) = die.try_suspend(self.now, min_benefit, t_suspend) {
+        if let Some(gen) = die.try_suspend(now, benefit_floor, t_suspend) {
             let at = die.busy_until;
             self.events.push(at, Event::DieDone { die: die_idx, gen });
             self.metrics.suspensions += 1;
+            if let Some(job_idx) = gc_job {
+                if forced {
+                    let left = &mut self.gc_jobs[job_idx].preemptions_left;
+                    *left = left.saturating_sub(1);
+                }
+                if let Some(queue) = reader_queue {
+                    self.metrics
+                        .record_gc_suspension(queue, t_suspend.as_us_f64(), forced);
+                }
+            }
         }
+    }
+
+    /// If the just-enqueued read is a host read stuck behind a GC die
+    /// operation that was not (or could not be) suspended, attribute the
+    /// residual busy time to the read's queue as a GC wait. A GC program
+    /// still awaiting its data transfer has no bounded completion time yet;
+    /// the wait is counted with zero residual.
+    fn record_gc_wait_if_blocked(&mut self, die_idx: u32, reader: TxnId) {
+        let Some(req) = self.txns[reader.0 as usize].req else {
+            return;
+        };
+        let die = &self.dies[die_idx as usize];
+        let blocking_gc = match die.job {
+            Some(
+                DieJob::Sense { txn, .. }
+                | DieJob::SetFeature { txn }
+                | DieJob::Reset { txn }
+                | DieJob::Program { txn, .. }
+                | DieJob::Erase { txn },
+            ) => !self.txns[txn.0 as usize].kind.is_host(),
+            Some(DieJob::Suspending) | None => false,
+        };
+        if !blocking_gc {
+            return;
+        }
+        let residual = if die.busy_until == SimTime::MAX {
+            0.0
+        } else {
+            die.busy_until.saturating_sub(self.now).as_us_f64()
+        };
+        let queue = self.reqs[req.0 as usize].queue;
+        self.metrics.record_gc_wait(queue, residual);
     }
 
     /// Starts the next operation on an idle die, by priority (see
@@ -778,15 +930,26 @@ impl Ssd {
                 return;
             }
             let urgent = self.die_has_critical_plane(die_idx);
+            // QueueShield: while the shielded queue has reads outstanding
+            // (and no plane is critical), queued GC operations yield to
+            // host operations on this die.
+            let shield_yields = !urgent
+                && self.gc_policy.shield_queue().is_some_and(|q| {
+                    self.reads_outstanding
+                        .get(q as usize)
+                        .is_some_and(|&n| n > 0)
+                });
             let txn = {
                 let Self { dies, txns, .. } = self;
                 let p2 = &mut dies[die_idx as usize].p2;
-                let gc_first = if urgent {
+                let promoted = if urgent {
                     p2.pop_first_where(|&t| !txns[t.0 as usize].kind.is_host())
+                } else if shield_yields {
+                    p2.pop_first_where(|&t| txns[t.0 as usize].kind.is_host())
                 } else {
                     None
                 };
-                gc_first
+                promoted
                     .or_else(|| p2.pop_front())
                     .expect("P2 checked non-empty")
             };
@@ -1031,13 +1194,13 @@ impl Ssd {
                     self.dies[die_idx as usize]
                         .p0
                         .push_back((txn, QueuedOp::Sense { step }));
-                    self.maybe_suspend(die_idx);
+                    self.maybe_suspend(die_idx, txn);
                 }
                 ReadAction::SetFeature { phases } => {
                     self.dies[die_idx as usize]
                         .p0
                         .push_back((txn, QueuedOp::SetFeature { phases }));
-                    self.maybe_suspend(die_idx);
+                    self.maybe_suspend(die_idx, txn);
                 }
                 ReadAction::Transfer { step } => {
                     let t = &mut self.txns[txn.0 as usize];
@@ -1169,6 +1332,9 @@ impl Ssd {
             let is_read = r.op == IoOp::Read;
             let retried = r.retried;
             let queue = r.queue;
+            if is_read {
+                self.reads_outstanding[queue as usize] -= 1;
+            }
             self.metrics
                 .record_request(queue, is_read, retried, response, self.now);
             // Closed loop: the completing queue submits its next backlog

@@ -1,6 +1,6 @@
 //! Probability distributions used by the error model and workload generators.
 //!
-//! Everything here samples from an explicit [`Rng`](crate::rng::Rng) so that the
+//! Everything here samples from an explicit [`Rng`] so that the
 //! whole reproduction stays deterministic under a single seed.
 
 use crate::rng::Rng;

@@ -1,7 +1,7 @@
 //! Microsoft Research Cambridge (MSRC) enterprise traces: the real-trace CSV
 //! parser and Table-2-faithful synthetic stand-ins.
 //!
-//! The paper evaluates six of the 36 MSRC block traces [76], chosen for their
+//! The paper evaluates six of the 36 MSRC block traces \[76\], chosen for their
 //! spread of read and cold ratios (Table 2). The raw traces are not
 //! redistributable with this repository, so [`MsrcWorkload::synthesize`]
 //! generates traces matching each workload's Table-2 signature; when you have

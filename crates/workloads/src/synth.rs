@@ -219,6 +219,39 @@ impl SynthConfig {
     }
 }
 
+/// The GC-stress workload: alternating single-page reads over the whole
+/// `footprint_pages` and writes hammering a hot quarter of it, at a fixed
+/// 60 µs spacing. Sized to a footprint that fills the device's usable
+/// space (`SsdConfig::max_lpns`), the write stream exhausts the free pool
+/// and keeps garbage collection running for the rest of the replay.
+///
+/// Striped over two host submission queues (request *i* → queue
+/// *i mod 2*), every read lands on queue 0 (the latency-critical reader)
+/// and every write on queue 1 (the hammer) — the split the
+/// `queue-shield` GC policy is designed for. This one definition backs
+/// `repro --gc-stress`, `tests/gc_policy.rs`, and the GC cases of
+/// `tests/hotpath_equiv.rs`, so what the tests pin is exactly what the
+/// CLI ships.
+pub fn gc_stress_trace(footprint_pages: u64, n_requests: usize) -> Trace {
+    let hot = (footprint_pages / 4).max(1);
+    let requests = (0..n_requests)
+        .map(|i| {
+            let at = SimTime::from_us(60 * i as u64);
+            if i % 2 == 0 {
+                HostRequest::new(
+                    at,
+                    IoOp::Read,
+                    (i as u64).wrapping_mul(97) % footprint_pages,
+                    1,
+                )
+            } else {
+                HostRequest::new(at, IoOp::Write, (i as u64).wrapping_mul(31) % hot, 1)
+            }
+        })
+        .collect();
+    Trace::new("gc_stress", requests, footprint_pages)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +316,31 @@ mod tests {
             .max()
             .unwrap();
         assert!(max_len > 4, "scans should exceed ordinary request sizes");
+    }
+
+    #[test]
+    fn gc_stress_trace_splits_reads_and_writes_by_stripe_parity() {
+        let t = gc_stress_trace(4_000, 200);
+        assert_eq!(t.requests.len(), 200);
+        assert_eq!(t.footprint_pages, 4_000);
+        // Even indices (queue 0 under 2-queue striping) are single-page
+        // reads over the whole footprint; odd indices (queue 1) are writes
+        // confined to the hot quarter.
+        for (i, r) in t.requests.iter().enumerate() {
+            assert_eq!(r.len_pages, 1);
+            if i % 2 == 0 {
+                assert_eq!(r.op, IoOp::Read);
+                assert!(r.lpn < 4_000);
+            } else {
+                assert_eq!(r.op, IoOp::Write);
+                assert!(r.lpn < 1_000, "write at {} left the hot quarter", r.lpn);
+            }
+        }
+        // Arrivals are the fixed 60 µs spacing, already time-sorted.
+        assert_eq!(t.requests[1].arrival, SimTime::from_us(60));
+        // A degenerate footprint still produces a valid trace.
+        let tiny = gc_stress_trace(2, 10);
+        assert!(tiny.requests.iter().all(|r| r.lpn < 2));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! YCSB-style workloads (A–F) lowered to block I/O.
 //!
 //! The paper replays block traces collected under the six core YCSB
-//! workloads [23]; Table 2 reports their *block-level* read and cold ratios
+//! workloads \[23\]; Table 2 reports their *block-level* read and cold ratios
 //! (the KV store batches updates into large flush writes, which is why even
 //! update-heavy YCSB-A is 98 % reads at the block layer). We generate block
 //! traces with each workload's Table-2 signature directly, preserving the

@@ -52,8 +52,9 @@ pub mod prelude {
     pub use rr_ecc::engine::{BchEccEngine, EccEngineModel, EccOutcome};
     pub use rr_flash::prelude::*;
     pub use rr_sim::config::{ArbPolicy, ConfigError, SsdConfig};
+    pub use rr_sim::gc::GcPolicy;
     pub use rr_sim::hostq::{HostQueueConfig, QueueSpec};
-    pub use rr_sim::metrics::{LatencySummary, QueueLatency};
+    pub use rr_sim::metrics::{GcStalls, LatencySummary, QueueLatency};
     pub use rr_sim::readflow::BaselineController;
     pub use rr_sim::replay::ReplayMode;
     pub use rr_sim::request::{HostRequest, IoOp};

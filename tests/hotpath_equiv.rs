@@ -244,6 +244,63 @@ fn hotpath_switches_are_bit_neutral_under_multi_queue_wrr() {
 }
 
 #[test]
+fn explicit_greedy_gc_policy_is_bit_identical_to_the_default() {
+    // The GC-policy subsystem must be invisible until a non-default policy
+    // is chosen: a config that sets `GcPolicy::Greedy` explicitly replays
+    // exactly like one that never mentions it — the in-test proxy for the
+    // CI stdout diff pinning today's default output.
+    let implicit = base_cfg();
+    assert_eq!(implicit.gc_policy, GcPolicy::Greedy);
+    let explicit = base_cfg().with_gc_policy(GcPolicy::Greedy);
+    assert_equivalent(&implicit, &explicit, "explicit Greedy GC policy");
+}
+
+#[test]
+fn hotpath_switches_are_bit_neutral_under_every_gc_policy() {
+    // The hot-path contract extends to the GC-policy subsystem: profile
+    // caching and transaction pooling may not perturb a run under any
+    // policy, including on a GC-heavy workload where the policies actually
+    // make decisions.
+    let rpt = ReadTimingParamTable::default();
+    let policies = [
+        GcPolicy::ReadPreempt { budget: 2 },
+        GcPolicy::WindowedTokens {
+            tokens: 1,
+            window_us: 5_000,
+        },
+        GcPolicy::QueueShield { queue: 0 },
+    ];
+    // Small blocks so the write-heavy trace keeps GC running.
+    let gc_heavy = |policy: GcPolicy, hotpath_on: bool| {
+        let mut cfg = base_cfg().with_gc_policy(policy);
+        cfg.chip.blocks_per_plane = 16;
+        cfg.chip.pages_per_block = 12;
+        cfg.hotpath.profile_cache = hotpath_on;
+        cfg.hotpath.txn_slab_reuse = hotpath_on;
+        let footprint = cfg.max_lpns();
+        // The shared GC-stress generator — the same trace `repro
+        // --gc-stress` and `tests/gc_policy.rs` run.
+        let trace = ssd_readretry::workloads::synth::gc_stress_trace(footprint, 2_000).requests;
+        let front = HostQueueConfig::uniform(2, Mode::closed_loop(16))
+            .with_arb(ssd_readretry::sim::config::ArbPolicy::WeightedRoundRobin)
+            .with_weights(&[2, 1])
+            .with_window(16);
+        Ssd::new(cfg, Mechanism::PnAr2.make_controller(&rpt), footprint)
+            .expect("valid configuration")
+            .run_with_queues(&trace, &front)
+    };
+    for policy in policies {
+        let fast = gc_heavy(policy, true);
+        let slow = gc_heavy(policy, false);
+        assert_eq!(
+            fast, slow,
+            "hot-path switches changed a report under {policy:?}"
+        );
+        assert!(fast.gc_collections > 0, "{policy:?} run must exercise GC");
+    }
+}
+
+#[test]
 fn events_processed_is_deterministic_and_nonzero() {
     let rpt = ReadTimingParamTable::default();
     let trace = MsrcWorkload::Mds1.synthesize(150, 2);
