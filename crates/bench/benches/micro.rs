@@ -14,18 +14,43 @@ use std::hint::black_box;
 
 fn event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro_event_queue");
-    g.bench_function("push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1_000u64 {
-                q.push(SimTime::from_ns((i * 7919) % 100_000 + 100_000), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            black_box(acc)
-        })
+    // The same insertion pattern through both backends — the heap/wheel
+    // throughput comparison behind the `hotpath.timing_wheel` knob.
+    let drive = |mut q: EventQueue<u64>| {
+        for i in 0..1_000u64 {
+            q.push(SimTime::from_ns((i * 7919) % 100_000 + 100_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
+    };
+    g.bench_function("push_pop_1k_heap", |b| {
+        b.iter(|| black_box(drive(EventQueue::new())))
+    });
+    g.bench_function("push_pop_1k_wheel", |b| {
+        b.iter(|| black_box(drive(EventQueue::new_wheel())))
+    });
+    // Steady-state shape: a bounded working set sliding forward in time,
+    // closer to the simulator's lazy-admission event population.
+    let steady = |mut q: EventQueue<u64>| {
+        for i in 0..64u64 {
+            q.push(SimTime::from_ns(i * 997), i);
+        }
+        let mut acc = 0u64;
+        for i in 0..1_000u64 {
+            let (now, v) = q.pop().expect("queue stays primed");
+            acc = acc.wrapping_add(v);
+            q.push(now + SimTime::from_ns((i * 7919) % 60_000 + 1), i);
+        }
+        acc
+    };
+    g.bench_function("steady_state_64_heap", |b| {
+        b.iter(|| black_box(steady(EventQueue::new())))
+    });
+    g.bench_function("steady_state_64_wheel", |b| {
+        b.iter(|| black_box(steady(EventQueue::new_wheel())))
     });
     g.finish();
 }

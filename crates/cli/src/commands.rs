@@ -53,6 +53,9 @@ pub struct Options {
     /// `repro perf --plot`: render the archived throughput trajectory
     /// instead of measuring a new run.
     pub plot: bool,
+    /// Drive simulations from the hierarchical timing-wheel event queue
+    /// instead of the default binary heap (`hotpath.timing_wheel`).
+    pub timing_wheel: bool,
     /// Output directory for `export` CSVs.
     pub csv_dir: Option<String>,
 }
@@ -84,6 +87,14 @@ impl Options {
 
     fn platform(&self) -> TestPlatform {
         TestPlatform::new(self.chips(), self.seed)
+    }
+
+    /// The simulator configuration every command starts from: the scaled
+    /// test geometry, the CLI seed, and the selected event-queue backend.
+    fn sim_base(&self) -> SsdConfig {
+        SsdConfig::scaled_for_tests()
+            .with_seed(self.seed)
+            .with_timing_wheel(self.timing_wheel)
     }
 
     fn queue_setup(&self) -> QueueSetup {
@@ -527,7 +538,7 @@ pub fn rpt(_opts: &Options) {
 }
 
 fn run_eval(opts: &Options, mechanisms: &[Mechanism]) -> Vec<rr_core::experiment::MatrixCell> {
-    let base = SsdConfig::scaled_for_tests().with_seed(opts.seed);
+    let base = opts.sim_base();
     let traces: Vec<(Trace, bool)> = all_traces(opts)
         .into_iter()
         .map(|(t, rd, _, _)| (t, rd))
@@ -644,9 +655,7 @@ fn sweep_traces(opts: &Options) -> Vec<Trace> {
 /// pages, so the stock sweeps never trigger GC — this mode exists to make
 /// GC-vs-host contention (and the `--gc-policy` knob) observable.
 fn gc_stress_base(opts: &Options) -> SsdConfig {
-    let mut cfg = SsdConfig::scaled_for_tests()
-        .with_seed(opts.seed)
-        .with_gc_policy(opts.gc_policy);
+    let mut cfg = opts.sim_base().with_gc_policy(opts.gc_policy);
     cfg.chip.blocks_per_plane = 16;
     cfg.chip.pages_per_block = 12;
     cfg
@@ -661,9 +670,7 @@ fn sweep_setup(opts: &Options) -> (SsdConfig, Vec<Trace>) {
         let trace = rr_workloads::synth::gc_stress_trace(base.max_lpns(), opts.trace_len());
         (base, vec![trace])
     } else {
-        let base = SsdConfig::scaled_for_tests()
-            .with_seed(opts.seed)
-            .with_gc_policy(opts.gc_policy);
+        let base = opts.sim_base().with_gc_policy(opts.gc_policy);
         (base, sweep_traces(opts))
     }
 }
@@ -1047,6 +1054,54 @@ fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(&rest[..rest.find('"')?])
 }
 
+/// One parsed `BENCH_history.jsonl` record: the comparability key plus the
+/// measured throughput.
+struct PerfRecord {
+    quick: bool,
+    jobs: f64,
+    seed: f64,
+    qd: String,
+    rates: String,
+    wheel: bool,
+    events_per_sec: f64,
+}
+
+/// Parses the events/sec archive, skipping malformed or truncated lines
+/// (e.g. an interrupted CI append) with a single stderr warning — one bad
+/// record must not wedge every subsequent gated run.
+fn parse_perf_history(history: &str) -> Vec<PerfRecord> {
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in history.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = (|| {
+            Some(PerfRecord {
+                quick: json_bool_field(line, "quick")?,
+                jobs: json_f64_field(line, "jobs")?,
+                seed: json_f64_field(line, "seed")?,
+                qd: json_str_field(line, "qd")?.to_string(),
+                rates: json_str_field(line, "rates")?.to_string(),
+                // Absent in pre-wheel archives: those runs measured the heap.
+                wheel: json_bool_field(line, "wheel").unwrap_or(false),
+                events_per_sec: json_f64_field(line, "events_per_sec").filter(|e| e.is_finite())?,
+            })
+        })();
+        match record {
+            Some(r) => records.push(r),
+            None => skipped += 1,
+        }
+    }
+    if skipped > 0 {
+        eprintln!(
+            "warning: skipped {skipped} malformed line(s) in {PERF_HISTORY_FILE} — \
+             a corrupt or truncated archive record is ignored, not fatal"
+        );
+    }
+    records
+}
+
 /// The sweep axes that shape a `repro perf` measurement, joined for the
 /// archive's comparability key: two runs are only comparable when they
 /// measured the same queue-depth and rate lists.
@@ -1071,7 +1126,8 @@ fn perf_axes(opts: &Options) -> (String, String) {
 /// overall events/sec is compared against the median of the last
 /// [`PERF_GATE_TRAILING`] (10) *comparable* archived runs in
 /// [`PERF_HISTORY_FILE`], where comparable means the same `--quick`,
-/// `--jobs`, `--seed`, `--queue-depth`, and `--rate` values. Returns
+/// `--jobs`, `--seed`, `--queue-depth`, `--rate`, and `--timing-wheel`
+/// values (wheel and heap runs are archived under separate keys). Returns
 /// `false` — failing `repro perf` and therefore CI — when throughput drops
 /// below [`PERF_GATE_RATIO`] (0.7×) of that median; skips gracefully while
 /// fewer than [`PERF_GATE_MIN_RUNS`] (3) comparable runs exist. Only runs
@@ -1080,20 +1136,19 @@ fn perf_axes(opts: &Options) -> (String, String) {
 /// passes.
 fn perf_gate(opts: &Options, events_per_sec: f64) -> bool {
     let (qd_axis, rate_axis) = perf_axes(opts);
-    let prior: Vec<f64> = std::fs::read_to_string(PERF_HISTORY_FILE)
-        .map(|s| {
-            s.lines()
-                .filter(|l| {
-                    json_bool_field(l, "quick") == Some(opts.quick)
-                        && json_f64_field(l, "jobs") == Some(opts.jobs as f64)
-                        && json_f64_field(l, "seed") == Some(opts.seed as f64)
-                        && json_str_field(l, "qd") == Some(qd_axis.as_str())
-                        && json_str_field(l, "rates") == Some(rate_axis.as_str())
-                })
-                .filter_map(|l| json_f64_field(l, "events_per_sec"))
-                .collect()
+    let history = std::fs::read_to_string(PERF_HISTORY_FILE).unwrap_or_default();
+    let prior: Vec<f64> = parse_perf_history(&history)
+        .into_iter()
+        .filter(|r| {
+            r.quick == opts.quick
+                && r.jobs == opts.jobs as f64
+                && r.seed == opts.seed as f64
+                && r.qd == qd_axis
+                && r.rates == rate_axis
+                && r.wheel == opts.timing_wheel
         })
-        .unwrap_or_default();
+        .map(|r| r.events_per_sec)
+        .collect();
 
     let recent = &prior[prior.len().saturating_sub(PERF_GATE_TRAILING)..];
     let ok = if recent.len() < PERF_GATE_MIN_RUNS {
@@ -1132,15 +1187,19 @@ fn perf_gate(opts: &Options, events_per_sec: f64) -> bool {
     if ok {
         let line = format!(
             "{{\"quick\": {}, \"jobs\": {}, \"seed\": {}, \"qd\": \"{qd_axis}\", \
-             \"rates\": \"{rate_axis}\", \"events_per_sec\": {events_per_sec:.1}}}\n",
-            opts.quick, opts.jobs, opts.seed
+             \"rates\": \"{rate_axis}\", \"wheel\": {}, \
+             \"events_per_sec\": {events_per_sec:.1}}}\n",
+            opts.quick, opts.jobs, opts.seed, opts.timing_wheel
         );
-        let mut archive = std::fs::OpenOptions::new()
+        let append = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(PERF_HISTORY_FILE)
-            .expect("open perf history archive");
-        std::io::Write::write_all(&mut archive, line.as_bytes()).expect("append perf history");
+            .and_then(|mut archive| std::io::Write::write_all(&mut archive, line.as_bytes()));
+        if let Err(e) = append {
+            eprintln!("perf: cannot append to {PERF_HISTORY_FILE}: {e}");
+            return false;
+        }
     }
     ok
 }
@@ -1171,7 +1230,7 @@ pub fn perf(opts: &Options) -> bool {
         "Perf — simulator hot-path throughput",
         "events/sec over the Fig. 14 matrix and the QD/rate sweeps; written to BENCH_sim.json",
     );
-    let base = SsdConfig::scaled_for_tests().with_seed(opts.seed);
+    let base = opts.sim_base();
     let point = OperatingPoint::new(2000.0, 6.0);
     let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2];
     let mut rows = Vec::new();
@@ -1245,6 +1304,7 @@ pub fn perf(opts: &Options) -> bool {
     json.push_str(&format!("  \"quick\": {},\n", opts.quick));
     json.push_str(&format!("  \"jobs\": {},\n", opts.jobs));
     json.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    json.push_str(&format!("  \"wheel\": {},\n", opts.timing_wheel));
     json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
@@ -1260,7 +1320,10 @@ pub fn perf(opts: &Options) -> bool {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    if let Err(e) = std::fs::write("BENCH_sim.json", &json) {
+        eprintln!("perf: cannot write BENCH_sim.json: {e}");
+        return false;
+    }
     println!("\nwrote BENCH_sim.json");
 
     let ok = rows.iter().all(|r| r.events > 0);
@@ -1296,9 +1359,10 @@ fn sparkline(values: &[f64]) -> String {
 /// `repro perf --plot`: renders the `BENCH_history.jsonl` events/sec
 /// trajectory (the ROADMAP's standing plot item) without measuring a new
 /// run — one ASCII sparkline per comparability group (same
-/// `--quick`/`--jobs`/`--seed`/`--queue-depth`/`--rate`), plus a
-/// `BENCH_trajectory.csv` export for external plotting. Returns `false`
-/// only when the archive exists but holds no parsable runs.
+/// `--quick`/`--jobs`/`--seed`/`--queue-depth`/`--rate`/`--timing-wheel`),
+/// plus a `BENCH_trajectory.csv` export for external plotting. Returns
+/// `false` when the archive exists but holds no parsable runs, or when the
+/// CSV cannot be written.
 pub fn perf_plot(_opts: &Options) -> bool {
     heading(
         "Perf trajectory — archived events/sec over time",
@@ -1310,21 +1374,14 @@ pub fn perf_plot(_opts: &Options) -> bool {
     };
     // Group runs by comparability key, preserving first-appearance order.
     let mut groups: Vec<(String, Vec<f64>)> = Vec::new();
-    for line in history.lines() {
-        let Some(eps) = json_f64_field(line, "events_per_sec") else {
-            continue;
-        };
+    for r in parse_perf_history(&history) {
         let key = format!(
-            "quick={} jobs={} seed={} qd={} rates={}",
-            json_bool_field(line, "quick").unwrap_or(false),
-            json_f64_field(line, "jobs").unwrap_or(0.0),
-            json_f64_field(line, "seed").unwrap_or(0.0),
-            json_str_field(line, "qd").unwrap_or("?"),
-            json_str_field(line, "rates").unwrap_or("?"),
+            "quick={} jobs={} seed={} qd={} rates={} wheel={}",
+            r.quick, r.jobs, r.seed, r.qd, r.rates, r.wheel,
         );
         match groups.iter_mut().find(|(k, _)| *k == key) {
-            Some((_, runs)) => runs.push(eps),
-            None => groups.push((key, vec![eps])),
+            Some((_, runs)) => runs.push(r.events_per_sec),
+            None => groups.push((key, vec![r.events_per_sec])),
         }
     }
     if groups.is_empty() {
@@ -1345,7 +1402,10 @@ pub fn perf_plot(_opts: &Options) -> bool {
             csv.push_str(&format!("\"{key}\",{i},{eps:.1}\n"));
         }
     }
-    std::fs::write("BENCH_trajectory.csv", &csv).expect("write BENCH_trajectory.csv");
+    if let Err(e) = std::fs::write("BENCH_trajectory.csv", &csv) {
+        eprintln!("perf: cannot write BENCH_trajectory.csv: {e}");
+        return false;
+    }
     println!("\nwrote BENCH_trajectory.csv");
     true
 }
@@ -1364,7 +1424,7 @@ pub fn extensions(opts: &Options) {
         Mechanism::RegularAr2,
         Mechanism::NoRR,
     ];
-    let base = SsdConfig::scaled_for_tests().with_seed(opts.seed);
+    let base = opts.sim_base();
     let traces: Vec<(Trace, bool)> = vec![
         (
             MsrcWorkload::Mds1.synthesize(opts.trace_len(), opts.seed),
@@ -1409,7 +1469,7 @@ pub fn ablation(opts: &Options) {
         "Ablation 1 — adaptive (RPT) vs. fixed tPRE reduction",
         "§6.2: AR2 'carefully decides the tPRE reduction amount depending on the current operating conditions'",
     );
-    let base = SsdConfig::scaled_for_tests().with_seed(opts.seed);
+    let base = opts.sim_base();
     let trace = MsrcWorkload::Mds1.synthesize(opts.trace_len() / 2, opts.seed);
     let mut rows = Vec::new();
     for point in [
@@ -1521,18 +1581,28 @@ pub fn ablation(opts: &Options) {
 /// directory `figures-csv/`, override with `--csv DIR`). With `--csv`, the
 /// evaluation results — matrix cells and both load sweeps, with full
 /// per-class latency distributions — are exported too, so every figure can
-/// be regenerated outside the CLI.
-pub fn export(opts: &Options) {
+/// be regenerated outside the CLI. Returns `false` (CLI failure) when the
+/// output directory or a CSV cannot be written — e.g. a read-only CWD.
+pub fn export(opts: &Options) -> bool {
     use rr_charact::export as csv;
     let dir_name = opts.csv_dir.as_deref().unwrap_or("figures-csv");
     let dir = std::path::Path::new(dir_name);
-    std::fs::create_dir_all(dir).expect("create CSV output directory");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("export: cannot create {}: {e}", dir.display());
+        return false;
+    }
     let mut platform = opts.platform();
     let pages = opts.pages_per_chip();
-    let write = |name: &str, content: String| {
+    let mut ok = true;
+    let mut write = |name: &str, content: String| {
         let path = dir.join(name);
-        std::fs::write(&path, content).expect("write CSV file");
-        println!("wrote {}", path.display());
+        match std::fs::write(&path, content) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("export: cannot write {}: {e}", path.display());
+                ok = false;
+            }
+        }
     };
     if opts.csv_dir.is_some() {
         use rr_core::export as eval_csv;
@@ -1588,4 +1658,5 @@ pub fn export(opts: &Options) {
         "fig11.csv",
         csv::fig11_csv(&figures::fig11(&mut platform, pages)),
     );
+    ok
 }

@@ -54,6 +54,7 @@ fn main() -> ExitCode {
     let mut gc_budget: Option<u32> = None;
     let mut gc_stress = false;
     let mut plot = false;
+    let mut timing_wheel = false;
     let mut csv_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -207,6 +208,7 @@ fn main() -> ExitCode {
                 gc_budget = Some(v);
             }
             "--plot" => plot = true,
+            "--timing-wheel" => timing_wheel = true,
             "--gc-stress" => gc_stress = true,
             "--csv" => {
                 i += 1;
@@ -302,6 +304,7 @@ fn main() -> ExitCode {
         gc_policy,
         gc_stress,
         plot,
+        timing_wheel,
         csv_dir,
     };
     let mut failed = false;
@@ -319,7 +322,7 @@ fn main() -> ExitCode {
             "rpt" => commands::rpt(&opts),
             "extensions" => commands::extensions(&opts),
             "ablation" => commands::ablation(&opts),
-            "export" => commands::export(&opts),
+            "export" => failed |= !commands::export(&opts),
             "fig14" => commands::fig14(&opts),
             "fig15" => commands::fig15(&opts),
             "matrix" => commands::matrix(&opts),
@@ -392,11 +395,12 @@ fn print_help() {
          --gc-budget N  per-policy knob: preemptions per GC job (read-preempt,\n           default 4), tokens per 1 ms window (windowed-tokens, default 8),\n           or the shielded queue index (queue-shield, default 0)\n\
          --gc-stress  run the sweeps on the GC-stress workload (shrunken\n           geometry, write-heavy hot range filling the usable space) so GC\n           contends with host traffic; with --queues 2 every read lands on\n           queue 0 and every write on queue 1\n\
          --plot    for perf: render the BENCH_history.jsonl events/sec\n           trajectory (sparkline + BENCH_trajectory.csv) instead of measuring\n\
+         --timing-wheel  drive simulations from the hierarchical timing-wheel\n           event queue instead of the default binary heap (bit-identical\n           results; see README 'Performance')\n\
          --csv DIR for export: write figure + evaluation CSVs into DIR\n\
          \n\
          perf regression gate: fails below 0.7x the median of the last 10\n\
          comparable archived runs (same --quick/--jobs/--seed/--queue-depth/\n\
-         --rate); engages once 3 comparable runs exist — see README\n\
-         'Perf regression gate'"
+         --rate/--timing-wheel); engages once 3 comparable runs exist — see\n\
+         README 'Perf regression gate'"
     );
 }

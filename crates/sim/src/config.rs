@@ -123,6 +123,11 @@ pub struct HotpathConfig {
     /// Recycle completed transaction records (and their sense buffers)
     /// through a free list instead of growing the transaction slab forever.
     pub txn_slab_reuse: bool,
+    /// Drive the event loop from a hierarchical timing wheel
+    /// ([`crate::event::wheel`]) instead of the default binary heap. Off by
+    /// default until the wheel accumulates mileage; flip on for amortized
+    /// O(1) event pops on long runs.
+    pub timing_wheel: bool,
 }
 
 impl Default for HotpathConfig {
@@ -130,6 +135,7 @@ impl Default for HotpathConfig {
         Self {
             profile_cache: true,
             txn_slab_reuse: true,
+            timing_wheel: false,
         }
     }
 }
@@ -178,6 +184,13 @@ impl SsdConfig {
     /// Sets the garbage-collection policy (builder-style).
     pub fn with_gc_policy(mut self, policy: GcPolicy) -> Self {
         self.gc_policy = policy;
+        self
+    }
+
+    /// Selects the event-queue backend (builder-style): `true` for the
+    /// hierarchical timing wheel, `false` for the default binary heap.
+    pub fn with_timing_wheel(mut self, on: bool) -> Self {
+        self.hotpath.timing_wheel = on;
         self
     }
 

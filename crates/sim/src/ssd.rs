@@ -134,8 +134,8 @@ pub struct Ssd {
 
 /// Reusable simulation buffers: one arena per worker amortizes the FTL's
 /// multi-megabyte mapping tables, the die/channel queue slabs, the event
-/// heap, and the transaction pool (with its sense buffers) across the many
-/// short runs of an experiment matrix or sweep.
+/// queue (heap or timing wheel), and the transaction pool (with its sense
+/// buffers) across the many short runs of an experiment matrix or sweep.
 ///
 /// Runs through an arena are **bit-identical** to fresh [`Ssd::new`] runs:
 /// every buffer is reset to its pristine observable state before reuse
@@ -245,6 +245,9 @@ impl Ssd {
         }
         let mut events = std::mem::take(&mut arena.events);
         events.reset();
+        // A pooled queue may carry the previous run's backend; align it with
+        // this run's config (a no-op — allocations kept — when it matches).
+        events.set_wheel(cfg.hotpath.timing_wheel);
         let slab_reuse = cfg.hotpath.txn_slab_reuse;
         let mut txns = std::mem::take(&mut arena.txns);
         let mut free_txns = std::mem::take(&mut arena.free_txns);
@@ -508,7 +511,7 @@ impl Ssd {
         let queue = self.reqs[req.0 as usize].queue;
         // Open loop feeds each queue's arrivals one at a time (stripes are
         // time-sorted, so the next submission is never in the past);
-        // scheduling it before the spawned flash work keeps the heap
+        // scheduling it before the spawned flash work keeps the event-queue
         // footprint minimal.
         if let Some((at, r)) = self.front.next_arrival(queue) {
             self.submit(at, queue, r);

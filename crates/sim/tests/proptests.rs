@@ -83,6 +83,59 @@ proptest! {
         }
     }
 
+    /// The timing-wheel backend is observationally identical to the heap:
+    /// any interleaving of `push`/`pop`/`peek_time`/`reset` — same-tick FIFO
+    /// bursts, spans from single nanoseconds past the wheel's 2³² ns spill
+    /// horizon, and post-`reset` reuse (the arena path) — yields the same
+    /// `(time, payload)` sequence from both.
+    #[test]
+    fn timing_wheel_matches_heap_on_any_interleaving(
+        ops in prop::collection::vec((0u8..10, 0u64..50, 0u32..4), 1..400)
+    ) {
+        let mut heap = EventQueue::new();
+        let mut wheel = EventQueue::new_wheel();
+        // Last popped time: pushes land at `clock + delta` so neither queue
+        // ever schedules into the past.
+        let mut clock = SimTime::ZERO;
+        for (i, &(op, delta, magnitude)) in ops.iter().enumerate() {
+            match op {
+                // Push-heavy mix; `delta = 0` re-lands on the current tick
+                // and the magnitude ladder reaches every wheel level plus
+                // the spill list (49 × 10⁹ ns > the 2³² ns horizon).
+                0..=5 => {
+                    let t = clock + SimTime::from_ns(delta * 1_000u64.pow(magnitude));
+                    heap.push(t, i);
+                    wheel.push(t, i);
+                }
+                6 | 7 => {
+                    let (a, b) = (heap.pop(), wheel.pop());
+                    prop_assert_eq!(a, b, "pop diverged at op {}", i);
+                    if let Some((t, _)) = a {
+                        clock = t;
+                    }
+                }
+                8 => {
+                    prop_assert_eq!(heap.peek_time(), wheel.peek_time(),
+                        "peek diverged at op {}", i);
+                }
+                _ => {
+                    heap.reset();
+                    wheel.reset();
+                    clock = SimTime::ZERO;
+                }
+            }
+            prop_assert_eq!(heap.len(), wheel.len(), "len diverged at op {}", i);
+        }
+        // Drain whatever is left in lock-step.
+        loop {
+            let (a, b) = (heap.pop(), wheel.pop());
+            prop_assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
     /// Preconditioning then overwriting a subset leaves exactly that subset
     /// hot (the cold/retention bookkeeping behind Table 2).
     #[test]

@@ -1,6 +1,7 @@
 //! Hot-path equivalence suite: every performance switch must be
 //! **semantics-neutral**. The page-profile cache, the pooled transaction
-//! slab, and the cross-run arena may only change wall-clock — a run's
+//! slab, the timing-wheel event queue, and the cross-run arena may only
+//! change wall-clock — a run's
 //! [`ssd_readretry::sim::metrics::SimReport`] must be bit-identical with any
 //! combination of them on or off, across workload families, replay modes,
 //! and queue depths.
@@ -68,6 +69,130 @@ fn all_hotpath_switches_off_matches_all_on() {
     slow.hotpath.profile_cache = false;
     slow.hotpath.txn_slab_reuse = false;
     assert_equivalent(&fast, &slow, "hot-path switches");
+}
+
+#[test]
+fn timing_wheel_is_bit_identical_to_the_heap_across_msrc_ycsb_and_queue_depths() {
+    // The tentpole contract: swapping the event core from the binary heap
+    // to the hierarchical timing wheel may only change wall-clock.
+    let heap = base_cfg();
+    let wheel = base_cfg().with_timing_wheel(true);
+    assert_equivalent(&heap, &wheel, "timing-wheel event queue");
+}
+
+#[test]
+fn timing_wheel_composes_with_the_other_hotpath_switches() {
+    // Wheel on with everything else off vs. heap with everything on — the
+    // switches must stay independent.
+    let fast = base_cfg().with_timing_wheel(true);
+    let mut slow = base_cfg();
+    slow.hotpath.profile_cache = false;
+    slow.hotpath.txn_slab_reuse = false;
+    assert_equivalent(&fast, &slow, "timing wheel + hot-path switches");
+}
+
+#[test]
+fn timing_wheel_is_bit_identical_under_multi_queue_wrr() {
+    // Submission-queue waits and WRR arbitration schedule many same-tick
+    // events; the wheel's FIFO tie-break must hold through them.
+    let rpt = ReadTimingParamTable::default();
+    let front = HostQueueConfig::uniform(2, Mode::closed_loop(8))
+        .with_arb(ssd_readretry::sim::config::ArbPolicy::WeightedRoundRobin)
+        .with_weights(&[3, 1])
+        .with_window(8);
+    for trace in workloads() {
+        let run = |cfg: &SsdConfig| {
+            let cfg = cfg.clone().with_condition(
+                ssd_readretry::flash::calibration::OperatingCondition::new(2000.0, 6.0, 30.0),
+            );
+            Ssd::new(
+                cfg,
+                Mechanism::PnAr2.make_controller(&rpt),
+                trace.footprint_pages,
+            )
+            .expect("valid configuration")
+            .run_with_queues(&trace.requests, &front)
+        };
+        let heap_report = run(&base_cfg());
+        let wheel_report = run(&base_cfg().with_timing_wheel(true));
+        assert_eq!(
+            heap_report, wheel_report,
+            "timing wheel changed a multi-queue report on {}",
+            trace.name
+        );
+    }
+}
+
+#[test]
+fn timing_wheel_is_bit_identical_under_every_gc_policy() {
+    // GC preemption/resume scheduling is the densest source of same-tick
+    // event bursts; every policy must replay identically on the wheel.
+    let rpt = ReadTimingParamTable::default();
+    let policies = [
+        GcPolicy::Greedy,
+        GcPolicy::ReadPreempt { budget: 2 },
+        GcPolicy::WindowedTokens {
+            tokens: 1,
+            window_us: 5_000,
+        },
+        GcPolicy::QueueShield { queue: 0 },
+    ];
+    let gc_heavy = |policy: GcPolicy, wheel: bool| {
+        let mut cfg = base_cfg().with_gc_policy(policy).with_timing_wheel(wheel);
+        cfg.chip.blocks_per_plane = 16;
+        cfg.chip.pages_per_block = 12;
+        let footprint = cfg.max_lpns();
+        let trace = ssd_readretry::workloads::synth::gc_stress_trace(footprint, 2_000).requests;
+        let front = HostQueueConfig::uniform(2, Mode::closed_loop(16))
+            .with_arb(ssd_readretry::sim::config::ArbPolicy::WeightedRoundRobin)
+            .with_weights(&[2, 1])
+            .with_window(16);
+        Ssd::new(cfg, Mechanism::PnAr2.make_controller(&rpt), footprint)
+            .expect("valid configuration")
+            .run_with_queues(&trace, &front)
+    };
+    for policy in policies {
+        let heap = gc_heavy(policy, false);
+        let wheel = gc_heavy(policy, true);
+        assert_eq!(
+            heap, wheel,
+            "timing wheel changed a report under {policy:?}"
+        );
+        assert!(heap.gc_collections > 0, "{policy:?} run must exercise GC");
+    }
+}
+
+#[test]
+fn arena_reuse_alternating_backends_matches_fresh_construction() {
+    // One arena serving heap and wheel runs back to back — the pooled event
+    // queue is rebuilt to match each run's config — must stay bit-identical
+    // to fresh per-run simulators of the same config.
+    let rpt = ReadTimingParamTable::default();
+    let mut arena = SimArena::new();
+    let trace = MsrcWorkload::Mds1.synthesize(250, 5);
+    let mode = Mode::closed_loop(8);
+    for wheel in [true, false, true, true, false] {
+        let base = base_cfg().with_timing_wheel(wheel).with_condition(
+            ssd_readretry::flash::calibration::OperatingCondition::new(2000.0, 6.0, 30.0),
+        );
+        let pooled = Ssd::run_pooled(
+            &mut arena,
+            base.clone(),
+            Mechanism::PnAr2.make_controller(&rpt),
+            trace.footprint_pages,
+            &trace.requests,
+            mode,
+        )
+        .expect("valid configuration");
+        let fresh = Ssd::new(
+            base,
+            Mechanism::PnAr2.make_controller(&rpt),
+            trace.footprint_pages,
+        )
+        .expect("valid configuration")
+        .run_with(&trace.requests, mode);
+        assert_eq!(pooled, fresh, "arena run diverged with wheel = {wheel}");
+    }
 }
 
 #[test]
