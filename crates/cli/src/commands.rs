@@ -4,8 +4,9 @@ use crate::render::{markdown_table, pct, shade, us_opt};
 use rr_charact::figures::{self, TimingParam};
 use rr_charact::platform::TestPlatform;
 use rr_core::experiment::{
-    reduction_vs, run_matrix_parallel, run_qd_sweep, run_qd_sweep_queued, run_rate_sweep,
-    run_rate_sweep_queued, Mechanism, OperatingPoint, QueueSetup,
+    reduction_vs, run_matrix_parallel, run_matrix_parallel_from, run_one_queued_from, run_qd_sweep,
+    run_qd_sweep_queued_from, run_rate_sweep, run_rate_sweep_queued_from, Mechanism,
+    OperatingPoint, QueueSetup,
 };
 use rr_core::rpt::ReadTimingParamTable;
 use rr_flash::calibration::ECC_CAPABILITY_PER_KIB;
@@ -13,10 +14,12 @@ use rr_flash::timing::NandTimings;
 use rr_sim::config::{ArbPolicy, SsdConfig};
 use rr_sim::gc::GcPolicy;
 use rr_sim::metrics::{GcStalls, LatencySummary};
+use rr_sim::snapshot::ImageBank;
+use rr_sim::ssd::SimArena;
 use rr_workloads::msrc::MsrcWorkload;
 use rr_workloads::trace::Trace;
 use rr_workloads::ycsb::YcsbWorkload;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Shared CLI options.
 pub struct Options {
@@ -58,6 +61,11 @@ pub struct Options {
     pub timing_wheel: bool,
     /// Output directory for `export` CSVs.
     pub csv_dir: Option<String>,
+    /// Warm-start the replaying commands from this device-image bank
+    /// (`--from-image img.rrimg`) instead of preconditioning in-process.
+    pub from_image: Option<String>,
+    /// Output path of `repro snapshot` (`--out img.rrimg`).
+    pub out: Option<String>,
 }
 
 impl Options {
@@ -537,7 +545,49 @@ pub fn rpt(_opts: &Options) {
     );
 }
 
-fn run_eval(opts: &Options, mechanisms: &[Mechanism]) -> Vec<rr_core::experiment::MatrixCell> {
+/// Milliseconds of a measured phase, for the stderr timing split.
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// The stderr wall-clock split the replaying commands report: device aging
+/// (`precondition`, which a `--from-image` warm start reduces to a file
+/// load) vs the replay itself. Timing stays on stderr so stdout remains
+/// byte-comparable across cold and warm starts.
+fn eprint_timing(cmd: &str, precondition: Duration, replay: Duration) {
+    eprintln!(
+        "{cmd}: precondition {:.1} ms, replay {:.1} ms",
+        ms(precondition),
+        ms(replay)
+    );
+}
+
+/// The warm-start bank a command forks across its cells: loaded from
+/// `--from-image` when given, preconditioned in-process otherwise. `None`
+/// (with the error on stderr) when the image file is missing, truncated,
+/// corrupt, or of an unsupported format version.
+fn obtain_bank(
+    cmd: &str,
+    from_image: Option<&str>,
+    base: &SsdConfig,
+    footprints: impl Iterator<Item = u64>,
+) -> Option<ImageBank> {
+    match from_image {
+        Some(path) => match ImageBank::load(path) {
+            Ok(bank) => Some(bank),
+            Err(e) => {
+                eprintln!("{cmd}: cannot load image bank {path}: {e}");
+                None
+            }
+        },
+        None => Some(
+            ImageBank::preconditioned(base, footprints)
+                .expect("experiment configuration must be valid"),
+        ),
+    }
+}
+
+fn eval_inputs(opts: &Options) -> (SsdConfig, Vec<(Trace, bool)>, Vec<OperatingPoint>) {
     let base = opts.sim_base();
     let traces: Vec<(Trace, bool)> = all_traces(opts)
         .into_iter()
@@ -548,7 +598,44 @@ fn run_eval(opts: &Options, mechanisms: &[Mechanism]) -> Vec<rr_core::experiment
     } else {
         OperatingPoint::evaluation_grid()
     };
+    (base, traces, points)
+}
+
+fn run_eval(opts: &Options, mechanisms: &[Mechanism]) -> Vec<rr_core::experiment::MatrixCell> {
+    let (base, traces, points) = eval_inputs(opts);
     run_matrix_parallel(&base, &traces, &points, mechanisms, opts.jobs)
+}
+
+/// [`run_eval`] with the device-image plumbing: the bank comes from
+/// `--from-image` when given, the matrix forks it across cells, and the
+/// precondition/replay wall-clock split lands on stderr. `None` (error
+/// already reported) when the bank cannot be loaded or does not cover this
+/// run's workloads.
+fn run_eval_timed(
+    opts: &Options,
+    cmd: &str,
+    mechanisms: &[Mechanism],
+) -> Option<Vec<rr_core::experiment::MatrixCell>> {
+    let (base, traces, points) = eval_inputs(opts);
+    let t0 = Instant::now();
+    let bank = obtain_bank(
+        cmd,
+        opts.from_image.as_deref(),
+        &base,
+        traces.iter().map(|(t, _)| t.footprint_pages),
+    )?;
+    let precondition = t0.elapsed();
+    let t0 = Instant::now();
+    match run_matrix_parallel_from(&base, &traces, &points, mechanisms, opts.jobs, &bank) {
+        Ok(cells) => {
+            eprint_timing(cmd, precondition, t0.elapsed());
+            Some(cells)
+        }
+        Err(e) => {
+            eprintln!("{cmd}: {e}");
+            None
+        }
+    }
 }
 
 fn print_matrix(cells: &[rr_core::experiment::MatrixCell], mechanisms: &[Mechanism]) {
@@ -591,12 +678,16 @@ fn print_matrix(cells: &[rr_core::experiment::MatrixCell], mechanisms: &[Mechani
 }
 
 /// Fig. 14: normalized response time of the five SSD configurations.
-pub fn fig14(opts: &Options) {
+/// Returns `false` when a `--from-image` bank cannot be loaded or does not
+/// cover the evaluation workloads.
+pub fn fig14(opts: &Options) -> bool {
     heading(
         "Fig. 14 — normalized response time (Baseline / PR2 / AR2 / PnAR2 / NoRR)",
         "§7.2: PR2 ≤38.3 % (avg 17.7 %), AR2 ≤18.1 % (avg 11.9 %), PnAR2 ≤51.8 % (avg 28.9 %; 35.2 % @ (2K, 6 mo))",
     );
-    let cells = run_eval(opts, &Mechanism::FIG14);
+    let Some(cells) = run_eval_timed(opts, "fig14", &Mechanism::FIG14) else {
+        return false;
+    };
     print_matrix(&cells, &Mechanism::FIG14);
     println!();
     for m in ["PR2", "AR2", "PnAR2"] {
@@ -613,6 +704,7 @@ pub fn fig14(opts: &Options) {
         pct(norr.mean),
         pct(norr.max)
     );
+    true
 }
 
 /// Fig. 15: PSO and PSO+PnAR2.
@@ -676,8 +768,10 @@ fn sweep_setup(opts: &Options) -> (SsdConfig, Vec<Trace>) {
 }
 
 /// Queue-depth sweep: closed-loop replay at each configured queue depth,
-/// reporting full per-class latency distributions and throughput.
-pub fn sweep_qd(opts: &Options) {
+/// reporting full per-class latency distributions and throughput. Returns
+/// `false` when a `--from-image` bank cannot be loaded or does not cover
+/// the sweep workloads.
+pub fn sweep_qd(opts: &Options) -> bool {
     heading(
         "QD sweep — closed-loop tail latency vs. queue depth",
         "load as a first-class knob: fio-style --iodepth sweep of the §7.1 SSD at the (2K, 6 mo) highlight point",
@@ -686,7 +780,18 @@ pub fn sweep_qd(opts: &Options) {
     let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2];
     let point = OperatingPoint::new(2000.0, 6.0);
     let setup = opts.queue_setup();
-    let cells = run_qd_sweep_queued(
+    let t0 = Instant::now();
+    let Some(bank) = obtain_bank(
+        "sweep-qd",
+        opts.from_image.as_deref(),
+        &base,
+        traces.iter().map(|t| t.footprint_pages),
+    ) else {
+        return false;
+    };
+    let precondition = t0.elapsed();
+    let t0 = Instant::now();
+    let cells = match run_qd_sweep_queued_from(
         &base,
         &traces,
         point,
@@ -694,7 +799,15 @@ pub fn sweep_qd(opts: &Options) {
         &mechanisms,
         &setup,
         opts.jobs,
-    );
+        &bank,
+    ) {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("sweep-qd: {e}");
+            return false;
+        }
+    };
+    eprint_timing("sweep-qd", precondition, t0.elapsed());
 
     let class_row = |label: &str, s: &LatencySummary| {
         vec![
@@ -787,6 +900,7 @@ pub fn sweep_qd(opts: &Options) {
          QD=1 is the serial-device reference — deeper queues trade latency for\n\
          throughput via multi-die interleaving under channel contention)"
     );
+    true
 }
 
 /// The per-queue read-latency table of a multi-queue sweep: one row per
@@ -879,8 +993,10 @@ fn print_per_queue_gc<'a>(
 }
 
 /// Offered-load sweep: open-loop replay with each configured arrival-rate
-/// multiplier — the hockey-stick sibling of `sweep-qd`.
-pub fn sweep_rate(opts: &Options) {
+/// multiplier — the hockey-stick sibling of `sweep-qd`. Returns `false`
+/// when a `--from-image` bank cannot be loaded or does not cover the sweep
+/// workloads.
+pub fn sweep_rate(opts: &Options) -> bool {
     heading(
         "Rate sweep — open-loop tail latency vs. offered load",
         "arrival-rate multiplier over the trace's native timing; latency turns up sharply past device saturation",
@@ -889,7 +1005,18 @@ pub fn sweep_rate(opts: &Options) {
     let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2];
     let point = OperatingPoint::new(2000.0, 6.0);
     let setup = opts.queue_setup();
-    let cells = run_rate_sweep_queued(
+    let t0 = Instant::now();
+    let Some(bank) = obtain_bank(
+        "sweep-rate",
+        opts.from_image.as_deref(),
+        &base,
+        traces.iter().map(|t| t.footprint_pages),
+    ) else {
+        return false;
+    };
+    let precondition = t0.elapsed();
+    let t0 = Instant::now();
+    let cells = match run_rate_sweep_queued_from(
         &base,
         &traces,
         point,
@@ -897,7 +1024,15 @@ pub fn sweep_rate(opts: &Options) {
         &mechanisms,
         &setup,
         opts.jobs,
-    );
+        &bank,
+    ) {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("sweep-rate: {e}");
+            return false;
+        }
+    };
+    eprint_timing("sweep-rate", precondition, t0.elapsed());
 
     println!("latency distributions (µs; — = class empty in this run):");
     let mut rows = Vec::new();
@@ -986,6 +1121,7 @@ pub fn sweep_rate(opts: &Options) {
          the device's saturation point produce the latency hockey-stick that\n\
          closed-loop QD sweeps cannot show)"
     );
+    true
 }
 
 /// The full Fig. 14 evaluation matrix as a single command (the wall-clock
@@ -997,7 +1133,9 @@ pub fn matrix(opts: &Options) {
         "§7.2's full grid in one command; stderr reports wall-clock and events/sec",
     );
     let t0 = Instant::now();
-    let cells = run_eval(opts, &Mechanism::FIG14);
+    let Some(cells) = run_eval_timed(opts, "matrix", &Mechanism::FIG14) else {
+        return;
+    };
     let wall = t0.elapsed().as_secs_f64();
     print_matrix(&cells, &Mechanism::FIG14);
     let events: u64 = cells.iter().map(|c| c.events).sum();
@@ -1612,7 +1750,21 @@ pub fn export(opts: &Options) -> bool {
         let cells = run_eval(opts, &Mechanism::FIG14);
         write("matrix.csv", eval_csv::matrix_csv(&cells));
         let setup = opts.queue_setup();
-        let qd = run_qd_sweep_queued(
+        // `--from-image` warm-starts the two sweep exports; the matrix
+        // export above always preconditions in-process (its trace set and
+        // geometry differ from a `--gc-stress` bank's).
+        let t0 = Instant::now();
+        let Some(bank) = obtain_bank(
+            "export",
+            opts.from_image.as_deref(),
+            &base,
+            traces.iter().map(|t| t.footprint_pages),
+        ) else {
+            return false;
+        };
+        let precondition = t0.elapsed();
+        let t0 = Instant::now();
+        let qd = match run_qd_sweep_queued_from(
             &base,
             &traces,
             point,
@@ -1620,9 +1772,16 @@ pub fn export(opts: &Options) -> bool {
             &mechanisms,
             &setup,
             opts.jobs,
-        );
+            &bank,
+        ) {
+            Ok(cells) => cells,
+            Err(e) => {
+                eprintln!("export: {e}");
+                return false;
+            }
+        };
         write("sweep_qd.csv", eval_csv::qd_sweep_csv(&qd));
-        let rate = run_rate_sweep_queued(
+        let rate = match run_rate_sweep_queued_from(
             &base,
             &traces,
             point,
@@ -1630,8 +1789,19 @@ pub fn export(opts: &Options) -> bool {
             &mechanisms,
             &setup,
             opts.jobs,
-        );
+            &bank,
+        ) {
+            Ok(cells) => cells,
+            Err(e) => {
+                eprintln!("export: {e}");
+                return false;
+            }
+        };
         write("sweep_rate.csv", eval_csv::rate_sweep_csv(&rate));
+        eprint_timing("export", precondition, t0.elapsed());
+    } else if opts.from_image.is_some() {
+        eprintln!("export: --from-image warm-starts the evaluation exports — pass --csv DIR too");
+        return false;
     }
     write(
         "fig4b.csv",
@@ -1659,4 +1829,176 @@ pub fn export(opts: &Options) -> bool {
         csv::fig11_csv(&figures::fig11(&mut platform, pages)),
     );
     ok
+}
+
+/// `repro snapshot --out img.rrimg`: preconditions the current flag set's
+/// device images once and writes them as a versioned image bank for later
+/// `--from-image` warm starts. With `--gc-stress` the bank holds the stress
+/// workload's image under the shrunken GC geometry; otherwise it covers
+/// every footprint of the MSRC/YCSB evaluation set, so one file serves
+/// fig14, both sweeps, export, and serve. Returns `false` when the
+/// configuration is invalid or the file cannot be written.
+pub fn snapshot(opts: &Options) -> bool {
+    let out = opts
+        .out
+        .as_deref()
+        .expect("main enforces --out for snapshot");
+    let (base, traces) = if opts.gc_stress {
+        sweep_setup(opts)
+    } else {
+        let traces = all_traces(opts).into_iter().map(|(t, ..)| t).collect();
+        (opts.sim_base(), traces)
+    };
+    let t0 = Instant::now();
+    let bank = match ImageBank::preconditioned(&base, traces.iter().map(|t| t.footprint_pages)) {
+        Ok(bank) => bank,
+        Err(e) => {
+            eprintln!("snapshot: {e}");
+            return false;
+        }
+    };
+    let precondition = t0.elapsed();
+    if let Err(e) = bank.save(out) {
+        eprintln!("snapshot: cannot write {out}: {e}");
+        return false;
+    }
+    let footprints: Vec<u64> = bank.images().iter().map(|i| i.lpn_count()).collect();
+    println!(
+        "wrote {out}: {} preconditioned image(s), footprints {footprints:?} pages",
+        bank.len()
+    );
+    eprintln!("snapshot: precondition {:.1} ms", ms(precondition));
+    true
+}
+
+/// Parses a serve-protocol mechanism name (the figure names of
+/// [`Mechanism::name`], case-insensitive).
+fn parse_mechanism(s: &str) -> Option<Mechanism> {
+    SERVE_MECHANISMS
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(s))
+}
+
+/// Every mechanism `repro serve` accepts by name.
+const SERVE_MECHANISMS: [Mechanism; 9] = [
+    Mechanism::Baseline,
+    Mechanism::Pr2,
+    Mechanism::Ar2,
+    Mechanism::PnAr2,
+    Mechanism::NoRR,
+    Mechanism::Pso,
+    Mechanism::PsoPnAr2,
+    Mechanism::EagerPnAr2,
+    Mechanism::RegularAr2,
+];
+
+/// `repro serve`: loads (or preconditions) a device-image bank once, then
+/// answers replay queries line-by-line from stdin until EOF or `quit`.
+///
+/// Protocol, one line per query: `<workload> <mechanism> <qd>` (e.g.
+/// `mds_1 PnAR2 16`) replays that workload closed-loop at the given queue
+/// depth under the (2K P/E, 6 mo) highlight point, warm-started from the
+/// workload's aged image. Replies on stdout: a single `ready ...` line at
+/// startup, then `ok workload=.. mechanism=.. qd=.. reads=.. read_p99_us=..
+/// avg_us=.. kiops=.. events=..` (or `err <reason>`) per query — stdout
+/// stays deterministic; per-query wall clock goes to stderr. Because every
+/// query restores the image into a reused arena instead of re-reading the
+/// file or re-aging the device, answers after startup cost milliseconds.
+pub fn serve(opts: &Options) -> bool {
+    use std::io::BufRead;
+    let (base, traces) = sweep_setup(opts);
+    let point = OperatingPoint::new(2000.0, 6.0);
+    let setup = opts.queue_setup();
+    let rpt = ReadTimingParamTable::default();
+    let t0 = Instant::now();
+    let Some(bank) = obtain_bank(
+        "serve",
+        opts.from_image.as_deref(),
+        &base,
+        traces.iter().map(|t| t.footprint_pages),
+    ) else {
+        return false;
+    };
+    for trace in &traces {
+        let Some(image) = bank.get(trace.footprint_pages) else {
+            eprintln!(
+                "serve: image bank holds no image for the {}-page footprint of workload {}",
+                trace.footprint_pages, trace.name
+            );
+            return false;
+        };
+        if let Err(e) = image.validate_for(&base, trace.footprint_pages) {
+            eprintln!("serve: {e}");
+            return false;
+        }
+    }
+    let names: Vec<&str> = traces.iter().map(|t| t.name.as_str()).collect();
+    let mechanisms: Vec<&str> = SERVE_MECHANISMS.iter().map(Mechanism::name).collect();
+    eprintln!(
+        "serve: image bank ready in {:.1} ms; protocol: '<workload> <mechanism> <qd>' \
+         per line, 'quit' to exit",
+        ms(t0.elapsed())
+    );
+    println!(
+        "ready workloads={} mechanisms={}",
+        names.join(","),
+        mechanisms.join(",")
+    );
+    let mut arena = SimArena::new();
+    for line in std::io::stdin().lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let [workload, mechanism, qd] = parts[..] else {
+            println!("err expected '<workload> <mechanism> <qd>'");
+            continue;
+        };
+        let Some(trace) = traces.iter().find(|t| t.name == workload) else {
+            println!("err unknown workload {workload} (have {})", names.join(","));
+            continue;
+        };
+        let Some(mechanism) = parse_mechanism(mechanism) else {
+            println!(
+                "err unknown mechanism {mechanism} (have {})",
+                mechanisms.join(",")
+            );
+            continue;
+        };
+        let Some(qd) = qd.parse::<u32>().ok().filter(|&v| v >= 1) else {
+            println!("err qd must be an integer >= 1");
+            continue;
+        };
+        let image = bank.get(trace.footprint_pages);
+        let t0 = Instant::now();
+        let report = run_one_queued_from(
+            &mut arena, &base, mechanism, point, trace, &rpt, &setup, qd, image,
+        );
+        eprintln!(
+            "serve: {} {} qd={qd} in {:.1} ms",
+            trace.name,
+            mechanism.name(),
+            ms(t0.elapsed())
+        );
+        println!(
+            "ok workload={} mechanism={} qd={qd} reads={} read_p99_us={} avg_us={:.1} \
+             kiops={:.2} events={}",
+            trace.name,
+            mechanism.name(),
+            report.read_latency.count,
+            report
+                .read_latency
+                .p99
+                .map_or_else(|| "-".into(), |v| format!("{v:.1}")),
+            report.avg_response_us(),
+            report.kiops(),
+            report.events_processed,
+        );
+    }
+    true
 }

@@ -27,6 +27,12 @@
 //!   perf     simulator events/sec over matrix + sweeps → BENCH_sim.json,
 //!            gated at 0.7× the trailing-10 median of comparable runs
 //!            (--plot renders the archived trajectory instead)
+//!   snapshot precondition the current flag set's device images once and
+//!            write them as a warm-start bank (--out img.rrimg); fig14,
+//!            sweep-qd, sweep-rate, export, and serve replay from it via
+//!            --from-image img.rrimg with byte-identical stdout
+//!   serve    load an image bank once, then answer '<workload> <mechanism>
+//!            <qd>' replay queries from stdin in milliseconds each
 //!   extensions  the §8 future-work mechanisms (Eager-PnAR2, AR2-Regular)
 //!   ablation    design-choice ablations (fixed vs adaptive tPRE, PSO guard)
 //!   all      everything above
@@ -56,6 +62,8 @@ fn main() -> ExitCode {
     let mut plot = false;
     let mut timing_wheel = false;
     let mut csv_dir: Option<String> = None;
+    let mut from_image: Option<String> = None;
+    let mut out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -218,6 +226,22 @@ fn main() -> ExitCode {
                 };
                 csv_dir = Some(v.clone());
             }
+            "--from-image" => {
+                i += 1;
+                let Some(v) = args.get(i).filter(|s| !s.starts_with('-')) else {
+                    eprintln!("--from-image requires an image-bank file path");
+                    return ExitCode::FAILURE;
+                };
+                from_image = Some(v.clone());
+            }
+            "--out" => {
+                i += 1;
+                let Some(v) = args.get(i).filter(|s| !s.starts_with('-')) else {
+                    eprintln!("--out requires an output file path");
+                    return ExitCode::FAILURE;
+                };
+                out = Some(v.clone());
+            }
             "--help" | "-h" => {
                 print_help();
                 return ExitCode::SUCCESS;
@@ -280,14 +304,38 @@ fn main() -> ExitCode {
         eprintln!("--plot applies to the perf command only");
         return ExitCode::FAILURE;
     }
-    // The GC knobs only reach the load sweeps and their export; accepting
-    // them elsewhere would print default-policy results under a flag the
-    // user believes took effect.
+    // The GC knobs only reach the load sweeps, their export, and the
+    // device-image verbs that feed/serve those sweeps; accepting them
+    // elsewhere would print default-policy results under a flag the user
+    // believes took effect.
     let gc_flags_given = gc_policy_name.is_some() || gc_budget.is_some() || gc_stress;
-    if gc_flags_given && !matches!(command.as_str(), "sweep-qd" | "sweep-rate" | "export") {
+    if gc_flags_given
+        && !matches!(
+            command.as_str(),
+            "sweep-qd" | "sweep-rate" | "export" | "snapshot" | "serve"
+        )
+    {
         eprintln!(
-            "--gc-policy/--gc-budget/--gc-stress apply to sweep-qd, sweep-rate, and export only"
+            "--gc-policy/--gc-budget/--gc-stress apply to sweep-qd, sweep-rate, export, \
+             snapshot, and serve only"
         );
+        return ExitCode::FAILURE;
+    }
+    if out.is_some() && command != "snapshot" {
+        eprintln!("--out applies to the snapshot command only");
+        return ExitCode::FAILURE;
+    }
+    if command == "snapshot" && out.is_none() {
+        eprintln!("snapshot requires --out FILE (the image bank to write)");
+        return ExitCode::FAILURE;
+    }
+    if from_image.is_some()
+        && !matches!(
+            command.as_str(),
+            "fig14" | "sweep-qd" | "sweep-rate" | "export" | "serve"
+        )
+    {
+        eprintln!("--from-image applies to fig14, sweep-qd, sweep-rate, export, and serve");
         return ExitCode::FAILURE;
     }
     let opts = commands::Options {
@@ -306,6 +354,8 @@ fn main() -> ExitCode {
         plot,
         timing_wheel,
         csv_dir,
+        from_image,
+        out,
     };
     let mut failed = false;
     let mut run = |name: &str| -> bool {
@@ -323,11 +373,13 @@ fn main() -> ExitCode {
             "extensions" => commands::extensions(&opts),
             "ablation" => commands::ablation(&opts),
             "export" => failed |= !commands::export(&opts),
-            "fig14" => commands::fig14(&opts),
+            "fig14" => failed |= !commands::fig14(&opts),
             "fig15" => commands::fig15(&opts),
             "matrix" => commands::matrix(&opts),
-            "sweep-qd" => commands::sweep_qd(&opts),
-            "sweep-rate" => commands::sweep_rate(&opts),
+            "sweep-qd" => failed |= !commands::sweep_qd(&opts),
+            "sweep-rate" => failed |= !commands::sweep_rate(&opts),
+            "snapshot" => failed |= !commands::snapshot(&opts),
+            "serve" => failed |= !commands::serve(&opts),
             "perf" => {
                 failed |= !if opts.plot {
                     commands::perf_plot(&opts)
@@ -379,7 +431,7 @@ fn print_help() {
          \n\
          usage: repro <command> [--quick] [--seed N] [--jobs N] [--queue-depth L]\n\
          \n\
-         commands: table1 table2 fig4b fig5 fig7 fig8 fig9 fig10 fig11 rpt fig14 fig15\n           matrix sweep-qd sweep-rate perf extensions ablation export all\n\
+         commands: table1 table2 fig4b fig5 fig7 fig8 fig9 fig10 fig11 rpt fig14 fig15\n           matrix sweep-qd sweep-rate perf extensions ablation export snapshot serve all\n\
          \n\
          --quick   smaller populations / traces (fast smoke run)\n\
          --seed N  deterministic seed (default 0x5EED2021)\n\
@@ -397,6 +449,8 @@ fn print_help() {
          --plot    for perf: render the BENCH_history.jsonl events/sec\n           trajectory (sparkline + BENCH_trajectory.csv) instead of measuring\n\
          --timing-wheel  drive simulations from the hierarchical timing-wheel\n           event queue instead of the default binary heap (bit-identical\n           results; see README 'Performance')\n\
          --csv DIR for export: write figure + evaluation CSVs into DIR\n\
+         --out FILE  for snapshot: write the preconditioned device-image bank\n           (with --gc-stress: the stress image under the GC geometry;\n           otherwise every MSRC/YCSB evaluation footprint)\n\
+         --from-image FILE  warm-start fig14/sweep-qd/sweep-rate/export/serve\n           from a snapshot bank instead of preconditioning — stdout is\n           byte-identical; stderr's 'precondition' phase collapses to the\n           file load\n\
          \n\
          perf regression gate: fails below 0.7x the median of the last 10\n\
          comparable archived runs (same --quick/--jobs/--seed/--queue-depth/\n\

@@ -10,11 +10,12 @@ use crate::mechanisms::{Ar2Controller, PnAr2Controller, Pr2Controller};
 use crate::pso::PsoController;
 use crate::rpt::ReadTimingParamTable;
 use rr_flash::calibration::OperatingCondition;
-use rr_sim::config::{ArbPolicy, SsdConfig};
+use rr_sim::config::{ArbPolicy, ConfigError, SsdConfig};
 use rr_sim::hostq::HostQueueConfig;
 use rr_sim::metrics::{GcStalls, LatencySummary, SimReport};
 use rr_sim::readflow::{BaselineController, RetryController};
 use rr_sim::replay::ReplayMode;
+use rr_sim::snapshot::{DeviceImage, ImageBank};
 use rr_sim::ssd::{SimArena, Ssd};
 use rr_workloads::trace::Trace;
 use serde::{Deserialize, Serialize};
@@ -165,7 +166,29 @@ pub fn run_one_with_mode(
 ) -> SimReport {
     let mut arena = SimArena::new();
     let cfg = prepared_config(base, point, mechanism.is_ideal());
-    run_one_prepared(&mut arena, &cfg, mechanism, trace, rpt, mode)
+    run_one_prepared(&mut arena, &cfg, mechanism, trace, rpt, mode, None)
+}
+
+/// Runs one closed-loop replay of `trace` under `mechanism` at `queue_depth`,
+/// reusing `arena`'s simulation buffers and warm-starting from `image` when
+/// one is given — the per-query unit of work behind `repro serve`, where the
+/// image skips preconditioning and the arena skips reallocation between
+/// queries.
+#[allow(clippy::too_many_arguments)]
+pub fn run_one_queued_from(
+    arena: &mut SimArena,
+    base: &SsdConfig,
+    mechanism: Mechanism,
+    point: OperatingPoint,
+    trace: &Trace,
+    rpt: &ReadTimingParamTable,
+    setup: &QueueSetup,
+    queue_depth: u32,
+    image: Option<&DeviceImage>,
+) -> SimReport {
+    let cfg = prepared_config(base, point, mechanism.is_ideal());
+    let front = setup.front(ReplayMode::closed_loop(queue_depth), Some(queue_depth));
+    run_one_prepared_queued(arena, &cfg, mechanism, trace, rpt, &front, image)
 }
 
 /// Builds the `Arc`-shared per-cell configuration once: `base` at `point`,
@@ -220,6 +243,7 @@ fn run_one_prepared(
     trace: &Trace,
     rpt: &ReadTimingParamTable,
     mode: ReplayMode,
+    image: Option<&DeviceImage>,
 ) -> SimReport {
     run_one_prepared_queued(
         arena,
@@ -228,10 +252,13 @@ fn run_one_prepared(
         trace,
         rpt,
         &HostQueueConfig::single(mode),
+        image,
     )
 }
 
-/// [`run_one_prepared`] under an explicit multi-queue host front end.
+/// [`run_one_prepared`] under an explicit multi-queue host front end,
+/// warm-started from `image` when one is given (bit-identical either way —
+/// the device image carries exactly the state preconditioning rebuilds).
 fn run_one_prepared_queued(
     arena: &mut SimArena,
     cfg: &Arc<SsdConfig>,
@@ -239,16 +266,50 @@ fn run_one_prepared_queued(
     trace: &Trace,
     rpt: &ReadTimingParamTable,
     queues: &HostQueueConfig,
+    image: Option<&DeviceImage>,
 ) -> SimReport {
-    Ssd::run_pooled_queued(
+    Ssd::run_pooled_queued_from(
         arena,
         Arc::clone(cfg),
         mechanism.make_controller(rpt),
         trace.footprint_pages,
         &trace.requests,
         queues,
+        image,
     )
     .expect("experiment configuration must be valid")
+}
+
+/// Builds the warm-start bank every runner forks across its cells: one
+/// preconditioned image per distinct footprint in `traces`. This is the
+/// "precondition once" half of the tentpole — per-cell work then reduces to
+/// an allocation-retaining restore.
+fn preconditioned_bank<'a>(
+    base: &SsdConfig,
+    traces: impl IntoIterator<Item = &'a Trace>,
+) -> ImageBank {
+    ImageBank::preconditioned(base, traces.into_iter().map(|t| t.footprint_pages))
+        .expect("experiment configuration must be valid")
+}
+
+/// Checks that an externally supplied bank (`--from-image`) can warm-start
+/// every cell of a run over `traces`: each footprint needs a matching image
+/// captured under the same seed/outlier inputs.
+fn validate_bank<'a>(
+    bank: &ImageBank,
+    base: &SsdConfig,
+    traces: impl IntoIterator<Item = &'a Trace>,
+) -> Result<(), ConfigError> {
+    for trace in traces {
+        let image = bank.get(trace.footprint_pages).ok_or_else(|| {
+            ConfigError::new(format!(
+                "image bank holds no image for the {}-page footprint of workload {}",
+                trace.footprint_pages, trace.name
+            ))
+        })?;
+        image.validate_for(base, trace.footprint_pages)?;
+    }
+    Ok(())
 }
 
 /// The host front-end axis of the load sweeps: how many NVMe-style
@@ -365,6 +426,7 @@ pub struct MatrixCell {
 /// rpt)` — the SSD seed comes from `base` and each [`run_one`] builds a fresh
 /// simulator — so the result is identical no matter which thread (or order)
 /// computes it.
+#[allow(clippy::too_many_arguments)]
 fn run_cell_group(
     arena: &mut SimArena,
     base: &SsdConfig,
@@ -373,12 +435,22 @@ fn run_cell_group(
     point: OperatingPoint,
     mechanisms: &[Mechanism],
     rpt: &ReadTimingParamTable,
+    bank: &ImageBank,
 ) -> Vec<MatrixCell> {
     // One shared config per (point, ideal-switch) — built once for the whole
     // group instead of cloned per mechanism run.
     let cfgs = CellConfigs::new(base, point, mechanisms);
+    let image = bank.get(trace.footprint_pages);
     let run = |arena: &mut SimArena, m: Mechanism| {
-        run_one_prepared(arena, cfgs.get(m), m, trace, rpt, ReplayMode::OpenLoop)
+        run_one_prepared(
+            arena,
+            cfgs.get(m),
+            m,
+            trace,
+            rpt,
+            ReplayMode::OpenLoop,
+            image,
+        )
     };
     let baseline = run(arena, Mechanism::Baseline);
     let base_rt = baseline.avg_response_us();
@@ -419,23 +491,45 @@ pub fn run_matrix(
     points: &[OperatingPoint],
     mechanisms: &[Mechanism],
 ) -> Vec<MatrixCell> {
+    let bank = preconditioned_bank(base, traces.iter().map(|(t, _)| t));
+    run_matrix_with_bank(base, traces, points, mechanisms, 1, &bank)
+}
+
+/// The shared matrix core: every (trace × point) group forks its trace's
+/// image out of `bank` instead of re-preconditioning per cell.
+fn run_matrix_with_bank(
+    base: &SsdConfig,
+    traces: &[(Trace, bool)],
+    points: &[OperatingPoint],
+    mechanisms: &[Mechanism],
+    jobs: usize,
+    bank: &ImageBank,
+) -> Vec<MatrixCell> {
     let rpt = ReadTimingParamTable::default();
-    let mut arena = SimArena::new();
-    let mut cells = Vec::new();
-    for (trace, read_dominant) in traces {
-        for &point in points {
-            cells.extend(run_cell_group(
-                &mut arena,
+    let groups: Vec<(&Trace, bool, OperatingPoint)> = traces
+        .iter()
+        .flat_map(|(trace, rd)| points.iter().map(move |&p| (trace, *rd, p)))
+        .collect();
+    parallel_ordered(
+        &groups,
+        jobs,
+        SimArena::new,
+        |arena, &(trace, read_dominant, point)| {
+            run_cell_group(
+                arena,
                 base,
                 trace,
-                *read_dominant,
+                read_dominant,
                 point,
                 mechanisms,
                 &rpt,
-            ));
-        }
-    }
-    cells
+                bank,
+            )
+        },
+    )
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Maps `groups` through `f` on up to `jobs` worker threads, returning
@@ -506,22 +600,30 @@ pub fn run_matrix_parallel(
     mechanisms: &[Mechanism],
     jobs: usize,
 ) -> Vec<MatrixCell> {
-    let rpt = ReadTimingParamTable::default();
-    let groups: Vec<(&Trace, bool, OperatingPoint)> = traces
-        .iter()
-        .flat_map(|(trace, rd)| points.iter().map(move |&p| (trace, *rd, p)))
-        .collect();
-    parallel_ordered(
-        &groups,
-        jobs,
-        SimArena::new,
-        |arena, &(trace, read_dominant, point)| {
-            run_cell_group(arena, base, trace, read_dominant, point, mechanisms, &rpt)
-        },
-    )
-    .into_iter()
-    .flatten()
-    .collect()
+    let bank = preconditioned_bank(base, traces.iter().map(|(t, _)| t));
+    run_matrix_with_bank(base, traces, points, mechanisms, jobs, &bank)
+}
+
+/// [`run_matrix_parallel`] warm-started from an externally supplied image
+/// bank (`repro fig14 --from-image`): every cell restores its trace's aged
+/// image instead of preconditioning, with bit-identical output.
+///
+/// # Errors
+///
+/// Returns a typed error when the bank lacks an image for some trace
+/// footprint or an image was captured under different model inputs.
+pub fn run_matrix_parallel_from(
+    base: &SsdConfig,
+    traces: &[(Trace, bool)],
+    points: &[OperatingPoint],
+    mechanisms: &[Mechanism],
+    jobs: usize,
+    bank: &ImageBank,
+) -> Result<Vec<MatrixCell>, ConfigError> {
+    validate_bank(bank, base, traces.iter().map(|(t, _)| t))?;
+    Ok(run_matrix_with_bank(
+        base, traces, points, mechanisms, jobs, bank,
+    ))
 }
 
 /// One cell of a queue-depth sweep: closed-loop replay of one workload at
@@ -604,6 +706,62 @@ pub fn run_qd_sweep_queued(
     setup: &QueueSetup,
     jobs: usize,
 ) -> Vec<QdSweepCell> {
+    let bank = preconditioned_bank(base, traces);
+    qd_sweep_with_bank(
+        base,
+        traces,
+        point,
+        queue_depths,
+        mechanisms,
+        setup,
+        jobs,
+        &bank,
+    )
+}
+
+/// [`run_qd_sweep_queued`] warm-started from an externally supplied image
+/// bank (`repro sweep-qd --from-image`), bit-identical to the cold-start
+/// sweep.
+///
+/// # Errors
+///
+/// Returns a typed error when the bank lacks an image for some trace
+/// footprint or an image was captured under different model inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_qd_sweep_queued_from(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    queue_depths: &[u32],
+    mechanisms: &[Mechanism],
+    setup: &QueueSetup,
+    jobs: usize,
+    bank: &ImageBank,
+) -> Result<Vec<QdSweepCell>, ConfigError> {
+    validate_bank(bank, base, traces)?;
+    Ok(qd_sweep_with_bank(
+        base,
+        traces,
+        point,
+        queue_depths,
+        mechanisms,
+        setup,
+        jobs,
+        bank,
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn qd_sweep_with_bank(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    queue_depths: &[u32],
+    mechanisms: &[Mechanism],
+    setup: &QueueSetup,
+    jobs: usize,
+    bank: &ImageBank,
+) -> Vec<QdSweepCell> {
     let rpt = ReadTimingParamTable::default();
     let cfgs = CellConfigs::new(base, point, mechanisms);
     // Unlike the figure matrices, no cell depends on another (there is no
@@ -623,7 +781,8 @@ pub fn run_qd_sweep_queued(
         SimArena::new,
         |arena, &(trace, queue_depth, m)| {
             let front = setup.front(ReplayMode::closed_loop(queue_depth), Some(queue_depth));
-            let report = run_one_prepared_queued(arena, cfgs.get(m), m, trace, &rpt, &front);
+            let image = bank.get(trace.footprint_pages);
+            let report = run_one_prepared_queued(arena, cfgs.get(m), m, trace, &rpt, &front, image);
             QdSweepCell {
                 workload: trace.name.clone(),
                 mechanism: m.name().to_string(),
@@ -724,6 +883,46 @@ pub fn run_rate_sweep_queued(
     setup: &QueueSetup,
     jobs: usize,
 ) -> Vec<RateSweepCell> {
+    let bank = preconditioned_bank(base, traces);
+    rate_sweep_with_bank(base, traces, point, rates, mechanisms, setup, jobs, &bank)
+}
+
+/// [`run_rate_sweep_queued`] warm-started from an externally supplied image
+/// bank (`repro sweep-rate --from-image`), bit-identical to the cold-start
+/// sweep.
+///
+/// # Errors
+///
+/// Returns a typed error when the bank lacks an image for some trace
+/// footprint or an image was captured under different model inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_rate_sweep_queued_from(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    rates: &[f64],
+    mechanisms: &[Mechanism],
+    setup: &QueueSetup,
+    jobs: usize,
+    bank: &ImageBank,
+) -> Result<Vec<RateSweepCell>, ConfigError> {
+    validate_bank(bank, base, traces)?;
+    Ok(rate_sweep_with_bank(
+        base, traces, point, rates, mechanisms, setup, jobs, bank,
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rate_sweep_with_bank(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    rates: &[f64],
+    mechanisms: &[Mechanism],
+    setup: &QueueSetup,
+    jobs: usize,
+    bank: &ImageBank,
+) -> Vec<RateSweepCell> {
     let rpt = ReadTimingParamTable::default();
     let cfgs = CellConfigs::new(base, point, mechanisms);
     let groups: Vec<(&Trace, f64, Mechanism)> = traces
@@ -736,7 +935,8 @@ pub fn run_rate_sweep_queued(
         .collect();
     parallel_ordered(&groups, jobs, SimArena::new, |arena, &(trace, rate, m)| {
         let front = setup.front(ReplayMode::open_loop_rate(rate), None);
-        let report = run_one_prepared_queued(arena, cfgs.get(m), m, trace, &rpt, &front);
+        let image = bank.get(trace.footprint_pages);
+        let report = run_one_prepared_queued(arena, cfgs.get(m), m, trace, &rpt, &front, image);
         RateSweepCell {
             workload: trace.name.clone(),
             mechanism: m.name().to_string(),

@@ -109,6 +109,17 @@ pub struct ErrorModel {
     cache: Option<RefCell<ModelCache>>,
 }
 
+/// The replay-relevant state of an [`ErrorModel`], as carried by a device
+/// image: the inputs of the stationary per-page hash. See
+/// [`ErrorModel::capture`] for why this is the *whole* state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelState {
+    /// Seed of the per-page process-variation hash.
+    pub seed: u64,
+    /// Probability that a page is an error outlier.
+    pub outlier_rate: f64,
+}
+
 /// The operating condition reduced to its exact bit pattern — cache keys must
 /// distinguish conditions exactly, never by approximate equality.
 type CondKey = (u64, u64, u64);
@@ -229,6 +240,46 @@ impl ErrorModel {
     /// The model seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Snapshots the model's replay-relevant state.
+    ///
+    /// The model is **stationary**: every observable quantity is a pure hash
+    /// of `(seed, page, condition)`, and the profile/penalty memo behind
+    /// [`ErrorModel::with_profile_cache`] is observationally neutral (the
+    /// equivalence suites pin cached ≡ uncached bit-for-bit). A device image
+    /// therefore carries only the inputs of that hash — seed and outlier
+    /// rate — not megabytes of memo contents; a restored model re-derives
+    /// identical behaviour from the first read onwards.
+    pub fn capture(&self) -> ModelState {
+        ModelState {
+            seed: self.seed,
+            outlier_rate: self.outlier_rate,
+        }
+    }
+
+    /// Restores a captured state, dropping any memoized profiles (they may
+    /// embed the previous seed or outlier decisions). The cache *enable*
+    /// switch is untouched: it is a hot-path knob of the embedding run, not
+    /// device state.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an out-of-range outlier rate — a decoded image must never
+    /// panic its way into a model.
+    pub fn restore(&mut self, state: ModelState) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&state.outlier_rate) {
+            return Err(format!(
+                "image outlier rate {} must be in [0, 1]",
+                state.outlier_rate
+            ));
+        }
+        self.seed = state.seed;
+        self.outlier_rate = state.outlier_rate;
+        if let Some(cache) = &self.cache {
+            *cache.borrow_mut() = ModelCache::default();
+        }
+        Ok(())
     }
 
     /// A standard-normal-ish variate in `[-2, 2]`, stationary per key.
@@ -712,6 +763,37 @@ mod tests {
             after.final_errors,
             before.final_errors + OUTLIER_EXTRA_ERRORS
         );
+    }
+
+    #[test]
+    fn capture_restore_reproduces_the_population_exactly() {
+        let source = ErrorModel::new(0xBEEF).with_outlier_rate(0.25);
+        // Warm the source's memo so capture demonstrably does not depend on
+        // cache contents.
+        let c = cond(2000.0, 12.0);
+        for p in sample_pages(50) {
+            source.page_profile(p, c);
+        }
+        let state = source.capture();
+        let mut target = ErrorModel::new(1).with_outlier_rate(0.9);
+        target.restore(state).unwrap();
+        for p in sample_pages(200) {
+            assert_eq!(source.page_profile(p, c), target.page_profile(p, c));
+        }
+    }
+
+    #[test]
+    fn restore_rejects_out_of_range_outlier_rate() {
+        let mut model = ErrorModel::new(7);
+        let err = model
+            .restore(ModelState {
+                seed: 7,
+                outlier_rate: 1.5,
+            })
+            .unwrap_err();
+        assert!(err.contains("outlier rate"), "{err}");
+        // The model is untouched by the failed restore.
+        assert_eq!(model.capture().outlier_rate, 0.0);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! flash reads are retried. All timing lives in the event engine
 //! ([`crate::ssd`]); this module is pure bookkeeping.
 
-use crate::config::SsdConfig;
+use crate::config::{ConfigError, SsdConfig};
+use rr_util::codec::{CodecError, Decoder, Encoder};
 
 /// A physical page number: flat index over the whole SSD.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -39,6 +40,29 @@ enum BlockState {
     Open,
     Full,
     GcVictim,
+}
+
+impl BlockState {
+    fn to_u8(self) -> u8 {
+        match self {
+            BlockState::Free => 0,
+            BlockState::Open => 1,
+            BlockState::Full => 2,
+            BlockState::GcVictim => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, CodecError> {
+        match v {
+            0 => Ok(BlockState::Free),
+            1 => Ok(BlockState::Open),
+            2 => Ok(BlockState::Full),
+            3 => Ok(BlockState::GcVictim),
+            other => Err(CodecError::invalid(format!(
+                "unknown block state discriminant {other}"
+            ))),
+        }
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,7 +132,7 @@ impl Ftl {
     ///
     /// Returns an error when the footprint exceeds
     /// [`SsdConfig::max_lpns`] or the config is invalid.
-    pub fn new(cfg: &SsdConfig, lpn_count: u64) -> Result<Self, String> {
+    pub fn new(cfg: &SsdConfig, lpn_count: u64) -> Result<Self, ConfigError> {
         let mut ftl = Self {
             channels: 0,
             dies_per_chip: 0,
@@ -139,22 +163,22 @@ impl Ftl {
     ///
     /// Same conditions as [`Ftl::new`]; on error the FTL must not be used
     /// until a subsequent rebuild succeeds.
-    pub fn rebuild(&mut self, cfg: &SsdConfig, lpn_count: u64) -> Result<(), String> {
-        cfg.validate()?;
+    pub fn rebuild(&mut self, cfg: &SsdConfig, lpn_count: u64) -> Result<(), ConfigError> {
+        cfg.validate().map_err(ConfigError::new)?;
         if lpn_count == 0 {
-            return Err("lpn_count must be positive".into());
+            return Err(ConfigError::new("lpn_count must be positive"));
         }
         if lpn_count > cfg.max_lpns() {
-            return Err(format!(
+            return Err(ConfigError::new(format!(
                 "footprint of {lpn_count} pages exceeds usable capacity of {} pages",
                 cfg.max_lpns()
-            ));
+            )));
         }
         let total_planes = cfg.total_planes();
         let total_blocks = cfg.total_blocks() as usize;
         let total_pages = cfg.total_pages();
         if total_pages > u32::MAX as u64 || lpn_count > NO_LPN as u64 {
-            return Err("geometry exceeds 32-bit page indexing".into());
+            return Err(ConfigError::new("geometry exceeds 32-bit page indexing"));
         }
         self.channels = cfg.channels;
         self.dies_per_chip = cfg.chip.dies;
@@ -473,6 +497,328 @@ impl Ftl {
     pub fn block_valid_count(&self, block: u32) -> u32 {
         self.blocks[block as usize].valid_count
     }
+
+    /// Snapshots the FTL's entire mutable state — mapping tables, block
+    /// metadata, open blocks, free lists, the write-striping cursor, and the
+    /// per-page freshness (retention) bitmap.
+    ///
+    /// The returned [`FtlState`] is the device-side half of a
+    /// [`crate::snapshot::DeviceImage`]; feeding it back through
+    /// [`Ftl::restore`] reproduces this FTL bit for bit.
+    pub fn capture(&self) -> FtlState {
+        FtlState {
+            channels: self.channels,
+            dies_per_chip: self.dies_per_chip,
+            planes_per_die: self.planes_per_die,
+            blocks_per_plane: self.blocks_per_plane,
+            pages_per_block: self.pages_per_block,
+            lpn_count: self.lpn_count,
+            map: self.map.clone(),
+            rmap: self.rmap.clone(),
+            blocks: self.blocks.clone(),
+            open_block: self
+                .open_block
+                .iter()
+                .map(|b| b.unwrap_or(UNMAPPED))
+                .collect(),
+            free_blocks: self.free_blocks.clone(),
+            next_plane: self.next_plane,
+            fresh: self.fresh.clone(),
+        }
+    }
+
+    /// Restores a previously captured state into this FTL, reusing its
+    /// allocations — the snapshot analogue of [`Ftl::rebuild`] (and like
+    /// `EventQueue::reset`, it only ever copies into buffers it already
+    /// owns, so forking one image across many arena-pooled simulators does
+    /// not reallocate the multi-megabyte tables per cell).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when `cfg` is invalid, when the state was
+    /// captured under a different geometry, or when the state is internally
+    /// inconsistent (a decoded image that passed its checksum but whose
+    /// fields contradict each other must still never build a silently wrong
+    /// device).
+    pub fn restore(&mut self, cfg: &SsdConfig, state: &FtlState) -> Result<(), ConfigError> {
+        cfg.validate().map_err(ConfigError::new)?;
+        state.check_geometry(cfg)?;
+        state.check_consistency()?;
+        if state.lpn_count > cfg.max_lpns() {
+            return Err(ConfigError::new(format!(
+                "image footprint of {} pages exceeds usable capacity of {} pages",
+                state.lpn_count,
+                cfg.max_lpns()
+            )));
+        }
+        self.channels = state.channels;
+        self.dies_per_chip = state.dies_per_chip;
+        self.planes_per_die = state.planes_per_die;
+        self.blocks_per_plane = state.blocks_per_plane;
+        self.pages_per_block = state.pages_per_block;
+        self.gc_threshold = cfg.gc_threshold_blocks;
+        self.lpn_count = state.lpn_count;
+        self.map.clear();
+        self.map.extend_from_slice(&state.map);
+        self.rmap.clear();
+        self.rmap.extend_from_slice(&state.rmap);
+        self.blocks.clear();
+        self.blocks.extend_from_slice(&state.blocks);
+        self.open_block.clear();
+        self.open_block.extend(
+            state
+                .open_block
+                .iter()
+                .map(|&b| (b != UNMAPPED).then_some(b)),
+        );
+        self.free_blocks.truncate(state.free_blocks.len());
+        self.free_blocks
+            .resize_with(state.free_blocks.len(), Vec::new);
+        for (dst, src) in self.free_blocks.iter_mut().zip(&state.free_blocks) {
+            dst.clear();
+            dst.extend_from_slice(src);
+        }
+        self.next_plane = state.next_plane;
+        self.fresh.clear();
+        self.fresh.extend_from_slice(&state.fresh);
+        Ok(())
+    }
+}
+
+/// A verbatim snapshot of an [`Ftl`]'s mutable state.
+///
+/// Produced by [`Ftl::capture`], consumed by [`Ftl::restore`], and carried
+/// inside a [`crate::snapshot::DeviceImage`]. The geometry fields pin the
+/// configuration the snapshot was taken under; restore refuses a mismatched
+/// target instead of reinterpreting the tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FtlState {
+    channels: u32,
+    dies_per_chip: u32,
+    planes_per_die: u32,
+    blocks_per_plane: u32,
+    pages_per_block: u32,
+    lpn_count: u64,
+    map: Vec<u32>,
+    rmap: Vec<u32>,
+    blocks: Vec<BlockMeta>,
+    /// Per plane: open block id, [`UNMAPPED`] when the plane has none.
+    open_block: Vec<u32>,
+    free_blocks: Vec<Vec<u32>>,
+    next_plane: u32,
+    fresh: Vec<u64>,
+}
+
+impl FtlState {
+    /// Number of logical pages the captured device was preconditioned for.
+    pub fn lpn_count(&self) -> u64 {
+        self.lpn_count
+    }
+
+    fn total_planes(&self) -> u64 {
+        self.channels as u64 * self.dies_per_chip as u64 * self.planes_per_die as u64
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.total_planes() * self.blocks_per_plane as u64
+    }
+
+    fn total_pages(&self) -> u64 {
+        self.total_blocks() * self.pages_per_block as u64
+    }
+
+    fn check_geometry(&self, cfg: &SsdConfig) -> Result<(), ConfigError> {
+        let same = self.channels == cfg.channels
+            && self.dies_per_chip == cfg.chip.dies
+            && self.planes_per_die == cfg.chip.planes_per_die
+            && self.blocks_per_plane == cfg.chip.blocks_per_plane
+            && self.pages_per_block == cfg.chip.pages_per_block;
+        if !same {
+            return Err(ConfigError::new(format!(
+                "image geometry {}ch × {}d × {}p × {}b × {}pg does not match the target \
+                 configuration ({}ch × {}d × {}p × {}b × {}pg)",
+                self.channels,
+                self.dies_per_chip,
+                self.planes_per_die,
+                self.blocks_per_plane,
+                self.pages_per_block,
+                cfg.channels,
+                cfg.chip.dies,
+                cfg.chip.planes_per_die,
+                cfg.chip.blocks_per_plane,
+                cfg.chip.pages_per_block
+            )));
+        }
+        Ok(())
+    }
+
+    /// Structural consistency: every table has the length its geometry
+    /// implies and every index is in range.
+    fn check_consistency(&self) -> Result<(), ConfigError> {
+        let planes = self.total_planes();
+        let blocks = self.total_blocks();
+        let pages = self.total_pages();
+        let bad = |what: String| Err(ConfigError::new(format!("inconsistent image: {what}")));
+        if self.lpn_count == 0 {
+            return bad("zero-page footprint".into());
+        }
+        if pages > u32::MAX as u64 || self.lpn_count > NO_LPN as u64 {
+            return bad("geometry exceeds 32-bit page indexing".into());
+        }
+        if self.map.len() as u64 != self.lpn_count {
+            return bad(format!(
+                "map holds {} entries for a {}-page footprint",
+                self.map.len(),
+                self.lpn_count
+            ));
+        }
+        if self.rmap.len() as u64 != pages {
+            return bad(format!(
+                "rmap holds {} entries for {pages} physical pages",
+                self.rmap.len()
+            ));
+        }
+        if self.blocks.len() as u64 != blocks {
+            return bad(format!(
+                "{} block records for {blocks} blocks",
+                self.blocks.len()
+            ));
+        }
+        if self.open_block.len() as u64 != planes || self.free_blocks.len() as u64 != planes {
+            return bad(format!(
+                "{} open-block / {} free-list entries for {planes} planes",
+                self.open_block.len(),
+                self.free_blocks.len()
+            ));
+        }
+        if self.fresh.len() != (self.lpn_count as usize).div_ceil(64) {
+            return bad("freshness bitmap length mismatch".into());
+        }
+        if self.next_plane as u64 >= planes {
+            return bad(format!("striping cursor {} out of range", self.next_plane));
+        }
+        if let Some(&m) = self
+            .map
+            .iter()
+            .find(|&&m| m != UNMAPPED && m as u64 >= pages)
+        {
+            return bad(format!("map points at nonexistent page {m}"));
+        }
+        if let Some(&r) = self
+            .rmap
+            .iter()
+            .find(|&&r| r != NO_LPN && r as u64 >= self.lpn_count)
+        {
+            return bad(format!("rmap names out-of-footprint lpn {r}"));
+        }
+        for meta in &self.blocks {
+            if meta.next_page > self.pages_per_block || meta.valid_count > self.pages_per_block {
+                return bad(format!(
+                    "block record {}/{} exceeds {} pages per block",
+                    meta.next_page, meta.valid_count, self.pages_per_block
+                ));
+            }
+        }
+        for (plane, &open) in self.open_block.iter().enumerate() {
+            if open != UNMAPPED && open as u64 / self.blocks_per_plane as u64 != plane as u64 {
+                return bad(format!("open block {open} not in plane {plane}"));
+            }
+        }
+        for (plane, list) in self.free_blocks.iter().enumerate() {
+            if list
+                .iter()
+                .any(|&b| b as u64 / self.blocks_per_plane as u64 != plane as u64)
+            {
+                return bad(format!("free list of plane {plane} names a foreign block"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends this state to an artifact being encoded.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.channels);
+        enc.put_u32(self.dies_per_chip);
+        enc.put_u32(self.planes_per_die);
+        enc.put_u32(self.blocks_per_plane);
+        enc.put_u32(self.pages_per_block);
+        enc.put_u64(self.lpn_count);
+        enc.put_u32_slice(&self.map);
+        enc.put_u32_slice(&self.rmap);
+        enc.put_u64(self.blocks.len() as u64);
+        for b in &self.blocks {
+            enc.put_u8(b.state.to_u8());
+            enc.put_u32(b.next_page);
+            enc.put_u32(b.valid_count);
+        }
+        enc.put_u32_slice(&self.open_block);
+        enc.put_u64(self.free_blocks.len() as u64);
+        for list in &self.free_blocks {
+            enc.put_u32_slice(list);
+        }
+        enc.put_u32(self.next_plane);
+        enc.put_u64_slice(&self.fresh);
+    }
+
+    /// Reads a state previously written by [`FtlState::encode`] and verifies
+    /// its structural consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation, bad discriminants, or a structurally
+    /// impossible device.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let channels = dec.take_u32()?;
+        let dies_per_chip = dec.take_u32()?;
+        let planes_per_die = dec.take_u32()?;
+        let blocks_per_plane = dec.take_u32()?;
+        let pages_per_block = dec.take_u32()?;
+        let lpn_count = dec.take_u64()?;
+        let map = dec.take_u32_vec()?;
+        let rmap = dec.take_u32_vec()?;
+        let n_blocks = dec.take_u64()? as usize;
+        if n_blocks.checked_mul(9).is_none_or(|b| b > dec.remaining()) {
+            return Err(CodecError::Truncated {
+                what: "block records",
+            });
+        }
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            blocks.push(BlockMeta {
+                state: BlockState::from_u8(dec.take_u8()?)?,
+                next_page: dec.take_u32()?,
+                valid_count: dec.take_u32()?,
+            });
+        }
+        let open_block = dec.take_u32_vec()?;
+        let n_planes = dec.take_u64()? as usize;
+        if n_planes.checked_mul(8).is_none_or(|b| b > dec.remaining()) {
+            return Err(CodecError::Truncated { what: "free lists" });
+        }
+        let mut free_blocks = Vec::with_capacity(n_planes);
+        for _ in 0..n_planes {
+            free_blocks.push(dec.take_u32_vec()?);
+        }
+        let next_plane = dec.take_u32()?;
+        let fresh = dec.take_u64_vec()?;
+        let state = Self {
+            channels,
+            dies_per_chip,
+            planes_per_die,
+            blocks_per_plane,
+            pages_per_block,
+            lpn_count,
+            map,
+            rmap,
+            blocks,
+            open_block,
+            free_blocks,
+            next_plane,
+            fresh,
+        };
+        state.check_consistency().map_err(CodecError::invalid)?;
+        Ok(state)
+    }
 }
 
 /// A garbage-collection unit of work: move the `moves`, then erase the victim.
@@ -661,6 +1007,84 @@ mod tests {
         // Invalid rebuilds are rejected like invalid constructions.
         assert!(recycled.rebuild(&cfg, 0).is_err());
         assert!(recycled.rebuild(&cfg, cfg.max_lpns() + 1).is_err());
+    }
+
+    /// An FTL dirtied by host writes and a full GC cycle — the state a
+    /// warm-start image is meant to carry.
+    fn aged_ftl(cfg: &SsdConfig) -> Ftl {
+        let mut ftl = Ftl::new(cfg, 500).unwrap();
+        ftl.precondition();
+        for lpn in 0..300 {
+            ftl.allocate_for_write(lpn % 120).unwrap();
+        }
+        let job = ftl.start_gc(0).expect("full blocks exist");
+        for &(lpn, src) in &job.moves {
+            if ftl.gc_move_still_needed(lpn, src) {
+                ftl.allocate_for_gc(lpn, job.plane).unwrap();
+            }
+        }
+        ftl.finish_gc(job.victim_block);
+        ftl
+    }
+
+    #[test]
+    fn capture_restore_round_trip_is_exact() {
+        let cfg = small_cfg();
+        let ftl = aged_ftl(&cfg);
+        let state = ftl.capture();
+        // Restore into a recycled FTL of a *different* footprint.
+        let mut restored = Ftl::new(&cfg, 64).unwrap();
+        restored.precondition();
+        restored.restore(&cfg, &state).unwrap();
+        assert_eq!(restored.lpn_count(), ftl.lpn_count());
+        for lpn in 0..500 {
+            assert_eq!(restored.translate(lpn), ftl.translate(lpn), "lpn {lpn}");
+            assert_eq!(restored.is_cold(lpn), ftl.is_cold(lpn), "lpn {lpn}");
+        }
+        assert_eq!(restored.capture(), state);
+        // And the two devices evolve identically afterwards.
+        let mut a = ftl;
+        let mut b = restored;
+        for lpn in 0..100 {
+            assert_eq!(a.allocate_for_write(lpn), b.allocate_for_write(lpn));
+        }
+        assert_eq!(a.capture(), b.capture());
+    }
+
+    #[test]
+    fn restore_rejects_geometry_mismatch() {
+        let cfg = small_cfg();
+        let state = aged_ftl(&cfg).capture();
+        let mut other = cfg.clone();
+        other.chip.blocks_per_plane = 32;
+        let mut target = Ftl::new(&other, 500).unwrap();
+        let err = target.restore(&other, &state).unwrap_err();
+        assert!(err.to_string().contains("geometry"), "{err}");
+    }
+
+    #[test]
+    fn encode_decode_round_trip_and_consistency_guard() {
+        let cfg = small_cfg();
+        let state = aged_ftl(&cfg).capture();
+        let mut enc = Encoder::new(*b"FTLTEST\0", 1);
+        state.encode(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes, *b"FTLTEST\0").unwrap();
+        let decoded = FtlState::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(decoded, state);
+        // A structurally impossible device is rejected even when framing is
+        // intact: shrink the footprint without shrinking the map.
+        let mut bad = state.clone();
+        bad.lpn_count -= 1;
+        let mut enc = Encoder::new(*b"FTLTEST\0", 1);
+        bad.encode(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes, *b"FTLTEST\0").unwrap();
+        assert!(matches!(
+            FtlState::decode(&mut dec),
+            Err(CodecError::Invalid { .. })
+        ));
     }
 
     #[test]

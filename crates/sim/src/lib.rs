@@ -57,6 +57,7 @@ pub mod readflow;
 pub mod replay;
 pub mod request;
 pub mod scheduler;
+pub mod snapshot;
 pub mod ssd;
 
 pub use config::{ArbPolicy, ConfigError, SsdConfig};
@@ -67,4 +68,5 @@ pub use readflow::{BaselineController, ReadAction, ReadContext, RetryController}
 pub use replay::ReplayMode;
 pub use request::{HostRequest, IoOp};
 pub use scheduler::Arbiter;
+pub use snapshot::{DeviceImage, ImageBank};
 pub use ssd::Ssd;

@@ -31,6 +31,7 @@ use crate::readflow::{Actions, ReadAction, ReadContext, RetryController};
 use crate::replay::ReplayMode;
 use crate::request::{HostRequest, IoOp, ReqId, TxnId, TxnKind};
 use crate::scheduler::{ChannelState, DieJob, DieState, Event, QueuedOp, Transfer};
+use crate::snapshot::DeviceImage;
 use rr_flash::calibration::OperatingCondition;
 use rr_flash::error_model::{ErrorModel, PageId};
 use rr_util::time::SimTime;
@@ -212,18 +213,54 @@ impl Ssd {
         controller: Box<dyn RetryController>,
         lpn_count: u64,
     ) -> Result<Self, String> {
+        Self::assemble_from(arena, cfg, controller, lpn_count, None)
+    }
+
+    /// [`Ssd::assemble`], warm-started from a device image when one is given:
+    /// instead of rebuilding and re-preconditioning the FTL, the image's
+    /// captured state is restored into the arena's recycled tables
+    /// (allocation-retaining, like the rebuild path). The image must have
+    /// been captured for the same geometry, footprint and model inputs —
+    /// restoring is then bit-identical to preconditioning from scratch.
+    fn assemble_from(
+        arena: &mut SimArena,
+        cfg: Arc<SsdConfig>,
+        controller: Box<dyn RetryController>,
+        lpn_count: u64,
+        image: Option<&DeviceImage>,
+    ) -> Result<Self, String> {
         cfg.validate()?;
-        let mut ftl = match arena.ftl.take() {
-            Some(mut recycled) => {
-                recycled.rebuild(&cfg, lpn_count)?;
-                recycled
+        let ftl = match image {
+            None => {
+                let mut ftl = match arena.ftl.take() {
+                    Some(mut recycled) => {
+                        recycled.rebuild(&cfg, lpn_count)?;
+                        recycled
+                    }
+                    None => Ftl::new(&cfg, lpn_count)?,
+                };
+                ftl.precondition();
+                ftl
             }
-            None => Ftl::new(&cfg, lpn_count)?,
+            Some(img) => {
+                img.validate_for(&cfg, lpn_count)?;
+                let mut ftl = match arena.ftl.take() {
+                    Some(recycled) => recycled,
+                    // A throwaway seed FTL for restore to fill; geometry
+                    // checks happen inside `restore` against the image.
+                    None => Ftl::new(&cfg, lpn_count)?,
+                };
+                ftl.restore(&cfg, img.ftl())?;
+                ftl
+            }
         };
-        ftl.precondition();
-        let model = ErrorModel::new(cfg.seed)
+        let mut model = ErrorModel::new(cfg.seed)
             .with_outlier_rate(cfg.outlier_rate)
             .with_profile_cache(cfg.hotpath.profile_cache);
+        if let Some(img) = image {
+            model.restore(img.model())?;
+        }
+        let model = model;
         let max_step = model.retry_table().max_steps();
         let mut dies = std::mem::take(&mut arena.dies);
         if dies.len() == cfg.total_dies() as usize {
@@ -349,10 +386,47 @@ impl Ssd {
         trace: &[HostRequest],
         queues: &HostQueueConfig,
     ) -> Result<SimReport, String> {
-        let mut ssd = Self::assemble(arena, cfg.into(), controller, lpn_count)?;
+        Self::run_pooled_queued_from(arena, cfg, controller, lpn_count, trace, queues, None)
+    }
+
+    /// [`Ssd::run_pooled_queued`], warm-started from a device image when one
+    /// is given: the expensive precondition step is replaced by an
+    /// allocation-retaining restore of the image into the arena's recycled
+    /// tables, and the run is bit-identical to a cold start (the sweep
+    /// equivalence suite pins this).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration/footprint validation errors, plus image
+    /// mismatches (wrong geometry, footprint, seed or outlier rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front-end configuration is invalid or a request's LPN
+    /// range exceeds the preconditioned footprint.
+    pub fn run_pooled_queued_from(
+        arena: &mut SimArena,
+        cfg: impl Into<Arc<SsdConfig>>,
+        controller: Box<dyn RetryController>,
+        lpn_count: u64,
+        trace: &[HostRequest],
+        queues: &HostQueueConfig,
+        image: Option<&DeviceImage>,
+    ) -> Result<SimReport, String> {
+        let mut ssd = Self::assemble_from(arena, cfg.into(), controller, lpn_count, image)?;
         let report = ssd.run_mut(trace, queues);
         ssd.release_into(arena);
         Ok(report)
+    }
+
+    /// Snapshots this device's mutable state into a [`DeviceImage`].
+    ///
+    /// Capture happens at quiescence (before a run, or conceptually between
+    /// runs), where all in-flight structures — events, transactions, host
+    /// queues — are empty by construction; what remains is exactly the FTL
+    /// tables, the freshness bitmap, and the error-model inputs.
+    pub fn capture_image(&self) -> DeviceImage {
+        DeviceImage::from_parts(self.ftl.capture(), self.model.capture())
     }
 
     /// Runs the trace to completion open-loop (requests arrive at their

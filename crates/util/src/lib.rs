@@ -18,6 +18,9 @@
 //!   (P/E cycles × retention months).
 //! * [`cache`] — a deterministic open-addressed memo table for pure-function
 //!   results (the flash error model's per-page profile cache sits on it).
+//! * [`codec`] — a versioned, checksummed binary writer/reader for on-disk
+//!   artifacts (device images); the workspace has no real serde, so framing
+//!   and corruption rejection are explicit here.
 //!
 //! # Example
 //!
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod codec;
 pub mod dist;
 pub mod interp;
 pub mod rng;

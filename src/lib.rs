@@ -43,9 +43,10 @@ pub use rr_workloads as workloads;
 pub mod prelude {
     pub use rr_charact::platform::TestPlatform;
     pub use rr_core::experiment::{
-        run_matrix, run_matrix_parallel, run_one, run_one_with_mode, run_qd_sweep,
-        run_qd_sweep_queued, run_rate_sweep, run_rate_sweep_queued, Mechanism, OperatingPoint,
-        QdSweepCell, QueueSetup, RateSweepCell,
+        run_matrix, run_matrix_parallel, run_matrix_parallel_from, run_one, run_one_queued_from,
+        run_one_with_mode, run_qd_sweep, run_qd_sweep_queued, run_qd_sweep_queued_from,
+        run_rate_sweep, run_rate_sweep_queued, run_rate_sweep_queued_from, Mechanism,
+        OperatingPoint, QdSweepCell, QueueSetup, RateSweepCell,
     };
     pub use rr_core::rpt::ReadTimingParamTable;
     pub use rr_core::{Ar2Controller, PnAr2Controller, Pr2Controller, PsoController};
@@ -59,6 +60,7 @@ pub mod prelude {
     pub use rr_sim::replay::ReplayMode;
     pub use rr_sim::request::{HostRequest, IoOp};
     pub use rr_sim::scheduler::Arbiter;
+    pub use rr_sim::snapshot::{DeviceImage, ImageBank};
     pub use rr_sim::ssd::{SimArena, Ssd};
     pub use rr_util::rng::Rng;
     pub use rr_util::time::SimTime;

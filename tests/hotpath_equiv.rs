@@ -426,6 +426,178 @@ fn hotpath_switches_are_bit_neutral_under_every_gc_policy() {
 }
 
 #[test]
+fn warm_started_qd_sweep_is_bit_identical_to_the_cold_start() {
+    // The warm-start contract: forking a preconditioned device image across
+    // sweep cells (`--from-image`) may only change wall-clock — the cells
+    // must match the cold re-preconditioning path bit for bit, serial and
+    // work-stealing alike.
+    let base = base_cfg();
+    let traces = workloads();
+    let point = OperatingPoint::new(2000.0, 6.0);
+    let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2];
+    let setup = QueueSetup::single();
+    let depths = [1u32, 8];
+    let bank = ImageBank::preconditioned(&base, traces.iter().map(|t| t.footprint_pages))
+        .expect("valid configuration");
+    let cold = run_qd_sweep_queued(&base, &traces, point, &depths, &mechanisms, &setup, 1);
+    for jobs in [1, 2] {
+        let warm = run_qd_sweep_queued_from(
+            &base,
+            &traces,
+            point,
+            &depths,
+            &mechanisms,
+            &setup,
+            jobs,
+            &bank,
+        )
+        .expect("bank covers the sweep");
+        assert_eq!(
+            cold, warm,
+            "warm-started QD sweep diverged at jobs = {jobs}"
+        );
+    }
+}
+
+#[test]
+fn warm_started_rate_sweep_is_bit_identical_to_the_cold_start() {
+    let base = base_cfg();
+    let traces = workloads();
+    let point = OperatingPoint::new(2000.0, 6.0);
+    let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2];
+    let setup = QueueSetup::single();
+    let rates = [1.0, 2.0];
+    let bank = ImageBank::preconditioned(&base, traces.iter().map(|t| t.footprint_pages))
+        .expect("valid configuration");
+    let cold = run_rate_sweep_queued(&base, &traces, point, &rates, &mechanisms, &setup, 1);
+    for jobs in [1, 2] {
+        let warm = run_rate_sweep_queued_from(
+            &base,
+            &traces,
+            point,
+            &rates,
+            &mechanisms,
+            &setup,
+            jobs,
+            &bank,
+        )
+        .expect("bank covers the sweep");
+        assert_eq!(
+            cold, warm,
+            "warm-started rate sweep diverged at jobs = {jobs}"
+        );
+    }
+}
+
+#[test]
+fn warm_started_matrix_is_bit_identical_to_the_cold_start() {
+    let base = base_cfg();
+    let traces = vec![
+        (MsrcWorkload::Mds1.synthesize(200, 3), true),
+        (YcsbWorkload::C.synthesize(150, 3), true),
+    ];
+    let points = [
+        OperatingPoint::new(1000.0, 6.0),
+        OperatingPoint::new(2000.0, 12.0),
+    ];
+    let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2, Mechanism::NoRR];
+    let bank = ImageBank::preconditioned(&base, traces.iter().map(|(t, _)| t.footprint_pages))
+        .expect("valid configuration");
+    let cold = run_matrix_parallel(&base, &traces, &points, &mechanisms, 1);
+    for jobs in [1, 2] {
+        let warm = run_matrix_parallel_from(&base, &traces, &points, &mechanisms, jobs, &bank)
+            .expect("bank covers the matrix");
+        assert_eq!(cold, warm, "warm-started matrix diverged at jobs = {jobs}");
+    }
+}
+
+#[test]
+fn warm_started_gc_stress_multi_queue_sweep_matches_the_cold_start() {
+    // The acceptance case of the device-image work: the GC-stress sweep
+    // under a 2-queue WRR front end, forked from an aged image, must match
+    // the cold path while actually exercising garbage collection.
+    let mut base = base_cfg().with_gc_policy(GcPolicy::ReadPreempt { budget: 2 });
+    base.chip.blocks_per_plane = 16;
+    base.chip.pages_per_block = 12;
+    let trace = ssd_readretry::workloads::synth::gc_stress_trace(base.max_lpns(), 2_000);
+    let traces = vec![trace];
+    let point = OperatingPoint::new(2000.0, 6.0);
+    let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2];
+    let setup = QueueSetup {
+        queues: 2,
+        arb: ssd_readretry::sim::config::ArbPolicy::WeightedRoundRobin,
+        burst: 1,
+        weights: Some(vec![2, 1]),
+        window: None,
+    };
+    let bank = ImageBank::preconditioned(&base, traces.iter().map(|t| t.footprint_pages))
+        .expect("valid configuration");
+    let cold = run_qd_sweep_queued(&base, &traces, point, &[16], &mechanisms, &setup, 1);
+    for jobs in [1, 2] {
+        let warm = run_qd_sweep_queued_from(
+            &base,
+            &traces,
+            point,
+            &[16],
+            &mechanisms,
+            &setup,
+            jobs,
+            &bank,
+        )
+        .expect("bank covers the sweep");
+        assert_eq!(
+            cold, warm,
+            "warm-started GC-stress sweep diverged at jobs = {jobs}"
+        );
+    }
+    assert!(
+        cold.iter().all(|c| c.events > 0),
+        "stress cells must simulate work"
+    );
+}
+
+#[test]
+fn mismatched_banks_are_rejected_with_a_typed_error() {
+    // A bank built under different model inputs (seed) or lacking a
+    // footprint must be refused up front — never silently replayed into
+    // different results.
+    let base = base_cfg();
+    let traces = workloads();
+    let point = OperatingPoint::new(2000.0, 6.0);
+    let mechanisms = [Mechanism::Baseline];
+    let setup = QueueSetup::single();
+    let wrong_seed = ImageBank::preconditioned(
+        &base.clone().with_seed(0xD1FF),
+        traces.iter().map(|t| t.footprint_pages),
+    )
+    .expect("valid configuration");
+    assert!(run_qd_sweep_queued_from(
+        &base,
+        &traces,
+        point,
+        &[4],
+        &mechanisms,
+        &setup,
+        1,
+        &wrong_seed
+    )
+    .is_err());
+    let missing_footprint =
+        ImageBank::preconditioned(&base, [traces[0].footprint_pages + 1]).expect("valid");
+    assert!(run_qd_sweep_queued_from(
+        &base,
+        &traces,
+        point,
+        &[4],
+        &mechanisms,
+        &setup,
+        1,
+        &missing_footprint
+    )
+    .is_err());
+}
+
+#[test]
 fn events_processed_is_deterministic_and_nonzero() {
     let rpt = ReadTimingParamTable::default();
     let trace = MsrcWorkload::Mds1.synthesize(150, 2);
