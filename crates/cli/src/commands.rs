@@ -4,16 +4,18 @@ use crate::render::{markdown_table, pct, shade, us_opt};
 use rr_charact::figures::{self, TimingParam};
 use rr_charact::platform::TestPlatform;
 use rr_core::experiment::{
-    reduction_vs, run_matrix_parallel, run_matrix_parallel_from, run_one_queued_from, run_qd_sweep,
-    run_qd_sweep_queued_from, run_rate_sweep, run_rate_sweep_queued_from, Mechanism,
+    reduction_vs, run_matrix_parallel, run_matrix_sharded, run_matrix_sharded_from,
+    run_one_queued_from, run_one_queued_sharded_from, run_qd_sweep_sharded,
+    run_qd_sweep_sharded_from, run_rate_sweep_sharded, run_rate_sweep_sharded_from, Mechanism,
     OperatingPoint, QueueSetup,
 };
 use rr_core::rpt::ReadTimingParamTable;
 use rr_flash::calibration::ECC_CAPABILITY_PER_KIB;
 use rr_flash::timing::NandTimings;
-use rr_sim::config::{ArbPolicy, SsdConfig};
+use rr_sim::config::{ArbPolicy, EventBackend, SsdConfig};
 use rr_sim::gc::GcPolicy;
 use rr_sim::metrics::{GcStalls, LatencySummary};
+use rr_sim::shard::ShardArena;
 use rr_sim::snapshot::ImageBank;
 use rr_sim::ssd::SimArena;
 use rr_workloads::msrc::MsrcWorkload;
@@ -59,6 +61,16 @@ pub struct Options {
     /// Drive simulations from the hierarchical timing-wheel event queue
     /// instead of the default binary heap (`hotpath.timing_wheel`).
     pub timing_wheel: bool,
+    /// Run each device on the channel-sharded engine with up to this many
+    /// worker threads (0 = the legacy serial engine). Any value ≥ 1
+    /// produces output byte-identical to `--shards 1`; the perf gate keys
+    /// sharded runs separately from serial ones.
+    pub shards: u32,
+    /// Event-queue backend policy (`hotpath.event_backend`): `heap` honors
+    /// `--timing-wheel` alone, `wheel` pins the wheel, `auto` picks the
+    /// wheel once the per-shard steady-state depth crosses the measured
+    /// crossover. Bit-identical results either way.
+    pub event_backend: EventBackend,
     /// Output directory for `export` CSVs.
     pub csv_dir: Option<String>,
     /// Warm-start the replaying commands from this device-image bank
@@ -103,6 +115,7 @@ impl Options {
         SsdConfig::scaled_for_tests()
             .with_seed(self.seed)
             .with_timing_wheel(self.timing_wheel)
+            .with_event_backend(self.event_backend)
     }
 
     fn queue_setup(&self) -> QueueSetup {
@@ -603,7 +616,7 @@ fn eval_inputs(opts: &Options) -> (SsdConfig, Vec<(Trace, bool)>, Vec<OperatingP
 
 fn run_eval(opts: &Options, mechanisms: &[Mechanism]) -> Vec<rr_core::experiment::MatrixCell> {
     let (base, traces, points) = eval_inputs(opts);
-    run_matrix_parallel(&base, &traces, &points, mechanisms, opts.jobs)
+    run_matrix_sharded(&base, &traces, &points, mechanisms, opts.jobs, opts.shards)
 }
 
 /// [`run_eval`] with the device-image plumbing: the bank comes from
@@ -626,7 +639,15 @@ fn run_eval_timed(
     )?;
     let precondition = t0.elapsed();
     let t0 = Instant::now();
-    match run_matrix_parallel_from(&base, &traces, &points, mechanisms, opts.jobs, &bank) {
+    match run_matrix_sharded_from(
+        &base,
+        &traces,
+        &points,
+        mechanisms,
+        opts.jobs,
+        opts.shards,
+        &bank,
+    ) {
         Ok(cells) => {
             eprint_timing(cmd, precondition, t0.elapsed());
             Some(cells)
@@ -791,7 +812,7 @@ pub fn sweep_qd(opts: &Options) -> bool {
     };
     let precondition = t0.elapsed();
     let t0 = Instant::now();
-    let cells = match run_qd_sweep_queued_from(
+    let cells = match run_qd_sweep_sharded_from(
         &base,
         &traces,
         point,
@@ -799,6 +820,7 @@ pub fn sweep_qd(opts: &Options) -> bool {
         &mechanisms,
         &setup,
         opts.jobs,
+        opts.shards,
         &bank,
     ) {
         Ok(cells) => cells,
@@ -1016,7 +1038,7 @@ pub fn sweep_rate(opts: &Options) -> bool {
     };
     let precondition = t0.elapsed();
     let t0 = Instant::now();
-    let cells = match run_rate_sweep_queued_from(
+    let cells = match run_rate_sweep_sharded_from(
         &base,
         &traces,
         point,
@@ -1024,6 +1046,7 @@ pub fn sweep_rate(opts: &Options) -> bool {
         &mechanisms,
         &setup,
         opts.jobs,
+        opts.shards,
         &bank,
     ) {
         Ok(cells) => cells,
@@ -1201,6 +1224,7 @@ struct PerfRecord {
     qd: String,
     rates: String,
     wheel: bool,
+    shards: f64,
     events_per_sec: f64,
 }
 
@@ -1223,6 +1247,9 @@ fn parse_perf_history(history: &str) -> Vec<PerfRecord> {
                 rates: json_str_field(line, "rates")?.to_string(),
                 // Absent in pre-wheel archives: those runs measured the heap.
                 wheel: json_bool_field(line, "wheel").unwrap_or(false),
+                // Absent in pre-sharding archives: those runs used the legacy
+                // serial engine (`--shards 0`).
+                shards: json_f64_field(line, "shards").unwrap_or(0.0),
                 events_per_sec: json_f64_field(line, "events_per_sec").filter(|e| e.is_finite())?,
             })
         })();
@@ -1264,8 +1291,10 @@ fn perf_axes(opts: &Options) -> (String, String) {
 /// overall events/sec is compared against the median of the last
 /// [`PERF_GATE_TRAILING`] (10) *comparable* archived runs in
 /// [`PERF_HISTORY_FILE`], where comparable means the same `--quick`,
-/// `--jobs`, `--seed`, `--queue-depth`, `--rate`, and `--timing-wheel`
-/// values (wheel and heap runs are archived under separate keys). Returns
+/// `--jobs`, `--seed`, `--queue-depth`, `--rate`, `--timing-wheel`, and
+/// `--shards` values (wheel and heap runs are archived under separate keys,
+/// and sharded runs never gate against serial ones — the engines have
+/// different per-event costs). Returns
 /// `false` — failing `repro perf` and therefore CI — when throughput drops
 /// below [`PERF_GATE_RATIO`] (0.7×) of that median; skips gracefully while
 /// fewer than [`PERF_GATE_MIN_RUNS`] (3) comparable runs exist. Only runs
@@ -1284,6 +1313,7 @@ fn perf_gate(opts: &Options, events_per_sec: f64) -> bool {
                 && r.qd == qd_axis
                 && r.rates == rate_axis
                 && r.wheel == opts.timing_wheel
+                && r.shards == opts.shards as f64
         })
         .map(|r| r.events_per_sec)
         .collect();
@@ -1325,9 +1355,9 @@ fn perf_gate(opts: &Options, events_per_sec: f64) -> bool {
     if ok {
         let line = format!(
             "{{\"quick\": {}, \"jobs\": {}, \"seed\": {}, \"qd\": \"{qd_axis}\", \
-             \"rates\": \"{rate_axis}\", \"wheel\": {}, \
+             \"rates\": \"{rate_axis}\", \"wheel\": {}, \"shards\": {}, \
              \"events_per_sec\": {events_per_sec:.1}}}\n",
-            opts.quick, opts.jobs, opts.seed, opts.timing_wheel
+            opts.quick, opts.jobs, opts.seed, opts.timing_wheel, opts.shards
         );
         let append = std::fs::OpenOptions::new()
             .create(true)
@@ -1385,13 +1415,15 @@ pub fn perf(opts: &Options) -> bool {
 
     let traces = sweep_traces(opts);
     let t0 = Instant::now();
-    let qd = run_qd_sweep(
+    let qd = run_qd_sweep_sharded(
         &base,
         &traces,
         point,
         &opts.queue_depths,
         &mechanisms,
+        &QueueSetup::single(),
         opts.jobs,
+        opts.shards,
     );
     rows.push(PerfRow {
         name: "sweep-qd",
@@ -1402,7 +1434,16 @@ pub fn perf(opts: &Options) -> bool {
     });
 
     let t0 = Instant::now();
-    let rate = run_rate_sweep(&base, &traces, point, &opts.rates, &mechanisms, opts.jobs);
+    let rate = run_rate_sweep_sharded(
+        &base,
+        &traces,
+        point,
+        &opts.rates,
+        &mechanisms,
+        &QueueSetup::single(),
+        opts.jobs,
+        opts.shards,
+    );
     rows.push(PerfRow {
         name: "sweep-rate",
         cells: rate.len(),
@@ -1437,12 +1478,76 @@ pub fn perf(opts: &Options) -> bool {
         )
     );
 
+    // Intra-run shard scaling: under `--shards N`, re-measure the matrix at
+    // shards {1, N} with both event-queue backends so BENCH_sim.json records
+    // how the sharded engine scales on this host (worker threads only engage
+    // when the host exposes cores; on a single-core runner every shard count
+    // executes inline and the ratio honestly reads ~1×).
+    let mut scaling: Vec<(u32, &'static str, usize, u64, f64)> = Vec::new();
+    if opts.shards > 0 {
+        let (_, traces_rd, points) = eval_inputs(opts);
+        let mut shard_counts = vec![1u32, opts.shards];
+        shard_counts.dedup();
+        for (backend, backend_name) in
+            [(EventBackend::Heap, "heap"), (EventBackend::Wheel, "wheel")]
+        {
+            let cfg = opts.sim_base().with_event_backend(backend);
+            for &s in &shard_counts {
+                let t0 = Instant::now();
+                let cells =
+                    run_matrix_sharded(&cfg, &traces_rd, &points, &Mechanism::FIG14, opts.jobs, s);
+                scaling.push((
+                    s,
+                    backend_name,
+                    cells.len(),
+                    cells.iter().map(|c| c.events).sum(),
+                    t0.elapsed().as_secs_f64(),
+                ));
+            }
+        }
+        let table: Vec<Vec<String>> = scaling
+            .iter()
+            .map(|&(s, backend, _, events, wall_s)| {
+                let base_eps = scaling
+                    .iter()
+                    .find(|&&(bs, bb, ..)| bs == 1 && bb == backend)
+                    .map(|&(.., e, w)| e as f64 / w.max(1e-9))
+                    .unwrap_or(f64::NAN);
+                let eps = events as f64 / wall_s.max(1e-9);
+                vec![
+                    s.to_string(),
+                    backend.to_string(),
+                    format!("{events}"),
+                    format!("{wall_s:.3}"),
+                    format!("{eps:.0}"),
+                    format!("{:.2}x", eps / base_eps),
+                ]
+            })
+            .collect();
+        println!("\nshard scaling (Fig. 14 matrix, speedup vs --shards 1 per backend):");
+        print!(
+            "{}",
+            markdown_table(
+                &[
+                    "shards".into(),
+                    "backend".into(),
+                    "events".into(),
+                    "wall (s)".into(),
+                    "events/sec".into(),
+                    "speedup".into(),
+                ],
+                &table
+            )
+        );
+    }
+
     // Hand-rolled JSON: the workspace's serde is an offline no-op shim.
     let mut json = String::from("{\n  \"bench\": \"sim_throughput\",\n");
     json.push_str(&format!("  \"quick\": {},\n", opts.quick));
     json.push_str(&format!("  \"jobs\": {},\n", opts.jobs));
     json.push_str(&format!("  \"seed\": {},\n", opts.seed));
     json.push_str(&format!("  \"wheel\": {},\n", opts.timing_wheel));
+    json.push_str(&format!("  \"shards\": {},\n", opts.shards));
     json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
@@ -1457,7 +1562,22 @@ pub fn perf(opts: &Options) -> bool {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]");
+    if scaling.is_empty() {
+        json.push('\n');
+    } else {
+        json.push_str(",\n  \"shard_scaling\": [\n");
+        for (i, &(s, backend, cells, events, wall_s)) in scaling.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"shards\": {s}, \"backend\": \"{backend}\", \"cells\": {cells}, \
+                 \"events\": {events}, \"wall_s\": {wall_s:.6}, \"events_per_sec\": {:.1}}}{}\n",
+                events as f64 / wall_s.max(1e-9),
+                if i + 1 < scaling.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n");
+    }
+    json.push_str("}\n");
     if let Err(e) = std::fs::write("BENCH_sim.json", &json) {
         eprintln!("perf: cannot write BENCH_sim.json: {e}");
         return false;
@@ -1497,8 +1617,9 @@ fn sparkline(values: &[f64]) -> String {
 /// `repro perf --plot`: renders the `BENCH_history.jsonl` events/sec
 /// trajectory (the ROADMAP's standing plot item) without measuring a new
 /// run — one ASCII sparkline per comparability group (same
-/// `--quick`/`--jobs`/`--seed`/`--queue-depth`/`--rate`/`--timing-wheel`),
-/// plus a `BENCH_trajectory.csv` export for external plotting. Returns
+/// `--quick`/`--jobs`/`--seed`/`--queue-depth`/`--rate`/`--timing-wheel`/
+/// `--shards`), plus a `BENCH_trajectory.csv` export for external plotting.
+/// Returns
 /// `false` when the archive exists but holds no parsable runs, or when the
 /// CSV cannot be written.
 pub fn perf_plot(_opts: &Options) -> bool {
@@ -1514,8 +1635,8 @@ pub fn perf_plot(_opts: &Options) -> bool {
     let mut groups: Vec<(String, Vec<f64>)> = Vec::new();
     for r in parse_perf_history(&history) {
         let key = format!(
-            "quick={} jobs={} seed={} qd={} rates={} wheel={}",
-            r.quick, r.jobs, r.seed, r.qd, r.rates, r.wheel,
+            "quick={} jobs={} seed={} qd={} rates={} wheel={} shards={}",
+            r.quick, r.jobs, r.seed, r.qd, r.rates, r.wheel, r.shards,
         );
         match groups.iter_mut().find(|(k, _)| *k == key) {
             Some((_, runs)) => runs.push(r.events_per_sec),
@@ -1764,7 +1885,7 @@ pub fn export(opts: &Options) -> bool {
         };
         let precondition = t0.elapsed();
         let t0 = Instant::now();
-        let qd = match run_qd_sweep_queued_from(
+        let qd = match run_qd_sweep_sharded_from(
             &base,
             &traces,
             point,
@@ -1772,6 +1893,7 @@ pub fn export(opts: &Options) -> bool {
             &mechanisms,
             &setup,
             opts.jobs,
+            opts.shards,
             &bank,
         ) {
             Ok(cells) => cells,
@@ -1781,7 +1903,7 @@ pub fn export(opts: &Options) -> bool {
             }
         };
         write("sweep_qd.csv", eval_csv::qd_sweep_csv(&qd));
-        let rate = match run_rate_sweep_queued_from(
+        let rate = match run_rate_sweep_sharded_from(
             &base,
             &traces,
             point,
@@ -1789,6 +1911,7 @@ pub fn export(opts: &Options) -> bool {
             &mechanisms,
             &setup,
             opts.jobs,
+            opts.shards,
             &bank,
         ) {
             Ok(cells) => cells,
@@ -1945,6 +2068,7 @@ pub fn serve(opts: &Options) -> bool {
         mechanisms.join(",")
     );
     let mut arena = SimArena::new();
+    let mut shard_arena = ShardArena::new();
     for line in std::io::stdin().lock().lines() {
         let Ok(line) = line else { break };
         let line = line.trim();
@@ -1976,9 +2100,28 @@ pub fn serve(opts: &Options) -> bool {
         };
         let image = bank.get(trace.footprint_pages);
         let t0 = Instant::now();
-        let report = run_one_queued_from(
-            &mut arena, &base, mechanism, point, trace, &rpt, &setup, qd, image,
-        );
+        // `--shards N` routes the query through the sharded engine; the
+        // protocol lines are byte-identical either way because the reply is
+        // formatted from the same report fields and the sharded engine is
+        // deterministic. `--shards 0` keeps the legacy serial arena.
+        let report = if opts.shards > 0 {
+            run_one_queued_sharded_from(
+                &mut shard_arena,
+                &base,
+                mechanism,
+                point,
+                trace,
+                &rpt,
+                &setup,
+                qd,
+                image,
+                opts.shards,
+            )
+        } else {
+            run_one_queued_from(
+                &mut arena, &base, mechanism, point, trace, &rpt, &setup, qd, image,
+            )
+        };
         eprintln!(
             "serve: {} {} qd={qd} in {:.1} ms",
             trace.name,

@@ -61,6 +61,8 @@ fn main() -> ExitCode {
     let mut gc_stress = false;
     let mut plot = false;
     let mut timing_wheel = false;
+    let mut shards = 0u32;
+    let mut event_backend = rr_sim::config::EventBackend::Heap;
     let mut csv_dir: Option<String> = None;
     let mut from_image: Option<String> = None;
     let mut out: Option<String> = None;
@@ -217,6 +219,28 @@ fn main() -> ExitCode {
             }
             "--plot" => plot = true,
             "--timing-wheel" => timing_wheel = true,
+            "--shards" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<u32>().ok()) else {
+                    eprintln!("--shards requires a non-negative integer value");
+                    return ExitCode::FAILURE;
+                };
+                shards = v;
+            }
+            "--event-backend" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--event-backend requires heap, wheel, or auto");
+                    return ExitCode::FAILURE;
+                };
+                event_backend = match rr_sim::config::EventBackend::parse(v) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("--event-backend: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--gc-stress" => gc_stress = true,
             "--csv" => {
                 i += 1;
@@ -304,6 +328,19 @@ fn main() -> ExitCode {
         eprintln!("--plot applies to the perf command only");
         return ExitCode::FAILURE;
     }
+    // The sharded engine only backs the evaluation runners; accepting the
+    // flag on characterization commands would silently run them serially.
+    if shards > 0
+        && !matches!(
+            command.as_str(),
+            "fig14" | "fig15" | "matrix" | "sweep-qd" | "sweep-rate" | "perf" | "serve" | "all"
+        )
+    {
+        eprintln!(
+            "--shards applies to fig14, fig15, matrix, sweep-qd, sweep-rate, perf, and serve"
+        );
+        return ExitCode::FAILURE;
+    }
     // The GC knobs only reach the load sweeps, their export, and the
     // device-image verbs that feed/serve those sweeps; accepting them
     // elsewhere would print default-policy results under a flag the user
@@ -353,6 +390,8 @@ fn main() -> ExitCode {
         gc_stress,
         plot,
         timing_wheel,
+        shards,
+        event_backend,
         csv_dir,
         from_image,
         out,
@@ -448,13 +487,15 @@ fn print_help() {
          --gc-stress  run the sweeps on the GC-stress workload (shrunken\n           geometry, write-heavy hot range filling the usable space) so GC\n           contends with host traffic; with --queues 2 every read lands on\n           queue 0 and every write on queue 1\n\
          --plot    for perf: render the BENCH_history.jsonl events/sec\n           trajectory (sparkline + BENCH_trajectory.csv) instead of measuring\n\
          --timing-wheel  drive simulations from the hierarchical timing-wheel\n           event queue instead of the default binary heap (bit-identical\n           results; see README 'Performance')\n\
+         --shards N  run each device on the channel-sharded engine with up to\n           N worker threads (fig14/fig15/matrix/sweep-qd/sweep-rate/perf/\n           serve; default 0 = serial engine; any N >= 1 produces output\n           byte-identical to --shards 1, and the perf gate keys sharded\n           runs separately from serial ones)\n\
+         --event-backend heap|wheel|auto  event-queue backend policy\n           (default heap = honor --timing-wheel alone; auto picks the wheel\n           once the per-shard steady-state queue depth crosses the measured\n           crossover; bit-identical results either way)\n\
          --csv DIR for export: write figure + evaluation CSVs into DIR\n\
          --out FILE  for snapshot: write the preconditioned device-image bank\n           (with --gc-stress: the stress image under the GC geometry;\n           otherwise every MSRC/YCSB evaluation footprint)\n\
          --from-image FILE  warm-start fig14/sweep-qd/sweep-rate/export/serve\n           from a snapshot bank instead of preconditioning — stdout is\n           byte-identical; stderr's 'precondition' phase collapses to the\n           file load\n\
          \n\
          perf regression gate: fails below 0.7x the median of the last 10\n\
          comparable archived runs (same --quick/--jobs/--seed/--queue-depth/\n\
-         --rate/--timing-wheel); engages once 3 comparable runs exist — see\n\
-         README 'Perf regression gate'"
+         --rate/--timing-wheel/--shards); engages once 3 comparable runs\n\
+         exist — see README 'Perf regression gate'"
     );
 }

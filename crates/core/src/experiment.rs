@@ -15,6 +15,7 @@ use rr_sim::hostq::HostQueueConfig;
 use rr_sim::metrics::{GcStalls, LatencySummary, SimReport};
 use rr_sim::readflow::{BaselineController, RetryController};
 use rr_sim::replay::ReplayMode;
+use rr_sim::shard::{run_sharded_queued_from, worker_budget, ShardArena};
 use rr_sim::snapshot::{DeviceImage, ImageBank};
 use rr_sim::ssd::{SimArena, Ssd};
 use rr_workloads::trace::Trace;
@@ -78,7 +79,11 @@ impl Mechanism {
     }
 
     /// Builds the retry controller implementing this mechanism.
-    pub fn make_controller(&self, rpt: &ReadTimingParamTable) -> Box<dyn RetryController> {
+    ///
+    /// The controller is `Send` so the sharded engine can move one replica
+    /// onto each channel-core worker thread; the legacy serial engine takes
+    /// the same box unchanged (it coerces to `Box<dyn RetryController>`).
+    pub fn make_controller(&self, rpt: &ReadTimingParamTable) -> Box<dyn RetryController + Send> {
         match self {
             Mechanism::Baseline | Mechanism::NoRR => Box::new(BaselineController::new()),
             Mechanism::Pr2 => Box::new(Pr2Controller::new()),
@@ -191,6 +196,39 @@ pub fn run_one_queued_from(
     run_one_prepared_queued(arena, &cfg, mechanism, trace, rpt, &front, image)
 }
 
+/// [`run_one_queued_from`] on the channel-sharded engine — the per-query
+/// unit behind `repro serve --shards N`. The long-lived [`ShardArena`]
+/// plays the role `SimArena` plays serially; `shards` resolves to a
+/// worker-thread budget exactly as in the sweep runners, and the answer is
+/// bit-identical for any `shards ≥ 1`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_one_queued_sharded_from(
+    arena: &mut ShardArena,
+    base: &SsdConfig,
+    mechanism: Mechanism,
+    point: OperatingPoint,
+    trace: &Trace,
+    rpt: &ReadTimingParamTable,
+    setup: &QueueSetup,
+    queue_depth: u32,
+    image: Option<&DeviceImage>,
+    shards: u32,
+) -> SimReport {
+    let cfg = prepared_config(base, point, mechanism.is_ideal());
+    let front = setup.front(ReplayMode::closed_loop(queue_depth), Some(queue_depth));
+    run_sharded_queued_from(
+        arena,
+        cfg,
+        &|| mechanism.make_controller(rpt),
+        trace.footprint_pages,
+        &trace.requests,
+        &front,
+        image,
+        worker_budget(shards, 1),
+    )
+    .expect("experiment configuration must be valid")
+}
+
 /// Builds the `Arc`-shared per-cell configuration once: `base` at `point`,
 /// with the ideal-SSD switch set for `NoRR`-style mechanisms. Sharing the
 /// `Arc` across a cell group keeps sweep setup from cloning the full config
@@ -278,6 +316,96 @@ fn run_one_prepared_queued(
         image,
     )
     .expect("experiment configuration must be valid")
+}
+
+/// Which per-cell engine a runner drives: the legacy serial event loop
+/// (`--shards 0`, today's default) or the channel-sharded engine of
+/// [`rr_sim::shard`] with a per-cell worker-thread budget.
+///
+/// Sharded results are invariant to both the shard count and the `--jobs`
+/// level (the engine pins event order structurally, not by thread count),
+/// but they are **not** bit-comparable to `Legacy` output: cross-shard hops
+/// quantize to conservative time windows there. The perf gate therefore
+/// keys on `shards` the same way it keys on `wheel`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// The historical serial engine ([`Ssd::run_pooled_queued_from`]).
+    Legacy,
+    /// The channel-sharded engine with this many worker threads per cell.
+    Sharded {
+        /// Worker threads driving the channel cores of one cell.
+        workers: usize,
+    },
+}
+
+impl Engine {
+    /// Resolves the `--shards` × `--jobs` composition: `shards == 0` keeps
+    /// the legacy serial engine; otherwise the host's parallelism is split
+    /// between the `jobs` cell-level workers and each cell gets the
+    /// remainder (at least 1, at most `shards`) as channel-core threads.
+    fn select(shards: u32, jobs: usize) -> Self {
+        if shards == 0 {
+            Engine::Legacy
+        } else {
+            Engine::Sharded {
+                workers: worker_budget(shards, jobs),
+            }
+        }
+    }
+}
+
+/// Per-worker simulation buffers: the legacy serial arena plus the sharded
+/// engine's arena. Whichever engine a run selects, the other arena stays
+/// empty and costs nothing.
+struct Arenas {
+    legacy: SimArena,
+    sharded: ShardArena,
+}
+
+impl Arenas {
+    fn new() -> Self {
+        Self {
+            legacy: SimArena::new(),
+            sharded: ShardArena::new(),
+        }
+    }
+}
+
+/// [`run_one_prepared_queued`] with the engine selectable per run — the
+/// unit of work every engine-aware runner dispatches per worker.
+#[allow(clippy::too_many_arguments)]
+fn run_one_prepared_engine(
+    arenas: &mut Arenas,
+    engine: Engine,
+    cfg: &Arc<SsdConfig>,
+    mechanism: Mechanism,
+    trace: &Trace,
+    rpt: &ReadTimingParamTable,
+    queues: &HostQueueConfig,
+    image: Option<&DeviceImage>,
+) -> SimReport {
+    match engine {
+        Engine::Legacy => run_one_prepared_queued(
+            &mut arenas.legacy,
+            cfg,
+            mechanism,
+            trace,
+            rpt,
+            queues,
+            image,
+        ),
+        Engine::Sharded { workers } => run_sharded_queued_from(
+            &mut arenas.sharded,
+            Arc::clone(cfg),
+            &|| mechanism.make_controller(rpt),
+            trace.footprint_pages,
+            &trace.requests,
+            queues,
+            image,
+            workers,
+        )
+        .expect("experiment configuration must be valid"),
+    }
 }
 
 /// Builds the warm-start bank every runner forks across its cells: one
@@ -428,7 +556,8 @@ pub struct MatrixCell {
 /// computes it.
 #[allow(clippy::too_many_arguments)]
 fn run_cell_group(
-    arena: &mut SimArena,
+    arenas: &mut Arenas,
+    engine: Engine,
     base: &SsdConfig,
     trace: &Trace,
     read_dominant: bool,
@@ -441,18 +570,11 @@ fn run_cell_group(
     // group instead of cloned per mechanism run.
     let cfgs = CellConfigs::new(base, point, mechanisms);
     let image = bank.get(trace.footprint_pages);
-    let run = |arena: &mut SimArena, m: Mechanism| {
-        run_one_prepared(
-            arena,
-            cfgs.get(m),
-            m,
-            trace,
-            rpt,
-            ReplayMode::OpenLoop,
-            image,
-        )
+    let queues = HostQueueConfig::single(ReplayMode::OpenLoop);
+    let run = |arenas: &mut Arenas, m: Mechanism| {
+        run_one_prepared_engine(arenas, engine, cfgs.get(m), m, trace, rpt, &queues, image)
     };
-    let baseline = run(arena, Mechanism::Baseline);
+    let baseline = run(arenas, Mechanism::Baseline);
     let base_rt = baseline.avg_response_us();
     mechanisms
         .iter()
@@ -460,7 +582,7 @@ fn run_cell_group(
             let report = if m == Mechanism::Baseline {
                 baseline.clone()
             } else {
-                run(arena, m)
+                run(arenas, m)
             };
             MatrixCell {
                 workload: trace.name.clone(),
@@ -492,17 +614,19 @@ pub fn run_matrix(
     mechanisms: &[Mechanism],
 ) -> Vec<MatrixCell> {
     let bank = preconditioned_bank(base, traces.iter().map(|(t, _)| t));
-    run_matrix_with_bank(base, traces, points, mechanisms, 1, &bank)
+    run_matrix_with_bank(base, traces, points, mechanisms, 1, Engine::Legacy, &bank)
 }
 
 /// The shared matrix core: every (trace × point) group forks its trace's
 /// image out of `bank` instead of re-preconditioning per cell.
+#[allow(clippy::too_many_arguments)]
 fn run_matrix_with_bank(
     base: &SsdConfig,
     traces: &[(Trace, bool)],
     points: &[OperatingPoint],
     mechanisms: &[Mechanism],
     jobs: usize,
+    engine: Engine,
     bank: &ImageBank,
 ) -> Vec<MatrixCell> {
     let rpt = ReadTimingParamTable::default();
@@ -513,10 +637,11 @@ fn run_matrix_with_bank(
     parallel_ordered(
         &groups,
         jobs,
-        SimArena::new,
-        |arena, &(trace, read_dominant, point)| {
+        Arenas::new,
+        |arenas, &(trace, read_dominant, point)| {
             run_cell_group(
-                arena,
+                arenas,
+                engine,
                 base,
                 trace,
                 read_dominant,
@@ -600,8 +725,32 @@ pub fn run_matrix_parallel(
     mechanisms: &[Mechanism],
     jobs: usize,
 ) -> Vec<MatrixCell> {
+    run_matrix_sharded(base, traces, points, mechanisms, jobs, 0)
+}
+
+/// [`run_matrix_parallel`] with the per-cell engine selectable via
+/// `shards`: 0 keeps the legacy serial engine; N ≥ 1 drives every cell
+/// through the channel-sharded engine, whose output is bit-identical for
+/// any N (and any `jobs`) but keyed separately from serial output in the
+/// perf gate.
+pub fn run_matrix_sharded(
+    base: &SsdConfig,
+    traces: &[(Trace, bool)],
+    points: &[OperatingPoint],
+    mechanisms: &[Mechanism],
+    jobs: usize,
+    shards: u32,
+) -> Vec<MatrixCell> {
     let bank = preconditioned_bank(base, traces.iter().map(|(t, _)| t));
-    run_matrix_with_bank(base, traces, points, mechanisms, jobs, &bank)
+    run_matrix_with_bank(
+        base,
+        traces,
+        points,
+        mechanisms,
+        jobs,
+        Engine::select(shards, jobs),
+        &bank,
+    )
 }
 
 /// [`run_matrix_parallel`] warm-started from an externally supplied image
@@ -620,9 +769,34 @@ pub fn run_matrix_parallel_from(
     jobs: usize,
     bank: &ImageBank,
 ) -> Result<Vec<MatrixCell>, ConfigError> {
+    run_matrix_sharded_from(base, traces, points, mechanisms, jobs, 0, bank)
+}
+
+/// [`run_matrix_parallel_from`] with the per-cell engine selectable via
+/// `shards` (see [`run_matrix_sharded`]).
+///
+/// # Errors
+///
+/// Returns a typed error when the bank lacks an image for some trace
+/// footprint or an image was captured under different model inputs.
+pub fn run_matrix_sharded_from(
+    base: &SsdConfig,
+    traces: &[(Trace, bool)],
+    points: &[OperatingPoint],
+    mechanisms: &[Mechanism],
+    jobs: usize,
+    shards: u32,
+    bank: &ImageBank,
+) -> Result<Vec<MatrixCell>, ConfigError> {
     validate_bank(bank, base, traces.iter().map(|(t, _)| t))?;
     Ok(run_matrix_with_bank(
-        base, traces, points, mechanisms, jobs, bank,
+        base,
+        traces,
+        points,
+        mechanisms,
+        jobs,
+        Engine::select(shards, jobs),
+        bank,
     ))
 }
 
@@ -715,8 +889,70 @@ pub fn run_qd_sweep_queued(
         mechanisms,
         setup,
         jobs,
+        Engine::Legacy,
         &bank,
     )
+}
+
+/// [`run_qd_sweep_queued`] with the per-cell engine selectable via
+/// `shards` (see [`run_matrix_sharded`]): 0 keeps the legacy serial
+/// engine, N ≥ 1 runs every cell on the channel-sharded engine.
+#[allow(clippy::too_many_arguments)]
+pub fn run_qd_sweep_sharded(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    queue_depths: &[u32],
+    mechanisms: &[Mechanism],
+    setup: &QueueSetup,
+    jobs: usize,
+    shards: u32,
+) -> Vec<QdSweepCell> {
+    let bank = preconditioned_bank(base, traces);
+    qd_sweep_with_bank(
+        base,
+        traces,
+        point,
+        queue_depths,
+        mechanisms,
+        setup,
+        jobs,
+        Engine::select(shards, jobs),
+        &bank,
+    )
+}
+
+/// [`run_qd_sweep_sharded`] warm-started from an externally supplied image
+/// bank.
+///
+/// # Errors
+///
+/// Returns a typed error when the bank lacks an image for some trace
+/// footprint or an image was captured under different model inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_qd_sweep_sharded_from(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    queue_depths: &[u32],
+    mechanisms: &[Mechanism],
+    setup: &QueueSetup,
+    jobs: usize,
+    shards: u32,
+    bank: &ImageBank,
+) -> Result<Vec<QdSweepCell>, ConfigError> {
+    validate_bank(bank, base, traces)?;
+    Ok(qd_sweep_with_bank(
+        base,
+        traces,
+        point,
+        queue_depths,
+        mechanisms,
+        setup,
+        jobs,
+        Engine::select(shards, jobs),
+        bank,
+    ))
 }
 
 /// [`run_qd_sweep_queued`] warm-started from an externally supplied image
@@ -747,6 +983,7 @@ pub fn run_qd_sweep_queued_from(
         mechanisms,
         setup,
         jobs,
+        Engine::Legacy,
         bank,
     ))
 }
@@ -760,6 +997,7 @@ fn qd_sweep_with_bank(
     mechanisms: &[Mechanism],
     setup: &QueueSetup,
     jobs: usize,
+    engine: Engine,
     bank: &ImageBank,
 ) -> Vec<QdSweepCell> {
     let rpt = ReadTimingParamTable::default();
@@ -778,11 +1016,12 @@ fn qd_sweep_with_bank(
     parallel_ordered(
         &groups,
         jobs,
-        SimArena::new,
-        |arena, &(trace, queue_depth, m)| {
+        Arenas::new,
+        |arenas, &(trace, queue_depth, m)| {
             let front = setup.front(ReplayMode::closed_loop(queue_depth), Some(queue_depth));
             let image = bank.get(trace.footprint_pages);
-            let report = run_one_prepared_queued(arena, cfgs.get(m), m, trace, &rpt, &front, image);
+            let report =
+                run_one_prepared_engine(arenas, engine, cfgs.get(m), m, trace, &rpt, &front, image);
             QdSweepCell {
                 workload: trace.name.clone(),
                 mechanism: m.name().to_string(),
@@ -884,7 +1123,77 @@ pub fn run_rate_sweep_queued(
     jobs: usize,
 ) -> Vec<RateSweepCell> {
     let bank = preconditioned_bank(base, traces);
-    rate_sweep_with_bank(base, traces, point, rates, mechanisms, setup, jobs, &bank)
+    rate_sweep_with_bank(
+        base,
+        traces,
+        point,
+        rates,
+        mechanisms,
+        setup,
+        jobs,
+        Engine::Legacy,
+        &bank,
+    )
+}
+
+/// [`run_rate_sweep_queued`] with the per-cell engine selectable via
+/// `shards` (see [`run_matrix_sharded`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_rate_sweep_sharded(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    rates: &[f64],
+    mechanisms: &[Mechanism],
+    setup: &QueueSetup,
+    jobs: usize,
+    shards: u32,
+) -> Vec<RateSweepCell> {
+    let bank = preconditioned_bank(base, traces);
+    rate_sweep_with_bank(
+        base,
+        traces,
+        point,
+        rates,
+        mechanisms,
+        setup,
+        jobs,
+        Engine::select(shards, jobs),
+        &bank,
+    )
+}
+
+/// [`run_rate_sweep_sharded`] warm-started from an externally supplied
+/// image bank.
+///
+/// # Errors
+///
+/// Returns a typed error when the bank lacks an image for some trace
+/// footprint or an image was captured under different model inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_rate_sweep_sharded_from(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    rates: &[f64],
+    mechanisms: &[Mechanism],
+    setup: &QueueSetup,
+    jobs: usize,
+    shards: u32,
+    bank: &ImageBank,
+) -> Result<Vec<RateSweepCell>, ConfigError> {
+    validate_bank(bank, base, traces)?;
+    Ok(rate_sweep_with_bank(
+        base,
+        traces,
+        point,
+        rates,
+        mechanisms,
+        setup,
+        jobs,
+        Engine::select(shards, jobs),
+        bank,
+    ))
 }
 
 /// [`run_rate_sweep_queued`] warm-started from an externally supplied image
@@ -908,7 +1217,15 @@ pub fn run_rate_sweep_queued_from(
 ) -> Result<Vec<RateSweepCell>, ConfigError> {
     validate_bank(bank, base, traces)?;
     Ok(rate_sweep_with_bank(
-        base, traces, point, rates, mechanisms, setup, jobs, bank,
+        base,
+        traces,
+        point,
+        rates,
+        mechanisms,
+        setup,
+        jobs,
+        Engine::Legacy,
+        bank,
     ))
 }
 
@@ -921,6 +1238,7 @@ fn rate_sweep_with_bank(
     mechanisms: &[Mechanism],
     setup: &QueueSetup,
     jobs: usize,
+    engine: Engine,
     bank: &ImageBank,
 ) -> Vec<RateSweepCell> {
     let rpt = ReadTimingParamTable::default();
@@ -933,10 +1251,11 @@ fn rate_sweep_with_bank(
                 .flat_map(move |&rate| mechanisms.iter().map(move |&m| (t, rate, m)))
         })
         .collect();
-    parallel_ordered(&groups, jobs, SimArena::new, |arena, &(trace, rate, m)| {
+    parallel_ordered(&groups, jobs, Arenas::new, |arenas, &(trace, rate, m)| {
         let front = setup.front(ReplayMode::open_loop_rate(rate), None);
         let image = bank.get(trace.footprint_pages);
-        let report = run_one_prepared_queued(arena, cfgs.get(m), m, trace, &rpt, &front, image);
+        let report =
+            run_one_prepared_engine(arenas, engine, cfgs.get(m), m, trace, &rpt, &front, image);
         RateSweepCell {
             workload: trace.name.clone(),
             mechanism: m.name().to_string(),
@@ -1304,6 +1623,82 @@ mod tests {
         // Offered load can only hurt (or leave) latency: the rate-4 replay's
         // mean response is at least the rate-0.5 replay's.
         assert!(serial[2].avg_response_us >= serial[0].avg_response_us - 1e-9);
+    }
+
+    #[test]
+    fn sharded_runners_are_invariant_to_shards_and_jobs() {
+        // The engine contract behind `--shards N ≡ --shards 1`: the sharded
+        // runners' output is a pure function of the workload — never of the
+        // shard count or the cell-level job count (which only split host
+        // parallelism differently).
+        let base = SsdConfig::scaled_for_tests();
+        let traces = vec![tiny_trace("a", 60), tiny_trace("b", 40)];
+        let pairs: Vec<(Trace, bool)> = traces.iter().map(|t| (t.clone(), true)).collect();
+        let points = [OperatingPoint::new(2000.0, 6.0)];
+        let point = points[0];
+        let setup = QueueSetup::multi(2, ArbPolicy::WeightedRoundRobin);
+        let m = [Mechanism::Baseline, Mechanism::PnAr2];
+        let matrix_one = run_matrix_sharded(&base, &pairs, &points, &m, 1, 1);
+        let qd_one = run_qd_sweep_sharded(&base, &traces, point, &[4], &m, &setup, 1, 1);
+        let rate_one = run_rate_sweep_sharded(&base, &traces, point, &[2.0], &m, &setup, 1, 1);
+        for (jobs, shards) in [(1, 2), (2, 4), (2, 1)] {
+            assert_eq!(
+                matrix_one,
+                run_matrix_sharded(&base, &pairs, &points, &m, jobs, shards),
+                "matrix diverged at jobs={jobs} shards={shards}"
+            );
+            assert_eq!(
+                qd_one,
+                run_qd_sweep_sharded(&base, &traces, point, &[4], &m, &setup, jobs, shards),
+                "qd sweep diverged at jobs={jobs} shards={shards}"
+            );
+            assert_eq!(
+                rate_one,
+                run_rate_sweep_sharded(&base, &traces, point, &[2.0], &m, &setup, jobs, shards),
+                "rate sweep diverged at jobs={jobs} shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_serve_unit_matches_the_sharded_sweep_cell() {
+        // The serve fix rides the same engine: one warm-started sharded
+        // query answers exactly what the sharded sweep reports for the cell.
+        let base = SsdConfig::scaled_for_tests();
+        let trace = tiny_trace("q", 50);
+        let point = OperatingPoint::new(2000.0, 6.0);
+        let setup = QueueSetup::single();
+        let rpt = ReadTimingParamTable::default();
+        let bank = ImageBank::preconditioned(&base, [trace.footprint_pages]).expect("valid config");
+        let cells = run_qd_sweep_sharded_from(
+            &base,
+            std::slice::from_ref(&trace),
+            point,
+            &[8],
+            &[Mechanism::PnAr2],
+            &setup,
+            1,
+            2,
+            &bank,
+        )
+        .expect("bank covers the sweep");
+        let mut arena = ShardArena::new();
+        let report = run_one_queued_sharded_from(
+            &mut arena,
+            &base,
+            Mechanism::PnAr2,
+            point,
+            &trace,
+            &rpt,
+            &setup,
+            8,
+            bank.get(trace.footprint_pages),
+            2,
+        );
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].reads, report.read_latency);
+        assert_eq!(cells[0].avg_response_us, report.avg_response_us());
+        assert_eq!(cells[0].events, report.events_processed);
     }
 
     #[test]

@@ -473,6 +473,11 @@ impl Ssd {
         queues
             .validate()
             .expect("valid host-queue configuration and replay modes");
+        // The queue is empty here, so retargeting the backend is free; the
+        // default `heap` backend leaves `timing_wheel` in charge, so this is
+        // a no-op unless `hotpath.event_backend` asks for `wheel`/`auto`.
+        self.events
+            .set_wheel(self.cfg.hotpath.wheel_for_depth(queues.steady_depth_hint()));
         for r in trace {
             assert!(
                 r.lpn + r.len_pages as u64 <= self.ftl.lpn_count(),

@@ -8,14 +8,18 @@
 
 use proc_macro::TokenStream;
 
-/// No-op stand-in for `serde_derive::Serialize`.
-#[proc_macro_derive(Serialize)]
+/// No-op stand-in for `serde_derive::Serialize`. Registers the inert
+/// `#[serde(...)]` helper attribute so field annotations like
+/// `#[serde(default)]` keep compiling.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// No-op stand-in for `serde_derive::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+/// No-op stand-in for `serde_derive::Deserialize`. Registers the inert
+/// `#[serde(...)]` helper attribute so field annotations like
+/// `#[serde(default)]` keep compiling.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }

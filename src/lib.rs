@@ -43,16 +43,18 @@ pub use rr_workloads as workloads;
 pub mod prelude {
     pub use rr_charact::platform::TestPlatform;
     pub use rr_core::experiment::{
-        run_matrix, run_matrix_parallel, run_matrix_parallel_from, run_one, run_one_queued_from,
+        run_matrix, run_matrix_parallel, run_matrix_parallel_from, run_matrix_sharded,
+        run_matrix_sharded_from, run_one, run_one_queued_from, run_one_queued_sharded_from,
         run_one_with_mode, run_qd_sweep, run_qd_sweep_queued, run_qd_sweep_queued_from,
-        run_rate_sweep, run_rate_sweep_queued, run_rate_sweep_queued_from, Mechanism,
+        run_qd_sweep_sharded, run_qd_sweep_sharded_from, run_rate_sweep, run_rate_sweep_queued,
+        run_rate_sweep_queued_from, run_rate_sweep_sharded, run_rate_sweep_sharded_from, Mechanism,
         OperatingPoint, QdSweepCell, QueueSetup, RateSweepCell,
     };
     pub use rr_core::rpt::ReadTimingParamTable;
     pub use rr_core::{Ar2Controller, PnAr2Controller, Pr2Controller, PsoController};
     pub use rr_ecc::engine::{BchEccEngine, EccEngineModel, EccOutcome};
     pub use rr_flash::prelude::*;
-    pub use rr_sim::config::{ArbPolicy, ConfigError, SsdConfig};
+    pub use rr_sim::config::{ArbPolicy, ConfigError, EventBackend, SsdConfig};
     pub use rr_sim::gc::GcPolicy;
     pub use rr_sim::hostq::{HostQueueConfig, QueueSpec};
     pub use rr_sim::metrics::{GcStalls, LatencySummary, QueueLatency};
@@ -60,6 +62,7 @@ pub mod prelude {
     pub use rr_sim::replay::ReplayMode;
     pub use rr_sim::request::{HostRequest, IoOp};
     pub use rr_sim::scheduler::Arbiter;
+    pub use rr_sim::shard::{run_sharded_queued_from, worker_budget, ShardArena, SHARD_WINDOW_US};
     pub use rr_sim::snapshot::{DeviceImage, ImageBank};
     pub use rr_sim::ssd::{SimArena, Ssd};
     pub use rr_util::rng::Rng;

@@ -1,6 +1,7 @@
 //! Hot-path equivalence suite: every performance switch must be
 //! **semantics-neutral**. The page-profile cache, the pooled transaction
-//! slab, the timing-wheel event queue, and the cross-run arena may only
+//! slab, the timing-wheel event queue, the `auto` event-backend policy, the
+//! channel-sharded engine's worker count, and the cross-run arena may only
 //! change wall-clock — a run's
 //! [`ssd_readretry::sim::metrics::SimReport`] must be bit-identical with any
 //! combination of them on or off, across workload families, replay modes,
@@ -595,6 +596,108 @@ fn mismatched_banks_are_rejected_with_a_typed_error() {
         &missing_footprint
     )
     .is_err());
+}
+
+#[test]
+fn auto_event_backend_is_bit_neutral_across_backends_and_depths() {
+    // The `auto` policy only chooses *which* queue runs the events; every
+    // choice is semantics-neutral, so auto must match both the heap default
+    // and the explicit wheel — below the crossover depth (where it keeps the
+    // heap) and at depths past it (where it switches to the wheel).
+    use ssd_readretry::sim::config::EventBackend;
+    let heap = base_cfg();
+    let auto = base_cfg().with_event_backend(EventBackend::Auto);
+    let wheel = base_cfg().with_event_backend(EventBackend::Wheel);
+    assert_equivalent(&heap, &auto, "auto event backend (vs heap)");
+    assert_equivalent(&wheel, &auto, "auto event backend (vs wheel)");
+    // Past the crossover the hint flips auto to the wheel: drive a deep
+    // closed-loop multi-queue front end and pin the report either way.
+    let rpt = ReadTimingParamTable::default();
+    let trace = MsrcWorkload::Mds1.synthesize(300, 11);
+    let deep = HostQueueConfig::uniform(2, Mode::closed_loop(128));
+    let run =
+        |cfg: &SsdConfig| {
+            let cfg = cfg.clone().with_condition(
+                ssd_readretry::flash::calibration::OperatingCondition::new(2000.0, 6.0, 30.0),
+            );
+            Ssd::new(
+                cfg,
+                Mechanism::PnAr2.make_controller(&rpt),
+                trace.footprint_pages,
+            )
+            .expect("valid configuration")
+            .run_with_queues(&trace.requests, &deep)
+        };
+    assert!(
+        deep.steady_depth_hint() >= ssd_readretry::sim::config::AUTO_WHEEL_CROSSOVER_DEPTH,
+        "test front end must sit past the auto crossover"
+    );
+    assert_eq!(
+        run(&heap),
+        run(&auto),
+        "auto backend changed a deep-queue report"
+    );
+}
+
+/// Runs the GC-stress multi-queue WRR workload on the channel-sharded
+/// engine with the given worker budget (the same cell the CI shard smoke
+/// diffs through `repro sweep-qd --gc-stress`).
+fn sharded_gc_stress(cfg: &SsdConfig, workers: usize) -> ssd_readretry::sim::metrics::SimReport {
+    let rpt = ReadTimingParamTable::default();
+    let footprint = cfg.max_lpns();
+    let trace = ssd_readretry::workloads::synth::gc_stress_trace(footprint, 2_000).requests;
+    let front = HostQueueConfig::uniform(2, Mode::closed_loop(16))
+        .with_arb(ssd_readretry::sim::config::ArbPolicy::WeightedRoundRobin)
+        .with_weights(&[2, 1])
+        .with_window(16);
+    let mut arena = ShardArena::new();
+    run_sharded_queued_from(
+        &mut arena,
+        cfg.clone(),
+        &|| Mechanism::PnAr2.make_controller(&rpt),
+        footprint,
+        &trace,
+        &front,
+        None,
+        workers,
+    )
+    .expect("valid configuration")
+}
+
+#[test]
+fn sharded_engine_is_worker_invariant_under_gc_stress_multi_queue_wrr() {
+    // The tentpole contract: the worker budget only selects which thread
+    // executes a channel core — `--shards N` must be bit-identical to
+    // `--shards 1` even while garbage collection, read-over-program
+    // suspension, and WRR arbitration are all active.
+    let mut cfg = base_cfg().with_condition(
+        ssd_readretry::flash::calibration::OperatingCondition::new(2000.0, 6.0, 30.0),
+    );
+    cfg.chip.blocks_per_plane = 16;
+    cfg.chip.pages_per_block = 12;
+    let serial = sharded_gc_stress(&cfg, 1);
+    assert!(serial.gc_collections > 0, "run must exercise GC");
+    for workers in [2, 4] {
+        assert_eq!(
+            serial,
+            sharded_gc_stress(&cfg, workers),
+            "sharded report diverged at workers = {workers}"
+        );
+    }
+}
+
+#[test]
+fn sharded_engine_wheel_is_bit_identical_to_heap() {
+    // Both hot-path switches compose: each shard core's event queue may sit
+    // on the heap or the timing wheel without perturbing the merged report.
+    let mut cfg = base_cfg().with_condition(
+        ssd_readretry::flash::calibration::OperatingCondition::new(2000.0, 6.0, 30.0),
+    );
+    cfg.chip.blocks_per_plane = 16;
+    cfg.chip.pages_per_block = 12;
+    let heap = sharded_gc_stress(&cfg, 2);
+    let wheel = sharded_gc_stress(&cfg.clone().with_timing_wheel(true), 2);
+    assert_eq!(heap, wheel, "timing wheel changed a sharded report");
 }
 
 #[test]
