@@ -4,14 +4,15 @@ use crate::render::{markdown_table, pct, shade, us_opt};
 use rr_charact::figures::{self, TimingParam};
 use rr_charact::platform::TestPlatform;
 use rr_core::experiment::{
-    reduction_vs, run_matrix_parallel, run_matrix_sharded, run_matrix_sharded_from,
-    run_one_queued_from, run_one_queued_sharded_from, run_qd_sweep_sharded,
-    run_qd_sweep_sharded_from, run_rate_sweep_sharded, run_rate_sweep_sharded_from, Mechanism,
-    OperatingPoint, QueueSetup,
+    reduction_vs, run_matrix_array, run_matrix_array_from, run_matrix_parallel, run_matrix_sharded,
+    run_one_queued_array_from, run_one_queued_from, run_one_queued_sharded_from,
+    run_qd_sweep_array, run_qd_sweep_array_from, run_rate_sweep_array, run_rate_sweep_array_from,
+    ArrayCellStats, ArraySetup, Mechanism, OperatingPoint, QueueSetup,
 };
 use rr_core::rpt::ReadTimingParamTable;
 use rr_flash::calibration::ECC_CAPABILITY_PER_KIB;
 use rr_flash::timing::NandTimings;
+use rr_sim::array::{DeviceSet, PlacementPolicy};
 use rr_sim::config::{ArbPolicy, EventBackend, SsdConfig};
 use rr_sim::gc::GcPolicy;
 use rr_sim::metrics::{GcStalls, LatencySummary};
@@ -66,6 +67,15 @@ pub struct Options {
     /// produces output byte-identical to `--shards 1`; the perf gate keys
     /// sharded runs separately from serial ones.
     pub shards: u32,
+    /// Devices in the simulated array (1 = the classic single-device stack,
+    /// byte-identical to the pre-array CLI). `fig14`, the load sweeps,
+    /// `export`, `perf`, and `serve` accept N ≥ 2 and report merged
+    /// distributions plus per-device tail attribution.
+    pub devices: u32,
+    /// How array runs route host requests across devices (`rr` round-robin
+    /// stripe, `hash` LPN-hash, `tier` hot/cold tiering). Ignored at
+    /// `--devices 1`.
+    pub placement: PlacementPolicy,
     /// Event-queue backend policy (`hotpath.event_backend`): `heap` honors
     /// `--timing-wheel` alone, `wheel` pins the wheel, `auto` picks the
     /// wheel once the per-shard steady-state depth crosses the measured
@@ -116,6 +126,15 @@ impl Options {
             .with_seed(self.seed)
             .with_timing_wheel(self.timing_wheel)
             .with_event_backend(self.event_backend)
+    }
+
+    /// The `--devices`/`--placement` pair as an [`ArraySetup`]; one device
+    /// keeps every runner on its pre-array code path.
+    fn array_setup(&self) -> ArraySetup {
+        ArraySetup {
+            devices: self.devices,
+            placement: self.placement,
+        }
     }
 
     fn queue_setup(&self) -> QueueSetup {
@@ -616,7 +635,15 @@ fn eval_inputs(opts: &Options) -> (SsdConfig, Vec<(Trace, bool)>, Vec<OperatingP
 
 fn run_eval(opts: &Options, mechanisms: &[Mechanism]) -> Vec<rr_core::experiment::MatrixCell> {
     let (base, traces, points) = eval_inputs(opts);
-    run_matrix_sharded(&base, &traces, &points, mechanisms, opts.jobs, opts.shards)
+    run_matrix_array(
+        &base,
+        &traces,
+        &points,
+        mechanisms,
+        opts.jobs,
+        opts.shards,
+        opts.array_setup(),
+    )
 }
 
 /// [`run_eval`] with the device-image plumbing: the bank comes from
@@ -639,13 +666,14 @@ fn run_eval_timed(
     )?;
     let precondition = t0.elapsed();
     let t0 = Instant::now();
-    match run_matrix_sharded_from(
+    match run_matrix_array_from(
         &base,
         &traces,
         &points,
         mechanisms,
         opts.jobs,
         opts.shards,
+        opts.array_setup(),
         &bank,
     ) {
         Ok(cells) => {
@@ -710,6 +738,22 @@ pub fn fig14(opts: &Options) -> bool {
         return false;
     };
     print_matrix(&cells, &Mechanism::FIG14);
+    if opts.devices > 1 {
+        print_array_tails(cells.iter().filter_map(|c| {
+            c.array.as_ref().map(|a| {
+                (
+                    format!(
+                        "{} @ ({}, {} mo) / {}",
+                        c.workload,
+                        c.point.pec as u64,
+                        c.point.retention_months as u64,
+                        c.mechanism
+                    ),
+                    a,
+                )
+            })
+        }));
+    }
     println!();
     for m in ["PR2", "AR2", "PnAR2"] {
         let s = reduction_vs(&cells, m, "Baseline", false);
@@ -812,7 +856,7 @@ pub fn sweep_qd(opts: &Options) -> bool {
     };
     let precondition = t0.elapsed();
     let t0 = Instant::now();
-    let cells = match run_qd_sweep_sharded_from(
+    let cells = match run_qd_sweep_array_from(
         &base,
         &traces,
         point,
@@ -821,6 +865,7 @@ pub fn sweep_qd(opts: &Options) -> bool {
         &setup,
         opts.jobs,
         opts.shards,
+        opts.array_setup(),
         &bank,
     ) {
         Ok(cells) => cells,
@@ -895,7 +940,7 @@ pub fn sweep_qd(opts: &Options) -> bool {
             &rows
         )
     );
-    if setup.queues > 1 {
+    if setup.queues > 1 && opts.devices == 1 {
         print_per_queue_reads(
             &setup,
             cells.iter().map(|c| {
@@ -906,7 +951,7 @@ pub fn sweep_qd(opts: &Options) -> bool {
             }),
         );
     }
-    if opts.gc_policy != GcPolicy::Greedy {
+    if opts.gc_policy != GcPolicy::Greedy && opts.devices == 1 {
         print_per_queue_gc(
             opts.gc_policy,
             cells.iter().map(|c| {
@@ -916,6 +961,16 @@ pub fn sweep_qd(opts: &Options) -> bool {
                 )
             }),
         );
+    }
+    if opts.devices > 1 {
+        print_array_tails(cells.iter().filter_map(|c| {
+            c.array.as_ref().map(|a| {
+                (
+                    format!("{} / {} / QD={}", c.workload, c.mechanism, c.queue_depth),
+                    a,
+                )
+            })
+        }));
     }
     println!(
         "\n(closed-loop: trace timestamps ignored, QD requests kept outstanding;\n\
@@ -1014,6 +1069,80 @@ fn print_per_queue_gc<'a>(
     );
 }
 
+/// The array tail tables of a `--devices N` run: one per-device read-tail
+/// and GC-attribution row per (cell, device), then the array-level
+/// amplification summary (array tail vs. best/median device, slowest-device
+/// attribution) that makes one device's GC storm visible in array p99.9.
+fn print_array_tails<'a>(cells: impl Iterator<Item = (String, &'a ArrayCellStats)>) {
+    let cells: Vec<(String, &ArrayCellStats)> = cells.collect();
+    let Some((_, first)) = cells.first() else {
+        return;
+    };
+    println!(
+        "\nper-device read tails ({} device(s), {} placement):",
+        first.devices, first.placement
+    );
+    let mut rows = Vec::new();
+    for (prefix, a) in &cells {
+        for (d, tail) in a.per_device.iter().enumerate() {
+            rows.push(vec![
+                prefix.clone(),
+                format!("d{d}"),
+                tail.reads.count.to_string(),
+                us_opt(tail.reads.p99),
+                us_opt(tail.reads.p999),
+                tail.gc.stalls().to_string(),
+                format!("{:.1}", tail.gc.stall_us),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "run".into(),
+                "device".into(),
+                "reads".into(),
+                "p99".into(),
+                "p99.9".into(),
+                "gc stalls".into(),
+                "gc stall µs".into(),
+            ],
+            &rows
+        )
+    );
+    println!("\narray tail amplification (array p99/p99.9 ÷ median device):");
+    let amp = |v: Option<f64>| v.map_or_else(|| "—".into(), |v| format!("{v:.2}x"));
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|(prefix, a)| {
+            vec![
+                prefix.clone(),
+                amp(a.amplification_p99),
+                amp(a.amplification_p999),
+                us_opt(a.best_read_p999),
+                us_opt(a.median_read_p999),
+                a.slowest_device
+                    .map_or_else(|| "—".into(), |d| format!("d{d}")),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "run".into(),
+                "amp p99".into(),
+                "amp p99.9".into(),
+                "best p99.9".into(),
+                "median p99.9".into(),
+                "slowest".into(),
+            ],
+            &rows
+        )
+    );
+}
+
 /// Offered-load sweep: open-loop replay with each configured arrival-rate
 /// multiplier — the hockey-stick sibling of `sweep-qd`. Returns `false`
 /// when a `--from-image` bank cannot be loaded or does not cover the sweep
@@ -1038,7 +1167,7 @@ pub fn sweep_rate(opts: &Options) -> bool {
     };
     let precondition = t0.elapsed();
     let t0 = Instant::now();
-    let cells = match run_rate_sweep_sharded_from(
+    let cells = match run_rate_sweep_array_from(
         &base,
         &traces,
         point,
@@ -1047,6 +1176,7 @@ pub fn sweep_rate(opts: &Options) -> bool {
         &setup,
         opts.jobs,
         opts.shards,
+        opts.array_setup(),
         &bank,
     ) {
         Ok(cells) => cells,
@@ -1117,7 +1247,7 @@ pub fn sweep_rate(opts: &Options) -> bool {
             &rows
         )
     );
-    if setup.queues > 1 {
+    if setup.queues > 1 && opts.devices == 1 {
         print_per_queue_reads(
             &setup,
             cells.iter().map(|c| {
@@ -1128,7 +1258,7 @@ pub fn sweep_rate(opts: &Options) -> bool {
             }),
         );
     }
-    if opts.gc_policy != GcPolicy::Greedy {
+    if opts.gc_policy != GcPolicy::Greedy && opts.devices == 1 {
         print_per_queue_gc(
             opts.gc_policy,
             cells.iter().map(|c| {
@@ -1138,6 +1268,16 @@ pub fn sweep_rate(opts: &Options) -> bool {
                 )
             }),
         );
+    }
+    if opts.devices > 1 {
+        print_array_tails(cells.iter().filter_map(|c| {
+            c.array.as_ref().map(|a| {
+                (
+                    format!("{} / {} / rate={}", c.workload, c.mechanism, c.rate),
+                    a,
+                )
+            })
+        }));
     }
     println!(
         "\n(open-loop: trace timestamps divided by the rate multiplier; rates past\n\
@@ -1225,6 +1365,8 @@ struct PerfRecord {
     rates: String,
     wheel: bool,
     shards: f64,
+    devices: f64,
+    placement: String,
     events_per_sec: f64,
 }
 
@@ -1250,6 +1392,12 @@ fn parse_perf_history(history: &str) -> Vec<PerfRecord> {
                 // Absent in pre-sharding archives: those runs used the legacy
                 // serial engine (`--shards 0`).
                 shards: json_f64_field(line, "shards").unwrap_or(0.0),
+                // Absent in pre-array archives: those runs measured the
+                // single-device stack (`--devices 1`, placement irrelevant).
+                devices: json_f64_field(line, "devices").unwrap_or(1.0),
+                placement: json_str_field(line, "placement")
+                    .unwrap_or("rr")
+                    .to_string(),
                 events_per_sec: json_f64_field(line, "events_per_sec").filter(|e| e.is_finite())?,
             })
         })();
@@ -1291,10 +1439,11 @@ fn perf_axes(opts: &Options) -> (String, String) {
 /// overall events/sec is compared against the median of the last
 /// [`PERF_GATE_TRAILING`] (10) *comparable* archived runs in
 /// [`PERF_HISTORY_FILE`], where comparable means the same `--quick`,
-/// `--jobs`, `--seed`, `--queue-depth`, `--rate`, `--timing-wheel`, and
-/// `--shards` values (wheel and heap runs are archived under separate keys,
-/// and sharded runs never gate against serial ones — the engines have
-/// different per-event costs). Returns
+/// `--jobs`, `--seed`, `--queue-depth`, `--rate`, `--timing-wheel`,
+/// `--shards`, `--devices`, and `--placement` values (wheel and heap runs
+/// are archived under separate keys, sharded runs never gate against serial
+/// ones, and N-device array runs never gate against single-device ones —
+/// the engines have different per-event costs). Returns
 /// `false` — failing `repro perf` and therefore CI — when throughput drops
 /// below [`PERF_GATE_RATIO`] (0.7×) of that median; skips gracefully while
 /// fewer than [`PERF_GATE_MIN_RUNS`] (3) comparable runs exist. Only runs
@@ -1314,6 +1463,8 @@ fn perf_gate(opts: &Options, events_per_sec: f64) -> bool {
                 && r.rates == rate_axis
                 && r.wheel == opts.timing_wheel
                 && r.shards == opts.shards as f64
+                && r.devices == opts.devices as f64
+                && r.placement == opts.placement.name()
         })
         .map(|r| r.events_per_sec)
         .collect();
@@ -1356,8 +1507,15 @@ fn perf_gate(opts: &Options, events_per_sec: f64) -> bool {
         let line = format!(
             "{{\"quick\": {}, \"jobs\": {}, \"seed\": {}, \"qd\": \"{qd_axis}\", \
              \"rates\": \"{rate_axis}\", \"wheel\": {}, \"shards\": {}, \
+             \"devices\": {}, \"placement\": \"{}\", \
              \"events_per_sec\": {events_per_sec:.1}}}\n",
-            opts.quick, opts.jobs, opts.seed, opts.timing_wheel, opts.shards
+            opts.quick,
+            opts.jobs,
+            opts.seed,
+            opts.timing_wheel,
+            opts.shards,
+            opts.devices,
+            opts.placement.name()
         );
         let append = std::fs::OpenOptions::new()
             .create(true)
@@ -1415,7 +1573,7 @@ pub fn perf(opts: &Options) -> bool {
 
     let traces = sweep_traces(opts);
     let t0 = Instant::now();
-    let qd = run_qd_sweep_sharded(
+    let qd = run_qd_sweep_array(
         &base,
         &traces,
         point,
@@ -1424,6 +1582,7 @@ pub fn perf(opts: &Options) -> bool {
         &QueueSetup::single(),
         opts.jobs,
         opts.shards,
+        opts.array_setup(),
     );
     rows.push(PerfRow {
         name: "sweep-qd",
@@ -1434,7 +1593,7 @@ pub fn perf(opts: &Options) -> bool {
     });
 
     let t0 = Instant::now();
-    let rate = run_rate_sweep_sharded(
+    let rate = run_rate_sweep_array(
         &base,
         &traces,
         point,
@@ -1443,6 +1602,7 @@ pub fn perf(opts: &Options) -> bool {
         &QueueSetup::single(),
         opts.jobs,
         opts.shards,
+        opts.array_setup(),
     );
     rows.push(PerfRow {
         name: "sweep-rate",
@@ -1548,6 +1708,11 @@ pub fn perf(opts: &Options) -> bool {
     json.push_str(&format!("  \"seed\": {},\n", opts.seed));
     json.push_str(&format!("  \"wheel\": {},\n", opts.timing_wheel));
     json.push_str(&format!("  \"shards\": {},\n", opts.shards));
+    json.push_str(&format!("  \"devices\": {},\n", opts.devices));
+    json.push_str(&format!(
+        "  \"placement\": \"{}\",\n",
+        opts.placement.name()
+    ));
     json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
@@ -1618,7 +1783,8 @@ fn sparkline(values: &[f64]) -> String {
 /// trajectory (the ROADMAP's standing plot item) without measuring a new
 /// run — one ASCII sparkline per comparability group (same
 /// `--quick`/`--jobs`/`--seed`/`--queue-depth`/`--rate`/`--timing-wheel`/
-/// `--shards`), plus a `BENCH_trajectory.csv` export for external plotting.
+/// `--shards`/`--devices`/`--placement`), plus a `BENCH_trajectory.csv`
+/// export for external plotting.
 /// Returns
 /// `false` when the archive exists but holds no parsable runs, or when the
 /// CSV cannot be written.
@@ -1635,8 +1801,8 @@ pub fn perf_plot(_opts: &Options) -> bool {
     let mut groups: Vec<(String, Vec<f64>)> = Vec::new();
     for r in parse_perf_history(&history) {
         let key = format!(
-            "quick={} jobs={} seed={} qd={} rates={} wheel={} shards={}",
-            r.quick, r.jobs, r.seed, r.qd, r.rates, r.wheel, r.shards,
+            "quick={} jobs={} seed={} qd={} rates={} wheel={} shards={} devices={} placement={}",
+            r.quick, r.jobs, r.seed, r.qd, r.rates, r.wheel, r.shards, r.devices, r.placement,
         );
         match groups.iter_mut().find(|(k, _)| *k == key) {
             Some((_, runs)) => runs.push(r.events_per_sec),
@@ -1885,7 +2051,7 @@ pub fn export(opts: &Options) -> bool {
         };
         let precondition = t0.elapsed();
         let t0 = Instant::now();
-        let qd = match run_qd_sweep_sharded_from(
+        let qd = match run_qd_sweep_array_from(
             &base,
             &traces,
             point,
@@ -1894,6 +2060,7 @@ pub fn export(opts: &Options) -> bool {
             &setup,
             opts.jobs,
             opts.shards,
+            opts.array_setup(),
             &bank,
         ) {
             Ok(cells) => cells,
@@ -1903,7 +2070,7 @@ pub fn export(opts: &Options) -> bool {
             }
         };
         write("sweep_qd.csv", eval_csv::qd_sweep_csv(&qd));
-        let rate = match run_rate_sweep_sharded_from(
+        let rate = match run_rate_sweep_array_from(
             &base,
             &traces,
             point,
@@ -1912,6 +2079,7 @@ pub fn export(opts: &Options) -> bool {
             &setup,
             opts.jobs,
             opts.shards,
+            opts.array_setup(),
             &bank,
         ) {
             Ok(cells) => cells,
@@ -2018,15 +2186,19 @@ const SERVE_MECHANISMS: [Mechanism; 9] = [
 /// `repro serve`: loads (or preconditions) a device-image bank once, then
 /// answers replay queries line-by-line from stdin until EOF or `quit`.
 ///
-/// Protocol, one line per query: `<workload> <mechanism> <qd>` (e.g.
-/// `mds_1 PnAR2 16`) replays that workload closed-loop at the given queue
-/// depth under the (2K P/E, 6 mo) highlight point, warm-started from the
-/// workload's aged image. Replies on stdout: a single `ready ...` line at
-/// startup, then `ok workload=.. mechanism=.. qd=.. reads=.. read_p99_us=..
-/// avg_us=.. kiops=.. events=..` (or `err <reason>`) per query — stdout
-/// stays deterministic; per-query wall clock goes to stderr. Because every
-/// query restores the image into a reused arena instead of re-reading the
-/// file or re-aging the device, answers after startup cost milliseconds.
+/// Protocol, one line per query: `<workload> <mechanism> <qd> [devices]`
+/// (e.g. `mds_1 PnAR2 16`) replays that workload closed-loop at the given
+/// queue depth under the (2K P/E, 6 mo) highlight point, warm-started from
+/// the workload's aged image. Replies on stdout: a single `ready ...` line
+/// at startup, then `ok workload=.. mechanism=.. qd=.. reads=..
+/// read_p99_us=.. avg_us=.. kiops=.. events=..` (or `err <reason>`) per
+/// query — stdout stays deterministic; per-query wall clock goes to stderr.
+/// The optional fourth field replays the query on an N-device array (the
+/// `--placement` routing; omitted = the CLI's `--devices`); single-device
+/// replies stay byte-identical to the pre-array protocol, array replies
+/// insert `devices=N` after `qd=`. Because every query restores the image
+/// into reused arenas instead of re-reading the file or re-aging the
+/// device, answers after startup cost milliseconds.
 pub fn serve(opts: &Options) -> bool {
     use std::io::BufRead;
     let (base, traces) = sweep_setup(opts);
@@ -2058,7 +2230,7 @@ pub fn serve(opts: &Options) -> bool {
     let names: Vec<&str> = traces.iter().map(|t| t.name.as_str()).collect();
     let mechanisms: Vec<&str> = SERVE_MECHANISMS.iter().map(Mechanism::name).collect();
     eprintln!(
-        "serve: image bank ready in {:.1} ms; protocol: '<workload> <mechanism> <qd>' \
+        "serve: image bank ready in {:.1} ms; protocol: '<workload> <mechanism> <qd> [devices]' \
          per line, 'quit' to exit",
         ms(t0.elapsed())
     );
@@ -2069,6 +2241,9 @@ pub fn serve(opts: &Options) -> bool {
     );
     let mut arena = SimArena::new();
     let mut shard_arena = ShardArena::new();
+    // One `DeviceSet` per queried array width: its per-device arenas are the
+    // N restore targets the image forks land in, reused across queries.
+    let mut device_sets: Vec<DeviceSet> = Vec::new();
     for line in std::io::stdin().lock().lines() {
         let Ok(line) = line else { break };
         let line = line.trim();
@@ -2079,9 +2254,13 @@ pub fn serve(opts: &Options) -> bool {
             break;
         }
         let parts: Vec<&str> = line.split_whitespace().collect();
-        let [workload, mechanism, qd] = parts[..] else {
-            println!("err expected '<workload> <mechanism> <qd>'");
-            continue;
+        let (workload, mechanism, qd, devices_field) = match parts[..] {
+            [w, m, q] => (w, m, q, None),
+            [w, m, q, d] => (w, m, q, Some(d)),
+            _ => {
+                println!("err expected '<workload> <mechanism> <qd> [devices]'");
+                continue;
+            }
         };
         let Some(trace) = traces.iter().find(|t| t.name == workload) else {
             println!("err unknown workload {workload} (have {})", names.join(","));
@@ -2098,6 +2277,77 @@ pub fn serve(opts: &Options) -> bool {
             println!("err qd must be an integer >= 1");
             continue;
         };
+        let devices = match devices_field {
+            None => opts.devices,
+            Some(d) => match d.parse::<u32>().ok().filter(|&v| v >= 1) {
+                Some(d) => d,
+                None => {
+                    println!("err devices must be an integer >= 1");
+                    continue;
+                }
+            },
+        };
+        if devices > 1 {
+            let set_idx = match device_sets.iter().position(|s| s.devices() == devices) {
+                Some(i) => i,
+                None => {
+                    device_sets
+                        .push(DeviceSet::new(devices).expect("devices is validated to be >= 1"));
+                    device_sets.len() - 1
+                }
+            };
+            let routed = trace.split_routed(devices, |i, r| {
+                opts.placement.route(i, r, devices, trace.footprint_pages)
+            });
+            let forks = match bank.fork_for_array(trace.footprint_pages, devices) {
+                Ok(forks) => forks,
+                Err(e) => {
+                    println!("err {e}");
+                    continue;
+                }
+            };
+            let t0 = Instant::now();
+            let report = match run_one_queued_array_from(
+                &mut device_sets[set_idx],
+                &base,
+                mechanism,
+                point,
+                &routed,
+                trace.footprint_pages,
+                &rpt,
+                &setup,
+                qd,
+                Some(forks.as_slice()),
+                opts.shards,
+            ) {
+                Ok(report) => report,
+                Err(e) => {
+                    println!("err {e}");
+                    continue;
+                }
+            };
+            eprintln!(
+                "serve: {} {} qd={qd} devices={devices} in {:.1} ms",
+                trace.name,
+                mechanism.name(),
+                ms(t0.elapsed())
+            );
+            println!(
+                "ok workload={} mechanism={} qd={qd} devices={devices} reads={} \
+                 read_p99_us={} avg_us={:.1} kiops={:.2} events={}",
+                trace.name,
+                mechanism.name(),
+                report.read_latency.count,
+                report
+                    .read_latency
+                    .p99
+                    .map_or_else(|| "-".into(), |v| format!("{v:.1}")),
+                report.avg_response_us(),
+                report.kiops(),
+                report.events_processed,
+            );
+            continue;
+        }
         let image = bank.get(trace.footprint_pages);
         let t0 = Instant::now();
         // `--shards N` routes the query through the sharded engine; the

@@ -32,7 +32,7 @@
 //!            sweep-qd, sweep-rate, export, and serve replay from it via
 //!            --from-image img.rrimg with byte-identical stdout
 //!   serve    load an image bank once, then answer '<workload> <mechanism>
-//!            <qd>' replay queries from stdin in milliseconds each
+//!            <qd> [devices]' replay queries from stdin in milliseconds each
 //!   extensions  the §8 future-work mechanisms (Eager-PnAR2, AR2-Regular)
 //!   ablation    design-choice ablations (fixed vs adaptive tPRE, PSO guard)
 //!   all      everything above
@@ -62,6 +62,9 @@ fn main() -> ExitCode {
     let mut plot = false;
     let mut timing_wheel = false;
     let mut shards = 0u32;
+    let mut devices = 1u32;
+    let mut placement = rr_sim::array::PlacementPolicy::RoundRobin;
+    let mut placement_given = false;
     let mut event_backend = rr_sim::config::EventBackend::Heap;
     let mut csv_dir: Option<String> = None;
     let mut from_image: Option<String> = None;
@@ -227,6 +230,30 @@ fn main() -> ExitCode {
                 };
                 shards = v;
             }
+            "--devices" => {
+                i += 1;
+                let Some(v) = args
+                    .get(i)
+                    .and_then(|s| s.parse::<u32>().ok())
+                    .filter(|&v| v >= 1)
+                else {
+                    eprintln!("--devices requires an integer value >= 1");
+                    return ExitCode::FAILURE;
+                };
+                devices = v;
+            }
+            "--placement" => {
+                i += 1;
+                let parsed = args
+                    .get(i)
+                    .and_then(|s| rr_sim::array::PlacementPolicy::parse(s));
+                let Some(v) = parsed else {
+                    eprintln!("--placement requires 'rr', 'hash', or 'tier'");
+                    return ExitCode::FAILURE;
+                };
+                placement = v;
+                placement_given = true;
+            }
             "--event-backend" => {
                 i += 1;
                 let Some(v) = args.get(i) else {
@@ -341,6 +368,19 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    // The array layer only backs the evaluation runners and the replay
+    // server; accepting --devices elsewhere would silently run one device.
+    if (devices > 1 || placement_given)
+        && !matches!(
+            command.as_str(),
+            "fig14" | "sweep-qd" | "sweep-rate" | "export" | "perf" | "serve"
+        )
+    {
+        eprintln!(
+            "--devices/--placement apply to fig14, sweep-qd, sweep-rate, export, perf, and serve"
+        );
+        return ExitCode::FAILURE;
+    }
     // The GC knobs only reach the load sweeps, their export, and the
     // device-image verbs that feed/serve those sweeps; accepting them
     // elsewhere would print default-policy results under a flag the user
@@ -391,6 +431,8 @@ fn main() -> ExitCode {
         plot,
         timing_wheel,
         shards,
+        devices,
+        placement,
         event_backend,
         csv_dir,
         from_image,
@@ -488,6 +530,8 @@ fn print_help() {
          --plot    for perf: render the BENCH_history.jsonl events/sec\n           trajectory (sparkline + BENCH_trajectory.csv) instead of measuring\n\
          --timing-wheel  drive simulations from the hierarchical timing-wheel\n           event queue instead of the default binary heap (bit-identical\n           results; see README 'Performance')\n\
          --shards N  run each device on the channel-sharded engine with up to\n           N worker threads (fig14/fig15/matrix/sweep-qd/sweep-rate/perf/\n           serve; default 0 = serial engine; any N >= 1 produces output\n           byte-identical to --shards 1, and the perf gate keys sharded\n           runs separately from serial ones)\n\
+         --devices N  route each trace across an array of N full-footprint\n           replica devices (fig14/sweep-qd/sweep-rate/export/perf/serve;\n           default 1 = byte-identical to the single-device stack) and report\n           array-merged distributions plus per-device tails\n\
+         --placement rr|hash|tier  how requests pick a device with\n           --devices N: rr stripes round-robin (default), hash routes by\n           LPN hash, tier sends the hot low-LPN quarter to the first half\n           of the array and hashes the rest over the other half\n\
          --event-backend heap|wheel|auto  event-queue backend policy\n           (default heap = honor --timing-wheel alone; auto picks the wheel\n           once the per-shard steady-state queue depth crosses the measured\n           crossover; bit-identical results either way)\n\
          --csv DIR for export: write figure + evaluation CSVs into DIR\n\
          --out FILE  for snapshot: write the preconditioned device-image bank\n           (with --gc-stress: the stress image under the GC geometry;\n           otherwise every MSRC/YCSB evaluation footprint)\n\
@@ -495,7 +539,7 @@ fn print_help() {
          \n\
          perf regression gate: fails below 0.7x the median of the last 10\n\
          comparable archived runs (same --quick/--jobs/--seed/--queue-depth/\n\
-         --rate/--timing-wheel/--shards); engages once 3 comparable runs\n\
-         exist — see README 'Perf regression gate'"
+         --rate/--timing-wheel/--shards/--devices/--placement); engages once\n\
+         3 comparable runs exist — see README 'Perf regression gate'"
     );
 }

@@ -10,11 +10,13 @@ use crate::mechanisms::{Ar2Controller, PnAr2Controller, Pr2Controller};
 use crate::pso::PsoController;
 use crate::rpt::ReadTimingParamTable;
 use rr_flash::calibration::OperatingCondition;
+use rr_sim::array::{ArrayReport, DeviceSet, PlacementPolicy};
 use rr_sim::config::{ArbPolicy, ConfigError, SsdConfig};
 use rr_sim::hostq::HostQueueConfig;
 use rr_sim::metrics::{GcStalls, LatencySummary, SimReport};
 use rr_sim::readflow::{BaselineController, RetryController};
 use rr_sim::replay::ReplayMode;
+use rr_sim::request::HostRequest;
 use rr_sim::shard::{run_sharded_queued_from, worker_budget, ShardArena};
 use rr_sim::snapshot::{DeviceImage, ImageBank};
 use rr_sim::ssd::{SimArena, Ssd};
@@ -229,6 +231,54 @@ pub fn run_one_queued_sharded_from(
     .expect("experiment configuration must be valid")
 }
 
+/// [`run_one_queued_from`] across a device array — the per-query unit
+/// behind `repro serve` with `devices > 1`. `device_traces` is the routed
+/// split of the query's workload (the server caches it per device count),
+/// `images` the per-device warm-start fork from
+/// [`rr_sim::snapshot::ImageBank::fork_for_array`], and `shards` composes
+/// exactly as in the sweep runners (0 = legacy engine per device).
+///
+/// # Errors
+///
+/// Returns a typed error on a device-count mismatch between `set`,
+/// `device_traces`, and `images`, or on any device-run configuration error.
+#[allow(clippy::too_many_arguments)]
+pub fn run_one_queued_array_from(
+    set: &mut DeviceSet,
+    base: &SsdConfig,
+    mechanism: Mechanism,
+    point: OperatingPoint,
+    device_traces: &[Trace],
+    footprint: u64,
+    rpt: &ReadTimingParamTable,
+    setup: &QueueSetup,
+    queue_depth: u32,
+    images: Option<&[&DeviceImage]>,
+    shards: u32,
+) -> Result<ArrayReport, ConfigError> {
+    let cfg = prepared_config(base, point, mechanism.is_ideal());
+    let front = setup.front(ReplayMode::closed_loop(queue_depth), Some(queue_depth));
+    let devices = set.devices();
+    let shard_workers = match Engine::select(shards, devices as usize) {
+        Engine::Legacy => 0,
+        Engine::Sharded { workers } => workers,
+    };
+    let slices: Vec<&[HostRequest]> = device_traces
+        .iter()
+        .map(|t| t.requests.as_slice())
+        .collect();
+    set.run_queued_from(
+        &cfg,
+        &|| mechanism.make_controller(rpt),
+        footprint,
+        &slices,
+        &front,
+        images,
+        shard_workers,
+        worker_budget(devices, 1),
+    )
+}
+
 /// Builds the `Arc`-shared per-cell configuration once: `base` at `point`,
 /// with the ideal-SSD switch set for `NoRR`-style mechanisms. Sharing the
 /// `Arc` across a cell group keeps sweep setup from cloning the full config
@@ -408,6 +458,164 @@ fn run_one_prepared_engine(
     }
 }
 
+/// The device-count axis of every array-aware runner: how many
+/// full-footprint replica devices the trace is routed across (`--devices`)
+/// and which [`PlacementPolicy`] does the routing (`--placement`).
+/// [`ArraySetup::single`] makes every `run_*_array*` runner delegate
+/// bit-identically to its single-device sibling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArraySetup {
+    /// Number of devices in the array (≥ 1).
+    pub devices: u32,
+    /// Which device each request lands on.
+    pub placement: PlacementPolicy,
+}
+
+impl ArraySetup {
+    /// The single-device setup: array runners reduce to today's paths.
+    pub fn single() -> Self {
+        Self {
+            devices: 1,
+            placement: PlacementPolicy::default(),
+        }
+    }
+
+    /// An array of `devices` devices routed by `placement`.
+    pub fn new(devices: u32, placement: PlacementPolicy) -> Self {
+        Self { devices, placement }
+    }
+
+    /// Whether this setup actually fans out (more than one device).
+    pub fn is_array(&self) -> bool {
+        self.devices > 1
+    }
+}
+
+impl Default for ArraySetup {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+/// Per-device tail diagnostics of one array cell: enough to attribute an
+/// array-level p99.9 excursion to the device (and the GC activity) that
+/// caused it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceTail {
+    /// Requests this device completed.
+    pub completed: u64,
+    /// This device's read latency distribution (µs).
+    pub reads: LatencySummary,
+    /// GC-induced stall attribution summed over this device's queues.
+    pub gc: GcStalls,
+    /// Discrete simulator events this device processed.
+    pub events: u64,
+}
+
+/// Array-level statistics attached to a cell that ran on `devices > 1`:
+/// per-device distributions plus the tail-amplification quantities (array
+/// quantile ÷ best-device quantile), so one device's GC storm is visible in
+/// the array p99.9.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayCellStats {
+    /// Number of devices the cell ran across.
+    pub devices: u32,
+    /// Placement policy name (`rr`, `hash`, `tier`).
+    pub placement: String,
+    /// Per-device tails, indexed by device id.
+    pub per_device: Vec<DeviceTail>,
+    /// Array read p99 ÷ best-device read p99.
+    pub amplification_p99: Option<f64>,
+    /// Array read p99.9 ÷ best-device read p99.9.
+    pub amplification_p999: Option<f64>,
+    /// Best (lowest) per-device read p99.9, µs.
+    pub best_read_p999: Option<f64>,
+    /// Median per-device read p99.9, µs.
+    pub median_read_p999: Option<f64>,
+    /// Device with the worst read p99.9 — the array-tail suspect.
+    pub slowest_device: Option<u32>,
+}
+
+impl ArrayCellStats {
+    fn from_report(report: &ArrayReport, placement: PlacementPolicy) -> Self {
+        Self {
+            devices: report.device_count(),
+            placement: placement.name().to_string(),
+            per_device: report
+                .devices
+                .iter()
+                .enumerate()
+                .map(|(d, r)| DeviceTail {
+                    completed: r.requests_completed,
+                    reads: r.read_latency,
+                    gc: report.device_gc(d),
+                    events: r.events_processed,
+                })
+                .collect(),
+            amplification_p99: report.amplification_p99(),
+            amplification_p999: report.amplification_p999(),
+            best_read_p999: report.best_device_read_p999(),
+            median_read_p999: report.median_device_read_p999(),
+            slowest_device: report.slowest_device(),
+        }
+    }
+}
+
+/// Average retry steps per read across the array, weighted by each device's
+/// retry-histogram population — the exact pooled mean, since every device's
+/// histogram covers the full step range (the overflow bin is structurally
+/// empty).
+fn array_avg_retry_steps(report: &ArrayReport) -> f64 {
+    let total: u64 = report.devices.iter().map(|d| d.retry_steps.total()).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    report
+        .devices
+        .iter()
+        .map(|d| d.retry_steps.mean() * d.retry_steps.total() as f64)
+        .sum::<f64>()
+        / total as f64
+}
+
+/// [`run_one_prepared_engine`] across a device array: the routed sub-traces
+/// in `device_traces` run on `set`'s devices — each under the engine
+/// `engine` selects (shard workers per device), at most `device_workers`
+/// devices concurrently — and merge into one [`ArrayReport`].
+#[allow(clippy::too_many_arguments)]
+fn run_one_prepared_array(
+    set: &mut DeviceSet,
+    engine: Engine,
+    device_workers: usize,
+    cfg: &Arc<SsdConfig>,
+    mechanism: Mechanism,
+    footprint: u64,
+    device_traces: &[Trace],
+    rpt: &ReadTimingParamTable,
+    queues: &HostQueueConfig,
+    images: Option<&[&DeviceImage]>,
+) -> ArrayReport {
+    let slices: Vec<&[HostRequest]> = device_traces
+        .iter()
+        .map(|t| t.requests.as_slice())
+        .collect();
+    let shard_workers = match engine {
+        Engine::Legacy => 0,
+        Engine::Sharded { workers } => workers,
+    };
+    set.run_queued_from(
+        cfg,
+        &|| mechanism.make_controller(rpt),
+        footprint,
+        &slices,
+        queues,
+        images,
+        shard_workers,
+        device_workers,
+    )
+    .expect("experiment configuration must be valid")
+}
+
 /// Builds the warm-start bank every runner forks across its cells: one
 /// preconditioned image per distinct footprint in `traces`. This is the
 /// "precondition once" half of the tentpole — per-cell work then reduces to
@@ -543,6 +751,9 @@ pub struct MatrixCell {
     /// Discrete simulator events this cell processed (the `repro perf`
     /// throughput numerator).
     pub events: u64,
+    /// Array-level statistics when the cell ran on `devices > 1`; `None`
+    /// for every single-device run (all pre-array output).
+    pub array: Option<ArrayCellStats>,
 }
 
 /// Computes the cells of one (trace, operating-point) group: the `Baseline`
@@ -598,6 +809,7 @@ fn run_cell_group(
                 avg_retry_steps: report.avg_retry_steps(),
                 read_latency: report.read_latency,
                 events: report.events_processed,
+                array: None,
             }
         })
         .collect()
@@ -800,6 +1012,185 @@ pub fn run_matrix_sharded_from(
     ))
 }
 
+/// [`run_matrix_sharded`]'s array sibling: routes every trace across
+/// `array.devices` full-footprint replica devices (preconditioning one image
+/// per footprint and forking it across the array) and reports array-merged
+/// cells. `array.devices ≤ 1` delegates **bit-identically** to
+/// [`run_matrix_sharded`] — the array layer adds no code to that path.
+#[allow(clippy::too_many_arguments)]
+pub fn run_matrix_array(
+    base: &SsdConfig,
+    traces: &[(Trace, bool)],
+    points: &[OperatingPoint],
+    mechanisms: &[Mechanism],
+    jobs: usize,
+    shards: u32,
+    array: ArraySetup,
+) -> Vec<MatrixCell> {
+    if !array.is_array() {
+        return run_matrix_sharded(base, traces, points, mechanisms, jobs, shards);
+    }
+    let bank = preconditioned_bank(base, traces.iter().map(|(t, _)| t));
+    matrix_array_with_bank(base, traces, points, mechanisms, jobs, shards, array, &bank)
+        .expect("the preconditioned bank covers every footprint")
+}
+
+/// [`run_matrix_array`] warm-started from an externally supplied image bank
+/// (`repro fig14 --from-image --devices N`): each footprint's single image
+/// is forked across all `array.devices` devices. `array.devices ≤ 1`
+/// delegates bit-identically to [`run_matrix_sharded_from`].
+///
+/// # Errors
+///
+/// Returns a typed error when the bank lacks an image for some trace
+/// footprint, an image was captured under different model inputs, or the
+/// fork cannot cover the device count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_matrix_array_from(
+    base: &SsdConfig,
+    traces: &[(Trace, bool)],
+    points: &[OperatingPoint],
+    mechanisms: &[Mechanism],
+    jobs: usize,
+    shards: u32,
+    array: ArraySetup,
+    bank: &ImageBank,
+) -> Result<Vec<MatrixCell>, ConfigError> {
+    if !array.is_array() {
+        return run_matrix_sharded_from(base, traces, points, mechanisms, jobs, shards, bank);
+    }
+    validate_bank(bank, base, traces.iter().map(|(t, _)| t))?;
+    matrix_array_with_bank(base, traces, points, mechanisms, jobs, shards, array, bank)
+}
+
+/// The shared array-matrix core (`array.devices ≥ 2`): each trace is routed
+/// once up front, its image forked across the array once, and every (trace
+/// × point) group runs on a per-worker [`DeviceSet`] whose device arenas
+/// persist across the groups that worker processes.
+#[allow(clippy::too_many_arguments)]
+fn matrix_array_with_bank(
+    base: &SsdConfig,
+    traces: &[(Trace, bool)],
+    points: &[OperatingPoint],
+    mechanisms: &[Mechanism],
+    jobs: usize,
+    shards: u32,
+    array: ArraySetup,
+    bank: &ImageBank,
+) -> Result<Vec<MatrixCell>, ConfigError> {
+    let devices = array.devices;
+    let rpt = ReadTimingParamTable::default();
+    // The device×shard worker budget: the host's cores split across `jobs`
+    // cell workers × up to `devices` concurrent devices, each of which may
+    // further run `shards` channel cores.
+    let engine = Engine::select(shards, jobs.max(1).saturating_mul(devices as usize));
+    let device_workers = worker_budget(devices, jobs.max(1));
+    let routed: Vec<Vec<Trace>> = traces
+        .iter()
+        .map(|(t, _)| {
+            t.split_routed(devices, |i, r| {
+                array.placement.route(i, r, devices, t.footprint_pages)
+            })
+        })
+        .collect();
+    let mut forks: Vec<Vec<&DeviceImage>> = Vec::with_capacity(traces.len());
+    for (t, _) in traces {
+        forks.push(bank.fork_for_array(t.footprint_pages, devices)?);
+    }
+    let groups: Vec<(usize, OperatingPoint)> = (0..traces.len())
+        .flat_map(|ti| points.iter().map(move |&p| (ti, p)))
+        .collect();
+    Ok(parallel_ordered(
+        &groups,
+        jobs,
+        || DeviceSet::new(devices).expect("array setups have at least one device"),
+        |set, &(ti, point)| {
+            let (trace, read_dominant) = &traces[ti];
+            run_array_cell_group(
+                set,
+                engine,
+                device_workers,
+                base,
+                trace,
+                &routed[ti],
+                &forks[ti],
+                *read_dominant,
+                point,
+                mechanisms,
+                &rpt,
+                array.placement,
+            )
+        },
+    )
+    .into_iter()
+    .flatten()
+    .collect())
+}
+
+/// The array sibling of [`run_cell_group`]: one (trace, point) group across
+/// the device set, `Baseline` first so every other mechanism normalizes to
+/// it, with each mechanism's report merged from the per-device runs.
+#[allow(clippy::too_many_arguments)]
+fn run_array_cell_group(
+    set: &mut DeviceSet,
+    engine: Engine,
+    device_workers: usize,
+    base: &SsdConfig,
+    trace: &Trace,
+    device_traces: &[Trace],
+    images: &[&DeviceImage],
+    read_dominant: bool,
+    point: OperatingPoint,
+    mechanisms: &[Mechanism],
+    rpt: &ReadTimingParamTable,
+    placement: PlacementPolicy,
+) -> Vec<MatrixCell> {
+    let cfgs = CellConfigs::new(base, point, mechanisms);
+    let queues = HostQueueConfig::single(ReplayMode::OpenLoop);
+    let run = |set: &mut DeviceSet, m: Mechanism| {
+        run_one_prepared_array(
+            set,
+            engine,
+            device_workers,
+            cfgs.get(m),
+            m,
+            trace.footprint_pages,
+            device_traces,
+            rpt,
+            &queues,
+            Some(images),
+        )
+    };
+    let baseline = run(set, Mechanism::Baseline);
+    let base_rt = baseline.avg_response_us();
+    mechanisms
+        .iter()
+        .map(|&m| {
+            let report = if m == Mechanism::Baseline {
+                baseline.clone()
+            } else {
+                run(set, m)
+            };
+            MatrixCell {
+                workload: trace.name.clone(),
+                read_dominant,
+                point,
+                mechanism: m.name().to_string(),
+                avg_response_us: report.avg_response_us(),
+                normalized: if base_rt > 0.0 {
+                    report.avg_response_us() / base_rt
+                } else {
+                    1.0
+                },
+                avg_retry_steps: array_avg_retry_steps(&report),
+                read_latency: report.read_latency,
+                events: report.events_processed,
+                array: Some(ArrayCellStats::from_report(&report, placement)),
+            }
+        })
+        .collect()
+}
+
 /// One cell of a queue-depth sweep: closed-loop replay of one workload at
 /// one queue depth under one mechanism.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -832,7 +1223,11 @@ pub struct QdSweepCell {
     pub per_queue_reads: Vec<LatencySummary>,
     /// Per-queue GC-induced stall attribution (suspensions, preemptions,
     /// waits, deferrals, total stall µs), one entry per submission queue.
+    /// Empty for array cells (per-device attribution lives in `array`).
     pub per_queue_gc: Vec<GcStalls>,
+    /// Array-level statistics when the cell ran on `devices > 1`; `None`
+    /// for every single-device run (all pre-array output).
+    pub array: Option<ArrayCellStats>,
 }
 
 /// Sweeps closed-loop queue depths over `traces` × `queue_depths` ×
@@ -988,6 +1383,178 @@ pub fn run_qd_sweep_queued_from(
     ))
 }
 
+/// [`run_qd_sweep_sharded`]'s array sibling: each cell routes its trace
+/// across `array.devices` replica devices (every device closed-loop at the
+/// swept depth) and reports the array-merged distributions plus per-device
+/// tails. `array.devices ≤ 1` delegates bit-identically to
+/// [`run_qd_sweep_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_qd_sweep_array(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    queue_depths: &[u32],
+    mechanisms: &[Mechanism],
+    setup: &QueueSetup,
+    jobs: usize,
+    shards: u32,
+    array: ArraySetup,
+) -> Vec<QdSweepCell> {
+    if !array.is_array() {
+        return run_qd_sweep_sharded(
+            base,
+            traces,
+            point,
+            queue_depths,
+            mechanisms,
+            setup,
+            jobs,
+            shards,
+        );
+    }
+    let bank = preconditioned_bank(base, traces);
+    qd_sweep_array_with_bank(
+        base,
+        traces,
+        point,
+        queue_depths,
+        mechanisms,
+        setup,
+        jobs,
+        shards,
+        array,
+        &bank,
+    )
+    .expect("the preconditioned bank covers every footprint")
+}
+
+/// [`run_qd_sweep_array`] warm-started from an externally supplied image
+/// bank. `array.devices ≤ 1` delegates bit-identically to
+/// [`run_qd_sweep_sharded_from`].
+///
+/// # Errors
+///
+/// Returns a typed error when the bank lacks an image for some trace
+/// footprint, an image was captured under different model inputs, or the
+/// fork cannot cover the device count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_qd_sweep_array_from(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    queue_depths: &[u32],
+    mechanisms: &[Mechanism],
+    setup: &QueueSetup,
+    jobs: usize,
+    shards: u32,
+    array: ArraySetup,
+    bank: &ImageBank,
+) -> Result<Vec<QdSweepCell>, ConfigError> {
+    if !array.is_array() {
+        return run_qd_sweep_sharded_from(
+            base,
+            traces,
+            point,
+            queue_depths,
+            mechanisms,
+            setup,
+            jobs,
+            shards,
+            bank,
+        );
+    }
+    validate_bank(bank, base, traces)?;
+    qd_sweep_array_with_bank(
+        base,
+        traces,
+        point,
+        queue_depths,
+        mechanisms,
+        setup,
+        jobs,
+        shards,
+        array,
+        bank,
+    )
+}
+
+/// The shared array-QD-sweep core (`array.devices ≥ 2`).
+#[allow(clippy::too_many_arguments)]
+fn qd_sweep_array_with_bank(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    queue_depths: &[u32],
+    mechanisms: &[Mechanism],
+    setup: &QueueSetup,
+    jobs: usize,
+    shards: u32,
+    array: ArraySetup,
+    bank: &ImageBank,
+) -> Result<Vec<QdSweepCell>, ConfigError> {
+    let devices = array.devices;
+    let rpt = ReadTimingParamTable::default();
+    let cfgs = CellConfigs::new(base, point, mechanisms);
+    let engine = Engine::select(shards, jobs.max(1).saturating_mul(devices as usize));
+    let device_workers = worker_budget(devices, jobs.max(1));
+    let routed: Vec<Vec<Trace>> = traces
+        .iter()
+        .map(|t| {
+            t.split_routed(devices, |i, r| {
+                array.placement.route(i, r, devices, t.footprint_pages)
+            })
+        })
+        .collect();
+    let mut forks: Vec<Vec<&DeviceImage>> = Vec::with_capacity(traces.len());
+    for t in traces {
+        forks.push(bank.fork_for_array(t.footprint_pages, devices)?);
+    }
+    let groups: Vec<(usize, u32, Mechanism)> = (0..traces.len())
+        .flat_map(|ti| {
+            queue_depths
+                .iter()
+                .flat_map(move |&qd| mechanisms.iter().map(move |&m| (ti, qd, m)))
+        })
+        .collect();
+    Ok(parallel_ordered(
+        &groups,
+        jobs,
+        || DeviceSet::new(devices).expect("array setups have at least one device"),
+        |set, &(ti, queue_depth, m)| {
+            let trace = &traces[ti];
+            let front = setup.front(ReplayMode::closed_loop(queue_depth), Some(queue_depth));
+            let report = run_one_prepared_array(
+                set,
+                engine,
+                device_workers,
+                cfgs.get(m),
+                m,
+                trace.footprint_pages,
+                &routed[ti],
+                &rpt,
+                &front,
+                Some(forks[ti].as_slice()),
+            );
+            QdSweepCell {
+                workload: trace.name.clone(),
+                mechanism: m.name().to_string(),
+                queue_depth,
+                point,
+                reads: report.read_latency,
+                writes: report.write_latency,
+                retried_reads: report.retried_read_latency,
+                avg_response_us: report.avg_response_us(),
+                kiops: report.kiops(),
+                events: report.events_processed,
+                queues: setup.queues,
+                per_queue_reads: Vec::new(),
+                per_queue_gc: Vec::new(),
+                array: Some(ArrayCellStats::from_report(&report, array.placement)),
+            }
+        },
+    ))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn qd_sweep_with_bank(
     base: &SsdConfig,
@@ -1036,6 +1603,7 @@ fn qd_sweep_with_bank(
                 queues: setup.queues,
                 per_queue_reads: report.per_queue.iter().map(|q| q.reads).collect(),
                 per_queue_gc: report.per_queue.iter().map(|q| q.gc).collect(),
+                array: None,
             }
         },
     )
@@ -1074,7 +1642,11 @@ pub struct RateSweepCell {
     pub per_queue_reads: Vec<LatencySummary>,
     /// Per-queue GC-induced stall attribution (suspensions, preemptions,
     /// waits, deferrals, total stall µs), one entry per submission queue.
+    /// Empty for array cells (per-device attribution lives in `array`).
     pub per_queue_gc: Vec<GcStalls>,
+    /// Array-level statistics when the cell ran on `devices > 1`; `None`
+    /// for every single-device run (all pre-array output).
+    pub array: Option<ArrayCellStats>,
 }
 
 /// Sweeps open-loop offered load over `traces` × `rates` × `mechanisms` at
@@ -1229,6 +1801,143 @@ pub fn run_rate_sweep_queued_from(
     ))
 }
 
+/// [`run_rate_sweep_sharded`]'s array sibling: each cell routes its
+/// rate-scaled open-loop trace across `array.devices` replica devices and
+/// reports the array-merged distributions plus per-device tails.
+/// `array.devices ≤ 1` delegates bit-identically to
+/// [`run_rate_sweep_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_rate_sweep_array(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    rates: &[f64],
+    mechanisms: &[Mechanism],
+    setup: &QueueSetup,
+    jobs: usize,
+    shards: u32,
+    array: ArraySetup,
+) -> Vec<RateSweepCell> {
+    if !array.is_array() {
+        return run_rate_sweep_sharded(base, traces, point, rates, mechanisms, setup, jobs, shards);
+    }
+    let bank = preconditioned_bank(base, traces);
+    rate_sweep_array_with_bank(
+        base, traces, point, rates, mechanisms, setup, jobs, shards, array, &bank,
+    )
+    .expect("the preconditioned bank covers every footprint")
+}
+
+/// [`run_rate_sweep_array`] warm-started from an externally supplied image
+/// bank. `array.devices ≤ 1` delegates bit-identically to
+/// [`run_rate_sweep_sharded_from`].
+///
+/// # Errors
+///
+/// Returns a typed error when the bank lacks an image for some trace
+/// footprint, an image was captured under different model inputs, or the
+/// fork cannot cover the device count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_rate_sweep_array_from(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    rates: &[f64],
+    mechanisms: &[Mechanism],
+    setup: &QueueSetup,
+    jobs: usize,
+    shards: u32,
+    array: ArraySetup,
+    bank: &ImageBank,
+) -> Result<Vec<RateSweepCell>, ConfigError> {
+    if !array.is_array() {
+        return run_rate_sweep_sharded_from(
+            base, traces, point, rates, mechanisms, setup, jobs, shards, bank,
+        );
+    }
+    validate_bank(bank, base, traces)?;
+    rate_sweep_array_with_bank(
+        base, traces, point, rates, mechanisms, setup, jobs, shards, array, bank,
+    )
+}
+
+/// The shared array-rate-sweep core (`array.devices ≥ 2`).
+#[allow(clippy::too_many_arguments)]
+fn rate_sweep_array_with_bank(
+    base: &SsdConfig,
+    traces: &[Trace],
+    point: OperatingPoint,
+    rates: &[f64],
+    mechanisms: &[Mechanism],
+    setup: &QueueSetup,
+    jobs: usize,
+    shards: u32,
+    array: ArraySetup,
+    bank: &ImageBank,
+) -> Result<Vec<RateSweepCell>, ConfigError> {
+    let devices = array.devices;
+    let rpt = ReadTimingParamTable::default();
+    let cfgs = CellConfigs::new(base, point, mechanisms);
+    let engine = Engine::select(shards, jobs.max(1).saturating_mul(devices as usize));
+    let device_workers = worker_budget(devices, jobs.max(1));
+    let routed: Vec<Vec<Trace>> = traces
+        .iter()
+        .map(|t| {
+            t.split_routed(devices, |i, r| {
+                array.placement.route(i, r, devices, t.footprint_pages)
+            })
+        })
+        .collect();
+    let mut forks: Vec<Vec<&DeviceImage>> = Vec::with_capacity(traces.len());
+    for t in traces {
+        forks.push(bank.fork_for_array(t.footprint_pages, devices)?);
+    }
+    let groups: Vec<(usize, f64, Mechanism)> = (0..traces.len())
+        .flat_map(|ti| {
+            rates
+                .iter()
+                .flat_map(move |&rate| mechanisms.iter().map(move |&m| (ti, rate, m)))
+        })
+        .collect();
+    Ok(parallel_ordered(
+        &groups,
+        jobs,
+        || DeviceSet::new(devices).expect("array setups have at least one device"),
+        |set, &(ti, rate, m)| {
+            let trace = &traces[ti];
+            let front = setup.front(ReplayMode::open_loop_rate(rate), None);
+            let report = run_one_prepared_array(
+                set,
+                engine,
+                device_workers,
+                cfgs.get(m),
+                m,
+                trace.footprint_pages,
+                &routed[ti],
+                &rpt,
+                &front,
+                Some(forks[ti].as_slice()),
+            );
+            RateSweepCell {
+                workload: trace.name.clone(),
+                mechanism: m.name().to_string(),
+                rate,
+                point,
+                reads: report.read_latency,
+                writes: report.write_latency,
+                retried_reads: report.retried_read_latency,
+                avg_response_us: report.avg_response_us(),
+                kiops: report.kiops(),
+                events: report.events_processed,
+                queues: setup.queues,
+                per_queue_reads: Vec::new(),
+                per_queue_gc: Vec::new(),
+                array: Some(ArrayCellStats::from_report(&report, array.placement)),
+            }
+        },
+    ))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn rate_sweep_with_bank(
     base: &SsdConfig,
@@ -1270,6 +1979,7 @@ fn rate_sweep_with_bank(
             queues: setup.queues,
             per_queue_reads: report.per_queue.iter().map(|q| q.reads).collect(),
             per_queue_gc: report.per_queue.iter().map(|q| q.gc).collect(),
+            array: None,
         }
     })
 }
@@ -1458,6 +2168,7 @@ mod tests {
                 avg_retry_steps: 10.0,
                 read_latency: LatencySummary::default(),
                 events: 0,
+                array: None,
             },
             MatrixCell {
                 workload: "w".into(),
@@ -1469,6 +2180,7 @@ mod tests {
                 avg_retry_steps: 10.0,
                 read_latency: LatencySummary::default(),
                 events: 0,
+                array: None,
             },
         ];
         let s = reduction_vs(&cells, "PnAR2", "Baseline", true);

@@ -6,7 +6,7 @@
 //! <class>_p999_us`); an empty class leaves its quantile columns blank
 //! rather than fabricating a `0.0` tail, mirroring the CLI's `—` cells.
 
-use crate::experiment::{MatrixCell, QdSweepCell, RateSweepCell};
+use crate::experiment::{ArrayCellStats, MatrixCell, QdSweepCell, RateSweepCell};
 use rr_sim::metrics::{GcStalls, LatencySummary};
 use std::fmt::Write as _;
 
@@ -68,17 +68,87 @@ fn per_queue_gc_cols(per_queue_gc: &[GcStalls], max_queues: usize) -> String {
         .collect()
 }
 
-/// Fig. 14/15-style matrix cells as CSV.
+/// How many array columns an export needs: `None` when no cell ran on an
+/// array (legacy exports stay byte-identical), otherwise the widest device
+/// count, so mixed exports blank-pad narrower cells.
+fn array_width<'a>(arrays: impl Iterator<Item = Option<&'a ArrayCellStats>>) -> Option<usize> {
+    arrays.flatten().map(|a| a.per_device.len()).max()
+}
+
+/// Header fragment for the array columns (leading comma included): the
+/// array summary (device count, placement, tail amplification, slowest
+/// device) followed by per-device read-tail and GC-stall columns. Empty
+/// when `width` is `None` — exports without array cells keep the
+/// pre-array byte layout.
+fn array_header(width: Option<usize>) -> String {
+    let Some(width) = width else {
+        return String::new();
+    };
+    let mut h = String::from(
+        ",devices,placement,array_amp_p99,array_amp_p999,\
+         array_best_read_p999_us,array_median_read_p999_us,array_slowest_device",
+    );
+    for d in 0..width {
+        write!(
+            h,
+            ",d{d}_reads_p99_us,d{d}_reads_p999_us,d{d}_gc_stalls,d{d}_gc_stall_us"
+        )
+        .expect("writing to a String cannot fail");
+    }
+    h
+}
+
+/// The array columns of one cell, blank for single-device cells in a mixed
+/// export and blank-padded to `width` devices (leading comma included).
+fn array_cols(array: Option<&ArrayCellStats>, width: Option<usize>) -> String {
+    let Some(width) = width else {
+        return String::new();
+    };
+    let mut s = match array {
+        Some(a) => format!(
+            ",{},{},{},{},{},{},{}",
+            a.devices,
+            a.placement,
+            opt(a.amplification_p99),
+            opt(a.amplification_p999),
+            opt(a.best_read_p999),
+            opt(a.median_read_p999),
+            a.slowest_device.map(|d| d.to_string()).unwrap_or_default()
+        ),
+        None => ",,,,,,,".to_string(),
+    };
+    for d in 0..width {
+        match array.and_then(|a| a.per_device.get(d)) {
+            Some(t) => write!(
+                s,
+                ",{},{},{},{:.3}",
+                opt(t.reads.p99),
+                opt(t.reads.p999),
+                t.gc.stalls(),
+                t.gc.stall_us
+            )
+            .expect("writing to a String cannot fail"),
+            None => s.push_str(",,,,"),
+        }
+    }
+    s
+}
+
+/// Fig. 14/15-style matrix cells as CSV. Array runs (`--devices N`) append
+/// the array summary and per-device columns; single-device exports keep the
+/// pre-array byte layout.
 pub fn matrix_csv(cells: &[MatrixCell]) -> String {
+    let width = array_width(cells.iter().map(|c| c.array.as_ref()));
     let mut out = format!(
         "workload,read_dominant,pec,retention_months,mechanism,\
-         avg_response_us,normalized,avg_retry_steps,events,{}\n",
-        latency_header("read")
+         avg_response_us,normalized,avg_retry_steps,events,{}{}\n",
+        latency_header("read"),
+        array_header(width)
     );
     for c in cells {
         writeln!(
             out,
-            "{},{},{},{},{},{:.3},{:.6},{:.3},{},{}",
+            "{},{},{},{},{},{:.3},{:.6},{:.3},{},{}{}",
             c.workload,
             c.read_dominant,
             c.point.pec,
@@ -88,7 +158,8 @@ pub fn matrix_csv(cells: &[MatrixCell]) -> String {
             c.normalized,
             c.avg_retry_steps,
             c.events,
-            latency_cols(&c.read_latency)
+            latency_cols(&c.read_latency),
+            array_cols(c.array.as_ref(), width)
         )
         .expect("writing to a String cannot fail");
     }
@@ -101,19 +172,21 @@ pub fn matrix_csv(cells: &[MatrixCell]) -> String {
 /// `q{i}_gc_stalls` / `q{i}_gc_stall_us` GC-attribution columns.
 pub fn qd_sweep_csv(cells: &[QdSweepCell]) -> String {
     let max_queues = cells.iter().map(|c| c.queues as usize).max().unwrap_or(1);
+    let width = array_width(cells.iter().map(|c| c.array.as_ref()));
     let mut out = format!(
         "workload,mechanism,queue_depth,queues,pec,retention_months,\
-         avg_response_us,kiops,events,{},{},{}{}{}\n",
+         avg_response_us,kiops,events,{},{},{}{}{}{}\n",
         latency_header("reads"),
         latency_header("writes"),
         latency_header("retried_reads"),
         per_queue_header(max_queues),
-        per_queue_gc_header(max_queues)
+        per_queue_gc_header(max_queues),
+        array_header(width)
     );
     for c in cells {
         writeln!(
             out,
-            "{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}{}{}",
+            "{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}{}{}{}",
             c.workload,
             c.mechanism,
             c.queue_depth,
@@ -127,7 +200,8 @@ pub fn qd_sweep_csv(cells: &[QdSweepCell]) -> String {
             latency_cols(&c.writes),
             latency_cols(&c.retried_reads),
             per_queue_cols(&c.per_queue_reads, max_queues),
-            per_queue_gc_cols(&c.per_queue_gc, max_queues)
+            per_queue_gc_cols(&c.per_queue_gc, max_queues),
+            array_cols(c.array.as_ref(), width)
         )
         .expect("writing to a String cannot fail");
     }
@@ -140,19 +214,21 @@ pub fn qd_sweep_csv(cells: &[QdSweepCell]) -> String {
 /// `q{i}_gc_stalls` / `q{i}_gc_stall_us` GC-attribution columns.
 pub fn rate_sweep_csv(cells: &[RateSweepCell]) -> String {
     let max_queues = cells.iter().map(|c| c.queues as usize).max().unwrap_or(1);
+    let width = array_width(cells.iter().map(|c| c.array.as_ref()));
     let mut out = format!(
         "workload,mechanism,rate,queues,pec,retention_months,\
-         avg_response_us,kiops,events,{},{},{}{}{}\n",
+         avg_response_us,kiops,events,{},{},{}{}{}{}\n",
         latency_header("reads"),
         latency_header("writes"),
         latency_header("retried_reads"),
         per_queue_header(max_queues),
-        per_queue_gc_header(max_queues)
+        per_queue_gc_header(max_queues),
+        array_header(width)
     );
     for c in cells {
         writeln!(
             out,
-            "{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}{}{}",
+            "{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}{}{}{}",
             c.workload,
             c.mechanism,
             c.rate,
@@ -166,7 +242,8 @@ pub fn rate_sweep_csv(cells: &[RateSweepCell]) -> String {
             latency_cols(&c.writes),
             latency_cols(&c.retried_reads),
             per_queue_cols(&c.per_queue_reads, max_queues),
-            per_queue_gc_cols(&c.per_queue_gc, max_queues)
+            per_queue_gc_cols(&c.per_queue_gc, max_queues),
+            array_cols(c.array.as_ref(), width)
         )
         .expect("writing to a String cannot fail");
     }
@@ -247,6 +324,52 @@ mod tests {
             .nth(1)
             .expect("row")
             .starts_with("ro,Baseline,2,1,"));
+    }
+
+    #[test]
+    fn array_sweeps_append_columns_and_legacy_stays_byte_identical() {
+        use crate::experiment::{run_qd_sweep_array, ArraySetup, QueueSetup};
+        use rr_sim::array::PlacementPolicy;
+
+        let base = SsdConfig::scaled_for_tests();
+        let trace = tiny_trace(60);
+        let point = OperatingPoint::new(1000.0, 6.0);
+        let legacy = run_qd_sweep(
+            &base,
+            std::slice::from_ref(&trace),
+            point,
+            &[4],
+            &[Mechanism::Baseline],
+            1,
+        );
+        // Cells without array stats export the exact pre-array byte layout.
+        let legacy_csv = qd_sweep_csv(&legacy);
+        assert!(!legacy_csv.contains("devices"), "{legacy_csv}");
+        let cells = run_qd_sweep_array(
+            &base,
+            std::slice::from_ref(&trace),
+            point,
+            &[4],
+            &[Mechanism::Baseline],
+            &QueueSetup::single(),
+            1,
+            0,
+            ArraySetup::new(2, PlacementPolicy::RoundRobin),
+        );
+        let csv = qd_sweep_csv(&cells);
+        let header = csv.lines().next().expect("header");
+        assert!(
+            header.contains(",devices,placement,array_amp_p99"),
+            "{header}"
+        );
+        assert!(header.contains("d1_gc_stall_us"), "{header}");
+        let row = csv.lines().nth(1).expect("one data row");
+        assert_eq!(
+            row.split(',').count(),
+            header.split(',').count(),
+            "ragged row: {row}"
+        );
+        assert!(row.contains(",2,rr,"), "array summary missing: {row}");
     }
 
     #[test]

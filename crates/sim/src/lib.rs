@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod array;
 pub mod config;
 pub mod event;
 pub mod ftl;
@@ -61,6 +62,7 @@ pub mod shard;
 pub mod snapshot;
 pub mod ssd;
 
+pub use array::{ArrayReport, DeviceSet, Placement, PlacementPolicy};
 pub use config::{ArbPolicy, ConfigError, EventBackend, SsdConfig};
 pub use gc::GcPolicy;
 pub use hostq::{HostQueueConfig, QueueSpec};

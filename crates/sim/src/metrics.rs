@@ -160,6 +160,20 @@ impl SimReport {
     }
 }
 
+/// Raw per-class latency samples of one device run (µs), extracted alongside
+/// the summarized [`SimReport`]. The array layer concatenates these across
+/// devices (in device order) to compute *exact* array-level quantiles — the
+/// summarized per-device p99s cannot be merged, only the samples can.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LatencySamples {
+    /// Host-read response times.
+    pub(crate) reads: Vec<f64>,
+    /// Host-write response times.
+    pub(crate) writes: Vec<f64>,
+    /// Response times of reads that needed ≥ 1 retry step.
+    pub(crate) retried_reads: Vec<f64>,
+}
+
 /// Builder accumulating metrics during a run.
 ///
 /// Deliberately *not* `Default`: a default-constructed collector would carry
@@ -285,6 +299,18 @@ impl MetricsCollector {
     /// account.
     pub fn record_gc_deferral(&mut self, queue: u16) {
         self.per_queue[queue as usize].gc.deferrals += 1;
+    }
+
+    /// Finalizes into a report *and* hands back the raw latency samples the
+    /// summary was computed from, for array-level merging. The report is
+    /// bit-identical to what [`MetricsCollector::finish`] would produce.
+    pub(crate) fn finish_with_samples(self, mechanism: &str) -> (SimReport, LatencySamples) {
+        let samples = LatencySamples {
+            reads: self.read_latencies.samples().to_vec(),
+            writes: self.write_latencies.samples().to_vec(),
+            retried_reads: self.retried_read_latencies.samples().to_vec(),
+        };
+        (self.finish(mechanism), samples)
     }
 
     /// Finalizes into a report.

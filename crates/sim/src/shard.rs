@@ -44,7 +44,7 @@ use crate::event::EventQueue;
 use crate::ftl::{Ftl, Ppn, PpnLocation};
 use crate::gc::{GcPolicy, GcThrottle};
 use crate::hostq::{FrontEnd, HostQueueConfig};
-use crate::metrics::{MetricsCollector, SimReport};
+use crate::metrics::{LatencySamples, MetricsCollector, SimReport};
 use crate::readflow::{Actions, ReadAction, ReadContext, RetryController};
 use crate::request::{HostRequest, IoOp, ReqId, TxnId, TxnKind};
 use crate::scheduler::{ChannelState, DieJob, DieState, QueuedOp, Transfer};
@@ -1461,6 +1461,33 @@ pub fn run_sharded_queued_from(
     image: Option<&DeviceImage>,
     workers: usize,
 ) -> Result<SimReport, String> {
+    run_sharded_queued_collected_from(
+        arena,
+        cfg,
+        make_controller,
+        lpn_count,
+        trace,
+        queues,
+        image,
+        workers,
+    )
+    .map(|(report, _)| report)
+}
+
+/// [`run_sharded_queued_from`] that also hands back the raw latency samples,
+/// for the array layer's exact cross-device quantile merge. The report is
+/// bit-identical to the plain variant.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sharded_queued_collected_from(
+    arena: &mut ShardArena,
+    cfg: impl Into<Arc<SsdConfig>>,
+    make_controller: &dyn Fn() -> Box<dyn RetryController + Send>,
+    lpn_count: u64,
+    trace: &[HostRequest],
+    queues: &HostQueueConfig,
+    image: Option<&DeviceImage>,
+    workers: usize,
+) -> Result<(SimReport, LatencySamples), String> {
     let cfg: Arc<SsdConfig> = cfg.into();
     cfg.validate()?;
     queues
@@ -1601,7 +1628,7 @@ pub fn run_sharded_queued_from(
     }
     let name = cores[0].controller.name().to_string();
     let collector = std::mem::replace(&mut coord.metrics, MetricsCollector::new(max_step, 1));
-    let report = collector.finish(&name);
+    let report = collector.finish_with_samples(&name);
     // Return every buffer to the arena for the next run.
     arena.ftl = Some(coord.ftl);
     arena.events = coord.events;

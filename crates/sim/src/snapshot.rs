@@ -251,6 +251,36 @@ impl ImageBank {
         self.images.iter().find(|i| i.lpn_count() == lpn_count)
     }
 
+    /// Forks one warm image across every device of an array: `devices`
+    /// references to the bank's image for `lpn_count` (the devices are
+    /// full-footprint replicas, so they all restore from the *same* image).
+    /// No image bytes are cloned here — each device's
+    /// [`crate::array::DeviceSet`] slot restores from the shared reference
+    /// into its own retained allocations, query after query.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ConfigError`] when `devices` is zero or the bank holds no
+    /// image for the footprint (a device-count/footprint mismatch must not
+    /// silently fall back to a cold start).
+    pub fn fork_for_array(
+        &self,
+        lpn_count: u64,
+        devices: u32,
+    ) -> Result<Vec<&DeviceImage>, ConfigError> {
+        if devices == 0 {
+            return Err(ConfigError::new(
+                "an array needs at least one device (devices = 0)",
+            ));
+        }
+        let image = self.get(lpn_count).ok_or_else(|| {
+            ConfigError::new(format!(
+                "image bank holds no {lpn_count}-page image to fork across {devices} devices"
+            ))
+        })?;
+        Ok(vec![image; devices as usize])
+    }
+
     /// The images, in insertion order.
     pub fn images(&self) -> &[DeviceImage] {
         &self.images
@@ -397,6 +427,19 @@ mod tests {
             ImageBank::from_bytes(&bytes),
             Err(CodecError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn fork_for_array_shares_one_image_without_cloning() {
+        let cfg = small_cfg();
+        let bank = ImageBank::preconditioned(&cfg, [300]).unwrap();
+        let forks = bank.fork_for_array(300, 4).unwrap();
+        assert_eq!(forks.len(), 4);
+        let base = bank.get(300).unwrap() as *const DeviceImage;
+        // Every device slot points at the same image — forking is free.
+        assert!(forks.iter().all(|f| std::ptr::eq(*f, base)));
+        assert!(bank.fork_for_array(300, 0).is_err());
+        assert!(bank.fork_for_array(301, 4).is_err());
     }
 
     #[test]

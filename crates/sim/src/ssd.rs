@@ -26,7 +26,7 @@ use crate::event::EventQueue;
 use crate::ftl::{Ftl, Ppn, PpnLocation};
 use crate::gc::{GcPolicy, GcThrottle};
 use crate::hostq::{FrontEnd, HostQueueConfig};
-use crate::metrics::{MetricsCollector, SimReport};
+use crate::metrics::{LatencySamples, MetricsCollector, SimReport};
 use crate::readflow::{Actions, ReadAction, ReadContext, RetryController};
 use crate::replay::ReplayMode;
 use crate::request::{HostRequest, IoOp, ReqId, TxnId, TxnKind};
@@ -419,6 +419,25 @@ impl Ssd {
         Ok(report)
     }
 
+    /// [`Ssd::run_pooled_queued_from`] that also hands back the raw latency
+    /// samples, for the array layer's exact cross-device quantile merge. The
+    /// report is bit-identical to the plain variant.
+    pub(crate) fn run_pooled_queued_collected_from(
+        arena: &mut SimArena,
+        cfg: impl Into<Arc<SsdConfig>>,
+        controller: Box<dyn RetryController>,
+        lpn_count: u64,
+        trace: &[HostRequest],
+        queues: &HostQueueConfig,
+        image: Option<&DeviceImage>,
+    ) -> Result<(SimReport, LatencySamples), String> {
+        let mut ssd = Self::assemble_from(arena, cfg.into(), controller, lpn_count, image)?;
+        let (name, collector) = ssd.run_core(trace, queues);
+        let out = collector.finish_with_samples(&name);
+        ssd.release_into(arena);
+        Ok(out)
+    }
+
     /// Snapshots this device's mutable state into a [`DeviceImage`].
     ///
     /// Capture happens at quiescence (before a run, or conceptually between
@@ -470,6 +489,18 @@ impl Ssd {
     }
 
     fn run_mut(&mut self, trace: &[HostRequest], queues: &HostQueueConfig) -> SimReport {
+        let (name, collector) = self.run_core(trace, queues);
+        collector.finish(&name)
+    }
+
+    /// The shared event loop behind [`Ssd::run_mut`] and the collected
+    /// variant: runs the trace to completion and returns the controller name
+    /// plus the filled collector, leaving finalization to the caller.
+    fn run_core(
+        &mut self,
+        trace: &[HostRequest],
+        queues: &HostQueueConfig,
+    ) -> (String, MetricsCollector) {
         queues
             .validate()
             .expect("valid host-queue configuration and replay modes");
@@ -510,7 +541,7 @@ impl Ssd {
         let name = self.controller.name().to_string();
         let collector =
             std::mem::replace(&mut self.metrics, MetricsCollector::new(self.max_step, 1));
-        collector.finish(&name)
+        (name, collector)
     }
 
     /// After the event queue empties, nothing may remain queued anywhere —

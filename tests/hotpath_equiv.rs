@@ -701,6 +701,114 @@ fn sharded_engine_wheel_is_bit_identical_to_heap() {
 }
 
 #[test]
+fn single_device_array_runners_delegate_bit_identically() {
+    // The array-layer gate: `--devices 1` must route through the exact
+    // pre-array code path. The `run_*_array_from` runners with a
+    // single-device setup return the same cells, bit for bit, as the
+    // `run_*_sharded_from` runners they wrap — across the matrix and both
+    // load sweeps, serial and sharded, at every worker count.
+    let base = base_cfg();
+    let traces = workloads();
+    let matrix_traces: Vec<(Trace, bool)> = traces.iter().map(|t| (t.clone(), true)).collect();
+    let point = OperatingPoint::new(2000.0, 6.0);
+    let points = [point];
+    let mechanisms = [Mechanism::Baseline, Mechanism::PnAr2];
+    let setup = QueueSetup::single();
+    let depths = [1u32, 8];
+    let rates = [1.0, 2.0];
+    let bank = ImageBank::preconditioned(&base, traces.iter().map(|t| t.footprint_pages))
+        .expect("valid configuration");
+    let single = ArraySetup::single();
+    assert!(!single.is_array());
+    for (jobs, shards) in [(1usize, 0u32), (2, 2)] {
+        let matrix = run_matrix_sharded_from(
+            &base,
+            &matrix_traces,
+            &points,
+            &mechanisms,
+            jobs,
+            shards,
+            &bank,
+        )
+        .expect("bank covers the matrix");
+        let matrix_arr = run_matrix_array_from(
+            &base,
+            &matrix_traces,
+            &points,
+            &mechanisms,
+            jobs,
+            shards,
+            single,
+            &bank,
+        )
+        .expect("bank covers the matrix");
+        assert_eq!(
+            matrix, matrix_arr,
+            "single-device array matrix diverged at jobs={jobs} shards={shards}"
+        );
+        let qd = run_qd_sweep_sharded_from(
+            &base,
+            &traces,
+            point,
+            &depths,
+            &mechanisms,
+            &setup,
+            jobs,
+            shards,
+            &bank,
+        )
+        .expect("bank covers the sweep");
+        let qd_arr = run_qd_sweep_array_from(
+            &base,
+            &traces,
+            point,
+            &depths,
+            &mechanisms,
+            &setup,
+            jobs,
+            shards,
+            single,
+            &bank,
+        )
+        .expect("bank covers the sweep");
+        assert_eq!(
+            qd, qd_arr,
+            "single-device array QD sweep diverged at jobs={jobs} shards={shards}"
+        );
+        assert!(qd_arr.iter().all(|c| c.array.is_none()));
+        let rate = run_rate_sweep_sharded_from(
+            &base,
+            &traces,
+            point,
+            &rates,
+            &mechanisms,
+            &setup,
+            jobs,
+            shards,
+            &bank,
+        )
+        .expect("bank covers the sweep");
+        let rate_arr = run_rate_sweep_array_from(
+            &base,
+            &traces,
+            point,
+            &rates,
+            &mechanisms,
+            &setup,
+            jobs,
+            shards,
+            single,
+            &bank,
+        )
+        .expect("bank covers the sweep");
+        assert_eq!(
+            rate, rate_arr,
+            "single-device array rate sweep diverged at jobs={jobs} shards={shards}"
+        );
+    }
+}
+
+#[test]
 fn events_processed_is_deterministic_and_nonzero() {
     let rpt = ReadTimingParamTable::default();
     let trace = MsrcWorkload::Mds1.synthesize(150, 2);
