@@ -12,13 +12,14 @@ use rr_core::experiment::{
 use rr_core::rpt::ReadTimingParamTable;
 use rr_flash::calibration::ECC_CAPABILITY_PER_KIB;
 use rr_flash::timing::NandTimings;
-use rr_sim::array::{DeviceSet, PlacementPolicy};
+use rr_sim::array::{DeviceSet, FailurePlan, PlacementPolicy, Redundancy};
 use rr_sim::config::{ArbPolicy, EventBackend, SsdConfig};
 use rr_sim::gc::GcPolicy;
 use rr_sim::metrics::{GcStalls, LatencySummary};
 use rr_sim::shard::ShardArena;
 use rr_sim::snapshot::ImageBank;
 use rr_sim::ssd::SimArena;
+use rr_util::time::SimTime;
 use rr_workloads::msrc::MsrcWorkload;
 use rr_workloads::trace::Trace;
 use rr_workloads::ycsb::YcsbWorkload;
@@ -76,6 +77,15 @@ pub struct Options {
     /// stripe, `hash` LPN-hash, `tier` hot/cold tiering). Ignored at
     /// `--devices 1`.
     pub placement: PlacementPolicy,
+    /// Redundancy scheme layered over the placement (`none`, `replicate:R`,
+    /// `ec:K:N`). Reads complete at the first-of-R replica / k-th stripe
+    /// response; `none` keeps the plain array path byte-identical.
+    pub redundancy: Redundancy,
+    /// Fail-stop device index for the rebuild-traffic experiment
+    /// (`--fail-device D --fail-at-us T`, both required together).
+    pub fail_device: Option<u32>,
+    /// Simulated failure time in microseconds for `--fail-device`.
+    pub fail_at_us: Option<u64>,
     /// Event-queue backend policy (`hotpath.event_backend`): `heap` honors
     /// `--timing-wheel` alone, `wheel` pins the wheel, `auto` picks the
     /// wheel once the per-shard steady-state depth crosses the measured
@@ -128,12 +138,21 @@ impl Options {
             .with_event_backend(self.event_backend)
     }
 
-    /// The `--devices`/`--placement` pair as an [`ArraySetup`]; one device
-    /// keeps every runner on its pre-array code path.
+    /// The `--devices`/`--placement`/`--redundancy`/`--fail-device` knobs as
+    /// an [`ArraySetup`]; one device (or `none` with no failure) keeps every
+    /// runner on its pre-redundancy code path.
     fn array_setup(&self) -> ArraySetup {
         ArraySetup {
             devices: self.devices,
             placement: self.placement,
+            redundancy: self.redundancy,
+            failure: match (self.fail_device, self.fail_at_us) {
+                (Some(d), Some(t)) => Some(FailurePlan {
+                    device: d,
+                    at: SimTime::from_us(t),
+                }),
+                _ => None,
+            },
         }
     }
 
@@ -739,20 +758,24 @@ pub fn fig14(opts: &Options) -> bool {
     };
     print_matrix(&cells, &Mechanism::FIG14);
     if opts.devices > 1 {
-        print_array_tails(cells.iter().filter_map(|c| {
-            c.array.as_ref().map(|a| {
-                (
-                    format!(
-                        "{} @ ({}, {} mo) / {}",
-                        c.workload,
-                        c.point.pec as u64,
-                        c.point.retention_months as u64,
-                        c.mechanism
-                    ),
-                    a,
-                )
+        let labelled = || {
+            cells.iter().filter_map(|c| {
+                c.array.as_ref().map(|a| {
+                    (
+                        format!(
+                            "{} @ ({}, {} mo) / {}",
+                            c.workload,
+                            c.point.pec as u64,
+                            c.point.retention_months as u64,
+                            c.mechanism
+                        ),
+                        a,
+                    )
+                })
             })
-        }));
+        };
+        print_array_tails(labelled());
+        print_redundancy(labelled());
     }
     println!();
     for m in ["PR2", "AR2", "PnAR2"] {
@@ -963,14 +986,18 @@ pub fn sweep_qd(opts: &Options) -> bool {
         );
     }
     if opts.devices > 1 {
-        print_array_tails(cells.iter().filter_map(|c| {
-            c.array.as_ref().map(|a| {
-                (
-                    format!("{} / {} / QD={}", c.workload, c.mechanism, c.queue_depth),
-                    a,
-                )
+        let labelled = || {
+            cells.iter().filter_map(|c| {
+                c.array.as_ref().map(|a| {
+                    (
+                        format!("{} / {} / QD={}", c.workload, c.mechanism, c.queue_depth),
+                        a,
+                    )
+                })
             })
-        }));
+        };
+        print_array_tails(labelled());
+        print_redundancy(labelled());
     }
     println!(
         "\n(closed-loop: trace timestamps ignored, QD requests kept outstanding;\n\
@@ -1143,6 +1170,82 @@ fn print_array_tails<'a>(cells: impl Iterator<Item = (String, &'a ArrayCellStats
     );
 }
 
+/// The redundancy tables of a `--redundancy`/`--fail-device` run: the
+/// wait-for-k completion tail, straggler rescues (reads that would have
+/// waited on the slowest device's GC window), and the per-device fan-out /
+/// rebuild-read counts that show survivors absorbing reconstruction traffic.
+/// Prints nothing when no cell carries redundancy stats, so the plain array
+/// path's stdout stays byte-identical.
+fn print_redundancy<'a>(cells: impl Iterator<Item = (String, &'a ArrayCellStats)>) {
+    let cells: Vec<(String, &rr_sim::array::RedundancyStats)> = cells
+        .filter_map(|(prefix, a)| a.redundancy.as_ref().map(|r| (prefix, r)))
+        .collect();
+    if cells.is_empty() {
+        return;
+    }
+    println!("\nredundancy: wait-for-k completion tail and straggler rescues:");
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|(prefix, r)| {
+            vec![
+                prefix.clone(),
+                r.scheme.clone(),
+                r.wait_for_k.count.to_string(),
+                us_opt(r.wait_for_k.p50),
+                us_opt(r.wait_for_k.p99),
+                us_opt(r.wait_for_k.p999),
+                r.rescued_reads.to_string(),
+                format!("{:.1}", r.rescued_saved_us),
+                r.failed_device
+                    .map_or_else(|| "—".into(), |d| format!("d{d}")),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "run".into(),
+                "scheme".into(),
+                "reads".into(),
+                "p50".into(),
+                "p99".into(),
+                "p99.9".into(),
+                "rescued".into(),
+                "saved µs".into(),
+                "failed".into(),
+            ],
+            &rows
+        )
+    );
+    println!("\nredundancy: per-device fan-out and rebuild reads:");
+    let mut rows = Vec::new();
+    for (prefix, r) in &cells {
+        for d in 0..r.fanout_reads.len() {
+            rows.push(vec![
+                prefix.clone(),
+                format!("d{d}"),
+                r.fanout_reads[d].to_string(),
+                r.fanout_writes[d].to_string(),
+                r.rebuild_reads[d].to_string(),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "run".into(),
+                "device".into(),
+                "read copies".into(),
+                "write copies".into(),
+                "rebuild reads".into(),
+            ],
+            &rows
+        )
+    );
+}
+
 /// Offered-load sweep: open-loop replay with each configured arrival-rate
 /// multiplier — the hockey-stick sibling of `sweep-qd`. Returns `false`
 /// when a `--from-image` bank cannot be loaded or does not cover the sweep
@@ -1270,14 +1373,18 @@ pub fn sweep_rate(opts: &Options) -> bool {
         );
     }
     if opts.devices > 1 {
-        print_array_tails(cells.iter().filter_map(|c| {
-            c.array.as_ref().map(|a| {
-                (
-                    format!("{} / {} / rate={}", c.workload, c.mechanism, c.rate),
-                    a,
-                )
+        let labelled = || {
+            cells.iter().filter_map(|c| {
+                c.array.as_ref().map(|a| {
+                    (
+                        format!("{} / {} / rate={}", c.workload, c.mechanism, c.rate),
+                        a,
+                    )
+                })
             })
-        }));
+        };
+        print_array_tails(labelled());
+        print_redundancy(labelled());
     }
     println!(
         "\n(open-loop: trace timestamps divided by the rate multiplier; rates past\n\
@@ -1367,6 +1474,8 @@ struct PerfRecord {
     shards: f64,
     devices: f64,
     placement: String,
+    redundancy: String,
+    fail: String,
     events_per_sec: f64,
 }
 
@@ -1398,6 +1507,12 @@ fn parse_perf_history(history: &str) -> Vec<PerfRecord> {
                 placement: json_str_field(line, "placement")
                     .unwrap_or("rr")
                     .to_string(),
+                // Absent in pre-redundancy archives: those runs measured the
+                // plain array path with no failure injection.
+                redundancy: json_str_field(line, "redundancy")
+                    .unwrap_or("none")
+                    .to_string(),
+                fail: json_str_field(line, "fail").unwrap_or("none").to_string(),
                 events_per_sec: json_f64_field(line, "events_per_sec").filter(|e| e.is_finite())?,
             })
         })();
@@ -1434,16 +1549,28 @@ fn perf_axes(opts: &Options) -> (String, String) {
     (qd, rates)
 }
 
+/// The `--fail-device`/`--fail-at-us` pair as a comparability-key axis:
+/// `"d{D}@{T}"` when failure injection is on, `"none"` otherwise (matching
+/// the backfill for pre-redundancy archive records).
+fn perf_fail_axis(opts: &Options) -> String {
+    match (opts.fail_device, opts.fail_at_us) {
+        (Some(d), Some(t)) => format!("d{d}@{t}"),
+        _ => "none".to_string(),
+    }
+}
+
 /// The ROADMAP's perf trajectory gate. The canonical spec lives in the
 /// README's "Perf regression gate" subsection; in code terms: this run's
 /// overall events/sec is compared against the median of the last
 /// [`PERF_GATE_TRAILING`] (10) *comparable* archived runs in
 /// [`PERF_HISTORY_FILE`], where comparable means the same `--quick`,
 /// `--jobs`, `--seed`, `--queue-depth`, `--rate`, `--timing-wheel`,
-/// `--shards`, `--devices`, and `--placement` values (wheel and heap runs
-/// are archived under separate keys, sharded runs never gate against serial
-/// ones, and N-device array runs never gate against single-device ones —
-/// the engines have different per-event costs). Returns
+/// `--shards`, `--devices`, `--placement`, `--redundancy`, and
+/// `--fail-device`/`--fail-at-us` values (wheel and heap runs are archived
+/// under separate keys, sharded runs never gate against serial ones,
+/// N-device array runs never gate against single-device ones, and redundant
+/// or failure-injected runs never gate against plain ones — the engines and
+/// routed workloads have different per-event costs). Returns
 /// `false` — failing `repro perf` and therefore CI — when throughput drops
 /// below [`PERF_GATE_RATIO`] (0.7×) of that median; skips gracefully while
 /// fewer than [`PERF_GATE_MIN_RUNS`] (3) comparable runs exist. Only runs
@@ -1452,6 +1579,7 @@ fn perf_axes(opts: &Options) -> (String, String) {
 /// passes.
 fn perf_gate(opts: &Options, events_per_sec: f64) -> bool {
     let (qd_axis, rate_axis) = perf_axes(opts);
+    let fail_axis = perf_fail_axis(opts);
     let history = std::fs::read_to_string(PERF_HISTORY_FILE).unwrap_or_default();
     let prior: Vec<f64> = parse_perf_history(&history)
         .into_iter()
@@ -1465,6 +1593,8 @@ fn perf_gate(opts: &Options, events_per_sec: f64) -> bool {
                 && r.shards == opts.shards as f64
                 && r.devices == opts.devices as f64
                 && r.placement == opts.placement.name()
+                && r.redundancy == opts.redundancy.name()
+                && r.fail == fail_axis
         })
         .map(|r| r.events_per_sec)
         .collect();
@@ -1507,7 +1637,8 @@ fn perf_gate(opts: &Options, events_per_sec: f64) -> bool {
         let line = format!(
             "{{\"quick\": {}, \"jobs\": {}, \"seed\": {}, \"qd\": \"{qd_axis}\", \
              \"rates\": \"{rate_axis}\", \"wheel\": {}, \"shards\": {}, \
-             \"devices\": {}, \"placement\": \"{}\", \
+             \"devices\": {}, \"placement\": \"{}\", \"redundancy\": \"{}\", \
+             \"fail\": \"{fail_axis}\", \
              \"events_per_sec\": {events_per_sec:.1}}}\n",
             opts.quick,
             opts.jobs,
@@ -1515,7 +1646,8 @@ fn perf_gate(opts: &Options, events_per_sec: f64) -> bool {
             opts.timing_wheel,
             opts.shards,
             opts.devices,
-            opts.placement.name()
+            opts.placement.name(),
+            opts.redundancy.name()
         );
         let append = std::fs::OpenOptions::new()
             .create(true)
@@ -1713,6 +1845,11 @@ pub fn perf(opts: &Options) -> bool {
         "  \"placement\": \"{}\",\n",
         opts.placement.name()
     ));
+    json.push_str(&format!(
+        "  \"redundancy\": \"{}\",\n",
+        opts.redundancy.name()
+    ));
+    json.push_str(&format!("  \"fail\": \"{}\",\n", perf_fail_axis(opts)));
     json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(

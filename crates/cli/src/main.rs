@@ -65,6 +65,10 @@ fn main() -> ExitCode {
     let mut devices = 1u32;
     let mut placement = rr_sim::array::PlacementPolicy::RoundRobin;
     let mut placement_given = false;
+    let mut redundancy = rr_sim::array::Redundancy::None;
+    let mut redundancy_given = false;
+    let mut fail_device: Option<u32> = None;
+    let mut fail_at_us: Option<u64> = None;
     let mut event_backend = rr_sim::config::EventBackend::Heap;
     let mut csv_dir: Option<String> = None;
     let mut from_image: Option<String> = None;
@@ -254,6 +258,37 @@ fn main() -> ExitCode {
                 placement = v;
                 placement_given = true;
             }
+            "--redundancy" => {
+                i += 1;
+                let parsed = args
+                    .get(i)
+                    .and_then(|s| rr_sim::array::Redundancy::parse(s));
+                let Some(v) = parsed else {
+                    eprintln!(
+                        "--redundancy requires 'none', 'replicate:R' (R >= 2), or \
+                         'ec:K:N' (1 <= K < N)"
+                    );
+                    return ExitCode::FAILURE;
+                };
+                redundancy = v;
+                redundancy_given = true;
+            }
+            "--fail-device" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<u32>().ok()) else {
+                    eprintln!("--fail-device requires a device index");
+                    return ExitCode::FAILURE;
+                };
+                fail_device = Some(v);
+            }
+            "--fail-at-us" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<u64>().ok()) else {
+                    eprintln!("--fail-at-us requires a trace time in microseconds");
+                    return ExitCode::FAILURE;
+                };
+                fail_at_us = Some(v);
+            }
             "--event-backend" => {
                 i += 1;
                 let Some(v) = args.get(i) else {
@@ -381,6 +416,52 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    // The redundancy layer sits on the same array runners (not serve, whose
+    // query protocol has no redundancy axis yet).
+    if (redundancy_given || fail_device.is_some() || fail_at_us.is_some())
+        && !matches!(
+            command.as_str(),
+            "fig14" | "sweep-qd" | "sweep-rate" | "export" | "perf"
+        )
+    {
+        eprintln!(
+            "--redundancy/--fail-device/--fail-at-us apply to fig14, sweep-qd, sweep-rate, \
+             export, and perf"
+        );
+        return ExitCode::FAILURE;
+    }
+    if redundancy.is_redundant() {
+        let span = match redundancy {
+            rr_sim::array::Redundancy::Replicate { r } => r,
+            rr_sim::array::Redundancy::Ec { n, .. } => n,
+            rr_sim::array::Redundancy::None => 1,
+        };
+        if devices < 2 {
+            eprintln!("--redundancy {} requires --devices >= 2", redundancy.name());
+            return ExitCode::FAILURE;
+        }
+        if span > devices {
+            eprintln!(
+                "--redundancy {} spans {span} devices but the array has only {devices}",
+                redundancy.name()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if fail_device.is_some() != fail_at_us.is_some() {
+        eprintln!("--fail-device and --fail-at-us must be given together");
+        return ExitCode::FAILURE;
+    }
+    if let Some(d) = fail_device {
+        if devices < 2 {
+            eprintln!("--fail-device requires --devices >= 2 (survivors must exist)");
+            return ExitCode::FAILURE;
+        }
+        if d >= devices {
+            eprintln!("--fail-device {d} is out of range for {devices} devices");
+            return ExitCode::FAILURE;
+        }
+    }
     // The GC knobs only reach the load sweeps, their export, and the
     // device-image verbs that feed/serve those sweeps; accepting them
     // elsewhere would print default-policy results under a flag the user
@@ -433,6 +514,9 @@ fn main() -> ExitCode {
         shards,
         devices,
         placement,
+        redundancy,
+        fail_device,
+        fail_at_us,
         event_backend,
         csv_dir,
         from_image,
@@ -532,6 +616,8 @@ fn print_help() {
          --shards N  run each device on the channel-sharded engine with up to\n           N worker threads (fig14/fig15/matrix/sweep-qd/sweep-rate/perf/\n           serve; default 0 = serial engine; any N >= 1 produces output\n           byte-identical to --shards 1, and the perf gate keys sharded\n           runs separately from serial ones)\n\
          --devices N  route each trace across an array of N full-footprint\n           replica devices (fig14/sweep-qd/sweep-rate/export/perf/serve;\n           default 1 = byte-identical to the single-device stack) and report\n           array-merged distributions plus per-device tails\n\
          --placement rr|hash|tier  how requests pick a device with\n           --devices N: rr stripes round-robin (default), hash routes by\n           LPN hash, tier sends the hot low-LPN quarter to the first half\n           of the array and hashes the rest over the other half\n\
+         --redundancy none|replicate:R|ec:K:N  fan each request out across\n           the array (fig14/sweep-qd/sweep-rate/export/perf, needs\n           --devices >= 2): replicated reads complete at the 1st of R\n           copies, EC reads at the K-th of their stripe fan-out; 'none'\n           (default) is byte-identical to the flag being absent\n\
+         --fail-device D --fail-at-us T  kill device D at trace time T:\n           later requests route around it and deterministic rebuild reads\n           land on the survivors; a T beyond the trace horizon is\n           byte-identical to no failure\n\
          --event-backend heap|wheel|auto  event-queue backend policy\n           (default heap = honor --timing-wheel alone; auto picks the wheel\n           once the per-shard steady-state queue depth crosses the measured\n           crossover; bit-identical results either way)\n\
          --csv DIR for export: write figure + evaluation CSVs into DIR\n\
          --out FILE  for snapshot: write the preconditioned device-image bank\n           (with --gc-stress: the stress image under the GC geometry;\n           otherwise every MSRC/YCSB evaluation footprint)\n\
@@ -539,7 +625,8 @@ fn print_help() {
          \n\
          perf regression gate: fails below 0.7x the median of the last 10\n\
          comparable archived runs (same --quick/--jobs/--seed/--queue-depth/\n\
-         --rate/--timing-wheel/--shards/--devices/--placement); engages once\n\
-         3 comparable runs exist — see README 'Perf regression gate'"
+         --rate/--timing-wheel/--shards/--devices/--placement/--redundancy/\n\
+         --fail-device+--fail-at-us); engages once 3 comparable runs exist —\n\
+         see README 'Perf regression gate'"
     );
 }

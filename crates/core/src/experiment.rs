@@ -10,7 +10,10 @@ use crate::mechanisms::{Ar2Controller, PnAr2Controller, Pr2Controller};
 use crate::pso::PsoController;
 use crate::rpt::ReadTimingParamTable;
 use rr_flash::calibration::OperatingCondition;
-use rr_sim::array::{ArrayReport, DeviceSet, PlacementPolicy};
+use rr_sim::array::{
+    route_redundant, ArrayReport, DeviceSet, FailurePlan, PlacementPolicy, Redundancy,
+    RedundancyStats, RedundantRouting,
+};
 use rr_sim::config::{ArbPolicy, ConfigError, SsdConfig};
 use rr_sim::hostq::HostQueueConfig;
 use rr_sim::metrics::{GcStalls, LatencySummary, SimReport};
@@ -467,8 +470,15 @@ fn run_one_prepared_engine(
 pub struct ArraySetup {
     /// Number of devices in the array (≥ 1).
     pub devices: u32,
-    /// Which device each request lands on.
+    /// Which device each request lands on (the redundancy anchor when a
+    /// scheme fans out).
     pub placement: PlacementPolicy,
+    /// How requests fan out across the array (`--redundancy`);
+    /// [`Redundancy::None`] keeps the placement-only path byte-identical.
+    pub redundancy: Redundancy,
+    /// A mid-run device loss (`--fail-device D --fail-at-us T`), routed and
+    /// rebuilt as [`route_redundant`] describes.
+    pub failure: Option<FailurePlan>,
 }
 
 impl ArraySetup {
@@ -477,17 +487,44 @@ impl ArraySetup {
         Self {
             devices: 1,
             placement: PlacementPolicy::default(),
+            redundancy: Redundancy::None,
+            failure: None,
         }
     }
 
-    /// An array of `devices` devices routed by `placement`.
+    /// An array of `devices` devices routed by `placement` (no redundancy,
+    /// no failure — PR 9's signature).
     pub fn new(devices: u32, placement: PlacementPolicy) -> Self {
-        Self { devices, placement }
+        Self {
+            devices,
+            placement,
+            redundancy: Redundancy::None,
+            failure: None,
+        }
+    }
+
+    /// This setup with a redundancy scheme.
+    pub fn with_redundancy(mut self, redundancy: Redundancy) -> Self {
+        self.redundancy = redundancy;
+        self
+    }
+
+    /// This setup with a mid-run device loss.
+    pub fn with_failure(mut self, failure: Option<FailurePlan>) -> Self {
+        self.failure = failure;
+        self
     }
 
     /// Whether this setup actually fans out (more than one device).
     pub fn is_array(&self) -> bool {
         self.devices > 1
+    }
+
+    /// Whether runs take the redundant routing/merge path — any fan-out
+    /// scheme, or a failure plan (which re-routes even under `none`). The
+    /// placement-only path stays byte-identical when this is false.
+    pub fn is_redundant(&self) -> bool {
+        self.is_array() && (self.redundancy.is_redundant() || self.failure.is_some())
     }
 }
 
@@ -534,11 +571,16 @@ pub struct ArrayCellStats {
     pub median_read_p999: Option<f64>,
     /// Device with the worst read p99.9 — the array-tail suspect.
     pub slowest_device: Option<u32>,
+    /// Redundancy attribution when the cell fanned requests out
+    /// (wait-for-k latency, rescued reads, fan-out and rebuild counters);
+    /// `None` on the placement-only path.
+    pub redundancy: Option<RedundancyStats>,
 }
 
 impl ArrayCellStats {
     fn from_report(report: &ArrayReport, placement: PlacementPolicy) -> Self {
         Self {
+            redundancy: report.redundancy.clone(),
             devices: report.device_count(),
             placement: placement.name().to_string(),
             per_device: report
@@ -614,6 +656,148 @@ fn run_one_prepared_array(
         device_workers,
     )
     .expect("experiment configuration must be valid")
+}
+
+/// One trace routed for an array run: the plain per-device split (the
+/// placement-only path, byte-frozen) or the redundant routing with its copy
+/// map (any fan-out scheme or failure plan).
+enum RoutedTrace {
+    /// Placement-only: one sub-trace per device.
+    Plain(Vec<Trace>),
+    /// Redundant: per-device copy/rebuild streams plus the merge bookkeeping.
+    Redundant(RedundantRouting),
+}
+
+/// Routes `t` for `array`: the redundant path when a scheme fans out or a
+/// failure plan re-routes, the plain split otherwise.
+fn route_for_array(t: &Trace, array: &ArraySetup) -> RoutedTrace {
+    if array.is_redundant() {
+        RoutedTrace::Redundant(route_redundant(
+            &t.requests,
+            array.devices,
+            array.placement,
+            t.footprint_pages,
+            array.redundancy,
+            array.failure,
+        ))
+    } else {
+        RoutedTrace::Plain(t.split_routed(array.devices, |i, r| {
+            array
+                .placement
+                .route(i, r, array.devices, t.footprint_pages)
+        }))
+    }
+}
+
+/// [`run_one_prepared_array`] over either routing: the plain path merges
+/// per-device populations, the redundant path reassembles logical requests
+/// at their wait-for-k order statistic.
+#[allow(clippy::too_many_arguments)]
+fn run_one_prepared_routed(
+    set: &mut DeviceSet,
+    engine: Engine,
+    device_workers: usize,
+    cfg: &Arc<SsdConfig>,
+    mechanism: Mechanism,
+    footprint: u64,
+    routed: &RoutedTrace,
+    rpt: &ReadTimingParamTable,
+    queues: &HostQueueConfig,
+    images: Option<&[&DeviceImage]>,
+) -> ArrayReport {
+    match routed {
+        RoutedTrace::Plain(device_traces) => run_one_prepared_array(
+            set,
+            engine,
+            device_workers,
+            cfg,
+            mechanism,
+            footprint,
+            device_traces,
+            rpt,
+            queues,
+            images,
+        ),
+        RoutedTrace::Redundant(routing) => {
+            let shard_workers = match engine {
+                Engine::Legacy => 0,
+                Engine::Sharded { workers } => workers,
+            };
+            set.run_redundant_from(
+                cfg,
+                &|| mechanism.make_controller(rpt),
+                footprint,
+                routing,
+                queues,
+                images,
+                shard_workers,
+                device_workers,
+            )
+            .expect("experiment configuration must be valid")
+        }
+    }
+}
+
+/// [`run_one_queued_array_from`] under an [`ArraySetup`]'s redundancy scheme
+/// and failure plan: routes `trace` itself (fanning copies out and
+/// injecting rebuild reads as [`route_redundant`] describes) and runs the
+/// resulting streams across the set — the per-query unit redundancy tests
+/// build on. An `array` that is neither redundant nor failed takes the
+/// plain split, bit-identical to [`run_one_queued_array_from`].
+///
+/// # Errors
+///
+/// As [`run_one_queued_array_from`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_one_queued_redundant_from(
+    set: &mut DeviceSet,
+    base: &SsdConfig,
+    mechanism: Mechanism,
+    point: OperatingPoint,
+    trace: &Trace,
+    array: &ArraySetup,
+    rpt: &ReadTimingParamTable,
+    setup: &QueueSetup,
+    queue_depth: u32,
+    images: Option<&[&DeviceImage]>,
+    shards: u32,
+) -> Result<ArrayReport, ConfigError> {
+    let cfg = prepared_config(base, point, mechanism.is_ideal());
+    let front = setup.front(ReplayMode::closed_loop(queue_depth), Some(queue_depth));
+    let devices = set.devices();
+    let shard_workers = match Engine::select(shards, devices as usize) {
+        Engine::Legacy => 0,
+        Engine::Sharded { workers } => workers,
+    };
+    let device_workers = worker_budget(devices, 1);
+    match route_for_array(trace, array) {
+        RoutedTrace::Plain(device_traces) => {
+            let slices: Vec<&[HostRequest]> = device_traces
+                .iter()
+                .map(|t| t.requests.as_slice())
+                .collect();
+            set.run_queued_from(
+                &cfg,
+                &|| mechanism.make_controller(rpt),
+                trace.footprint_pages,
+                &slices,
+                &front,
+                images,
+                shard_workers,
+                device_workers,
+            )
+        }
+        RoutedTrace::Redundant(routing) => set.run_redundant_from(
+            &cfg,
+            &|| mechanism.make_controller(rpt),
+            trace.footprint_pages,
+            &routing,
+            &front,
+            images,
+            shard_workers,
+            device_workers,
+        ),
+    }
 }
 
 /// Builds the warm-start bank every runner forks across its cells: one
@@ -1085,13 +1269,9 @@ fn matrix_array_with_bank(
     // further run `shards` channel cores.
     let engine = Engine::select(shards, jobs.max(1).saturating_mul(devices as usize));
     let device_workers = worker_budget(devices, jobs.max(1));
-    let routed: Vec<Vec<Trace>> = traces
+    let routed: Vec<RoutedTrace> = traces
         .iter()
-        .map(|(t, _)| {
-            t.split_routed(devices, |i, r| {
-                array.placement.route(i, r, devices, t.footprint_pages)
-            })
-        })
+        .map(|(t, _)| route_for_array(t, &array))
         .collect();
     let mut forks: Vec<Vec<&DeviceImage>> = Vec::with_capacity(traces.len());
     for (t, _) in traces {
@@ -1137,7 +1317,7 @@ fn run_array_cell_group(
     device_workers: usize,
     base: &SsdConfig,
     trace: &Trace,
-    device_traces: &[Trace],
+    routed: &RoutedTrace,
     images: &[&DeviceImage],
     read_dominant: bool,
     point: OperatingPoint,
@@ -1148,14 +1328,14 @@ fn run_array_cell_group(
     let cfgs = CellConfigs::new(base, point, mechanisms);
     let queues = HostQueueConfig::single(ReplayMode::OpenLoop);
     let run = |set: &mut DeviceSet, m: Mechanism| {
-        run_one_prepared_array(
+        run_one_prepared_routed(
             set,
             engine,
             device_workers,
             cfgs.get(m),
             m,
             trace.footprint_pages,
-            device_traces,
+            routed,
             rpt,
             &queues,
             Some(images),
@@ -1497,14 +1677,7 @@ fn qd_sweep_array_with_bank(
     let cfgs = CellConfigs::new(base, point, mechanisms);
     let engine = Engine::select(shards, jobs.max(1).saturating_mul(devices as usize));
     let device_workers = worker_budget(devices, jobs.max(1));
-    let routed: Vec<Vec<Trace>> = traces
-        .iter()
-        .map(|t| {
-            t.split_routed(devices, |i, r| {
-                array.placement.route(i, r, devices, t.footprint_pages)
-            })
-        })
-        .collect();
+    let routed: Vec<RoutedTrace> = traces.iter().map(|t| route_for_array(t, &array)).collect();
     let mut forks: Vec<Vec<&DeviceImage>> = Vec::with_capacity(traces.len());
     for t in traces {
         forks.push(bank.fork_for_array(t.footprint_pages, devices)?);
@@ -1523,7 +1696,7 @@ fn qd_sweep_array_with_bank(
         |set, &(ti, queue_depth, m)| {
             let trace = &traces[ti];
             let front = setup.front(ReplayMode::closed_loop(queue_depth), Some(queue_depth));
-            let report = run_one_prepared_array(
+            let report = run_one_prepared_routed(
                 set,
                 engine,
                 device_workers,
@@ -1880,14 +2053,7 @@ fn rate_sweep_array_with_bank(
     let cfgs = CellConfigs::new(base, point, mechanisms);
     let engine = Engine::select(shards, jobs.max(1).saturating_mul(devices as usize));
     let device_workers = worker_budget(devices, jobs.max(1));
-    let routed: Vec<Vec<Trace>> = traces
-        .iter()
-        .map(|t| {
-            t.split_routed(devices, |i, r| {
-                array.placement.route(i, r, devices, t.footprint_pages)
-            })
-        })
-        .collect();
+    let routed: Vec<RoutedTrace> = traces.iter().map(|t| route_for_array(t, &array)).collect();
     let mut forks: Vec<Vec<&DeviceImage>> = Vec::with_capacity(traces.len());
     for t in traces {
         forks.push(bank.fork_for_array(t.footprint_pages, devices)?);
@@ -1906,7 +2072,7 @@ fn rate_sweep_array_with_bank(
         |set, &(ti, rate, m)| {
             let trace = &traces[ti];
             let front = setup.front(ReplayMode::open_loop_rate(rate), None);
-            let report = run_one_prepared_array(
+            let report = run_one_prepared_routed(
                 set,
                 engine,
                 device_workers,

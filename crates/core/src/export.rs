@@ -134,21 +134,66 @@ fn array_cols(array: Option<&ArrayCellStats>, width: Option<usize>) -> String {
     s
 }
 
+/// Whether an export needs the redundancy columns: only when at least one
+/// cell ran under `--redundancy`/`--fail-device`, so plain array (and
+/// legacy) exports keep their byte layout.
+fn redundancy_on<'a>(arrays: impl Iterator<Item = Option<&'a ArrayCellStats>>) -> bool {
+    arrays.flatten().any(|a| a.redundancy.is_some())
+}
+
+/// Header fragment for the redundancy columns (leading comma included):
+/// scheme, failed device, the wait-for-k completion tail, straggler
+/// rescues, and the total rebuild-read fan-in. Empty when `on` is false.
+fn redundancy_header(on: bool) -> String {
+    if !on {
+        return String::new();
+    }
+    ",redundancy,failed_device,wait_for_k_count,wait_for_k_p50_us,\
+     wait_for_k_p99_us,wait_for_k_p999_us,rescued_reads,rescued_saved_us,\
+     rebuild_reads"
+        .to_string()
+}
+
+/// The redundancy columns of one cell, blank for non-redundant cells in a
+/// mixed export (leading comma included).
+fn redundancy_cols(array: Option<&ArrayCellStats>, on: bool) -> String {
+    if !on {
+        return String::new();
+    }
+    match array.and_then(|a| a.redundancy.as_ref()) {
+        Some(r) => format!(
+            ",{},{},{},{},{},{},{},{:.3},{}",
+            r.scheme,
+            r.failed_device.map(|d| d.to_string()).unwrap_or_default(),
+            r.wait_for_k.count,
+            opt(r.wait_for_k.p50),
+            opt(r.wait_for_k.p99),
+            opt(r.wait_for_k.p999),
+            r.rescued_reads,
+            r.rescued_saved_us,
+            r.rebuild_reads.iter().sum::<u64>()
+        ),
+        None => ",,,,,,,,,".to_string(),
+    }
+}
+
 /// Fig. 14/15-style matrix cells as CSV. Array runs (`--devices N`) append
 /// the array summary and per-device columns; single-device exports keep the
 /// pre-array byte layout.
 pub fn matrix_csv(cells: &[MatrixCell]) -> String {
     let width = array_width(cells.iter().map(|c| c.array.as_ref()));
+    let redundant = redundancy_on(cells.iter().map(|c| c.array.as_ref()));
     let mut out = format!(
         "workload,read_dominant,pec,retention_months,mechanism,\
-         avg_response_us,normalized,avg_retry_steps,events,{}{}\n",
+         avg_response_us,normalized,avg_retry_steps,events,{}{}{}\n",
         latency_header("read"),
-        array_header(width)
+        array_header(width),
+        redundancy_header(redundant)
     );
     for c in cells {
         writeln!(
             out,
-            "{},{},{},{},{},{:.3},{:.6},{:.3},{},{}{}",
+            "{},{},{},{},{},{:.3},{:.6},{:.3},{},{}{}{}",
             c.workload,
             c.read_dominant,
             c.point.pec,
@@ -159,7 +204,8 @@ pub fn matrix_csv(cells: &[MatrixCell]) -> String {
             c.avg_retry_steps,
             c.events,
             latency_cols(&c.read_latency),
-            array_cols(c.array.as_ref(), width)
+            array_cols(c.array.as_ref(), width),
+            redundancy_cols(c.array.as_ref(), redundant)
         )
         .expect("writing to a String cannot fail");
     }
@@ -173,20 +219,22 @@ pub fn matrix_csv(cells: &[MatrixCell]) -> String {
 pub fn qd_sweep_csv(cells: &[QdSweepCell]) -> String {
     let max_queues = cells.iter().map(|c| c.queues as usize).max().unwrap_or(1);
     let width = array_width(cells.iter().map(|c| c.array.as_ref()));
+    let redundant = redundancy_on(cells.iter().map(|c| c.array.as_ref()));
     let mut out = format!(
         "workload,mechanism,queue_depth,queues,pec,retention_months,\
-         avg_response_us,kiops,events,{},{},{}{}{}{}\n",
+         avg_response_us,kiops,events,{},{},{}{}{}{}{}\n",
         latency_header("reads"),
         latency_header("writes"),
         latency_header("retried_reads"),
         per_queue_header(max_queues),
         per_queue_gc_header(max_queues),
-        array_header(width)
+        array_header(width),
+        redundancy_header(redundant)
     );
     for c in cells {
         writeln!(
             out,
-            "{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}{}{}{}",
+            "{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}{}{}{}{}",
             c.workload,
             c.mechanism,
             c.queue_depth,
@@ -201,7 +249,8 @@ pub fn qd_sweep_csv(cells: &[QdSweepCell]) -> String {
             latency_cols(&c.retried_reads),
             per_queue_cols(&c.per_queue_reads, max_queues),
             per_queue_gc_cols(&c.per_queue_gc, max_queues),
-            array_cols(c.array.as_ref(), width)
+            array_cols(c.array.as_ref(), width),
+            redundancy_cols(c.array.as_ref(), redundant)
         )
         .expect("writing to a String cannot fail");
     }
@@ -215,20 +264,22 @@ pub fn qd_sweep_csv(cells: &[QdSweepCell]) -> String {
 pub fn rate_sweep_csv(cells: &[RateSweepCell]) -> String {
     let max_queues = cells.iter().map(|c| c.queues as usize).max().unwrap_or(1);
     let width = array_width(cells.iter().map(|c| c.array.as_ref()));
+    let redundant = redundancy_on(cells.iter().map(|c| c.array.as_ref()));
     let mut out = format!(
         "workload,mechanism,rate,queues,pec,retention_months,\
-         avg_response_us,kiops,events,{},{},{}{}{}{}\n",
+         avg_response_us,kiops,events,{},{},{}{}{}{}{}\n",
         latency_header("reads"),
         latency_header("writes"),
         latency_header("retried_reads"),
         per_queue_header(max_queues),
         per_queue_gc_header(max_queues),
-        array_header(width)
+        array_header(width),
+        redundancy_header(redundant)
     );
     for c in cells {
         writeln!(
             out,
-            "{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}{}{}{}",
+            "{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}{}{}{}{}",
             c.workload,
             c.mechanism,
             c.rate,
@@ -243,7 +294,8 @@ pub fn rate_sweep_csv(cells: &[RateSweepCell]) -> String {
             latency_cols(&c.retried_reads),
             per_queue_cols(&c.per_queue_reads, max_queues),
             per_queue_gc_cols(&c.per_queue_gc, max_queues),
-            array_cols(c.array.as_ref(), width)
+            array_cols(c.array.as_ref(), width),
+            redundancy_cols(c.array.as_ref(), redundant)
         )
         .expect("writing to a String cannot fail");
     }

@@ -62,7 +62,10 @@ pub mod shard;
 pub mod snapshot;
 pub mod ssd;
 
-pub use array::{ArrayReport, DeviceSet, Placement, PlacementPolicy};
+pub use array::{
+    route_redundant, ArrayReport, DeviceSet, FailurePlan, Placement, PlacementPolicy, Redundancy,
+    RedundancyStats, RedundantRouting,
+};
 pub use config::{ArbPolicy, ConfigError, EventBackend, SsdConfig};
 pub use gc::GcPolicy;
 pub use hostq::{HostQueueConfig, QueueSpec};

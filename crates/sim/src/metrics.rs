@@ -172,6 +172,12 @@ pub(crate) struct LatencySamples {
     pub(crate) writes: Vec<f64>,
     /// Response times of reads that needed ≥ 1 retry step.
     pub(crate) retried_reads: Vec<f64>,
+    /// Per-trace-request `(response µs, retried)` pairs, indexed by the
+    /// request's position in the device's sub-trace. Empty unless the run
+    /// was collected with per-request tracking — the redundancy layer needs
+    /// it to match a logical request's copies across devices, while plain
+    /// array merges skip the allocation entirely.
+    pub(crate) by_request: Vec<(f64, bool)>,
 }
 
 /// Builder accumulating metrics during a run.
@@ -199,6 +205,7 @@ pub struct MetricsCollector {
     pub(crate) gc_collections: u64,
     pub(crate) events_processed: u64,
     pub(crate) makespan: SimTime,
+    pub(crate) by_request: Vec<(f64, bool)>,
 }
 
 /// Per-host-queue accumulator behind [`QueueLatency`].
@@ -234,7 +241,26 @@ impl MetricsCollector {
             gc_collections: 0,
             events_processed: 0,
             makespan: SimTime::ZERO,
+            by_request: Vec::new(),
         }
+    }
+
+    /// Enables per-request tracking for a trace of `total` requests:
+    /// [`MetricsCollector::record_indexed`] slots land at their trace index.
+    /// Without this call, `record_indexed` is a no-op and the run's metrics
+    /// are bit-identical to an untracked run.
+    pub fn track_requests(&mut self, total: usize) {
+        self.by_request = vec![(0.0, false); total];
+    }
+
+    /// Records the response of the request at trace index `index` (only
+    /// meaningful after [`MetricsCollector::track_requests`]; a no-op
+    /// otherwise).
+    pub fn record_indexed(&mut self, index: u32, response: SimTime, retried: bool) {
+        if self.by_request.is_empty() {
+            return;
+        }
+        self.by_request[index as usize] = (response.as_us_f64(), retried);
     }
 
     /// Records a completed host request of host queue `queue`. `retried`
@@ -304,11 +330,12 @@ impl MetricsCollector {
     /// Finalizes into a report *and* hands back the raw latency samples the
     /// summary was computed from, for array-level merging. The report is
     /// bit-identical to what [`MetricsCollector::finish`] would produce.
-    pub(crate) fn finish_with_samples(self, mechanism: &str) -> (SimReport, LatencySamples) {
+    pub(crate) fn finish_with_samples(mut self, mechanism: &str) -> (SimReport, LatencySamples) {
         let samples = LatencySamples {
             reads: self.read_latencies.samples().to_vec(),
             writes: self.write_latencies.samples().to_vec(),
             retried_reads: self.retried_read_latencies.samples().to_vec(),
+            by_request: std::mem::take(&mut self.by_request),
         };
         (self.finish(mechanism), samples)
     }

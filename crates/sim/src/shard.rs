@@ -243,6 +243,9 @@ struct CoordReq {
     queue: u16,
     remaining: u32,
     retried: bool,
+    /// Trace index, reconstructed as in the legacy engine (`queue + queues
+    /// * seq`): the redundancy merge keys on it.
+    index: u32,
 }
 
 /// Coordinator-side GC job accounting. The per-job preemption budget is
@@ -984,6 +987,9 @@ struct Coordinator {
     gc_jobs: Vec<CoordGcJob>,
     gc_throttle: GcThrottle,
     reads_outstanding: Vec<u32>,
+    /// Per host queue: requests submitted so far, for reconstructing each
+    /// request's trace index (mirror of the legacy engine's).
+    queue_seq: Vec<u32>,
     /// Per-channel inbox items accumulated since the last delivery.
     outboxes: Vec<Vec<InboxItem>>,
 }
@@ -991,6 +997,8 @@ struct Coordinator {
 impl Coordinator {
     fn submit(&mut self, arrival: SimTime, queue: u16, r: HostRequest) {
         let id = ReqId(self.reqs.len() as u32);
+        let index = queue as u32 + self.queue_seq.len() as u32 * self.queue_seq[queue as usize];
+        self.queue_seq[queue as usize] += 1;
         self.reqs.push(CoordReq {
             op: r.op,
             lpn: r.lpn,
@@ -998,6 +1006,7 @@ impl Coordinator {
             queue,
             remaining: r.len_pages,
             retried: false,
+            index,
         });
         self.events.push(arrival, id);
     }
@@ -1239,11 +1248,13 @@ impl Coordinator {
             let is_read = r.op == IoOp::Read;
             let retried = r.retried;
             let queue = r.queue;
+            let index = r.index;
             if is_read {
                 self.reads_outstanding[queue as usize] -= 1;
             }
             self.metrics
                 .record_request(queue, is_read, retried, response, self.now);
+            self.metrics.record_indexed(index, response, retried);
             if let Some(next) = self.front.complete(queue) {
                 self.submit(self.now, queue, next);
             }
@@ -1470,13 +1481,16 @@ pub fn run_sharded_queued_from(
         queues,
         image,
         workers,
+        false,
     )
     .map(|(report, _)| report)
 }
 
 /// [`run_sharded_queued_from`] that also hands back the raw latency samples,
 /// for the array layer's exact cross-device quantile merge. The report is
-/// bit-identical to the plain variant.
+/// bit-identical to the plain variant. `track` additionally records
+/// per-request responses by trace index (the redundancy layer's
+/// copy-matching) without perturbing anything else.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_sharded_queued_collected_from(
     arena: &mut ShardArena,
@@ -1487,6 +1501,7 @@ pub(crate) fn run_sharded_queued_collected_from(
     queues: &HostQueueConfig,
     image: Option<&DeviceImage>,
     workers: usize,
+    track: bool,
 ) -> Result<(SimReport, LatencySamples), String> {
     let cfg: Arc<SsdConfig> = cfg.into();
     cfg.validate()?;
@@ -1602,8 +1617,12 @@ pub(crate) fn run_sharded_queued_collected_from(
         gc_jobs: Vec::new(),
         gc_throttle: GcThrottle::default(),
         reads_outstanding: vec![0; queues.queue_count()],
+        queue_seq: vec![0; queues.queue_count()],
         outboxes: (0..channels).map(|_| Vec::new()).collect(),
     };
+    if track {
+        coord.metrics.track_requests(trace.len());
+    }
     let (front, initial) = FrontEnd::start(queues, trace);
     coord.front = front;
     for (queue, arrival, r) in initial {

@@ -7,7 +7,11 @@
 //! it once (from a preconditioned or mid-life [`crate::ssd::Ssd`]), then fork
 //! it across sweep cells, `--jobs` workers, or a long-lived `repro serve`
 //! process — each restore is allocation-retaining and bit-identical to
-//! rebuilding from scratch. An [`ImageBank`] is the on-disk unit: one image
+//! rebuilding from scratch. Redundant arrays (`--redundancy replicate:R` /
+//! `ec:K:N`) fork the same footprint image across every device of a replica
+//! or stripe set: each copy carries identical preconditioned state, so the
+//! wait-for-k order statistic measures scheduling and GC skew, not
+//! initial-state skew. An [`ImageBank`] is the on-disk unit: one image
 //! per distinct trace footprint, so a whole multi-workload experiment
 //! warm-starts from a single `.rrimg` file.
 //!

@@ -77,6 +77,11 @@ struct ReqState {
     remaining: u32,
     /// Whether any page read of this request needed ≥ 1 retry step.
     retried: bool,
+    /// The request's position in the run's trace. The front end stripes
+    /// trace request `i` to queue `i mod n` and hands each queue's stripe
+    /// out FIFO, so the position is reconstructed at submission from the
+    /// per-queue sequence counters — the redundancy merge keys on it.
+    index: u32,
 }
 
 #[derive(Debug)]
@@ -129,6 +134,12 @@ pub struct Ssd {
     /// Per host queue: admitted read requests not yet completed — the
     /// "queue is busy" signal of [`GcPolicy::QueueShield`].
     reads_outstanding: Vec<u32>,
+    /// Per host queue: requests submitted so far, for reconstructing each
+    /// request's trace index (`queue + queues * seq`).
+    queue_seq: Vec<u32>,
+    /// Whether the run records per-request responses by trace index (the
+    /// redundancy layer's copy-matching; off for every other path).
+    track_requests: bool,
     max_step: u32,
     slab_reuse: bool,
 }
@@ -314,6 +325,8 @@ impl Ssd {
             gc_jobs: Vec::new(),
             gc_throttle: GcThrottle::default(),
             reads_outstanding: Vec::new(),
+            queue_seq: Vec::new(),
+            track_requests: false,
             max_step,
             slab_reuse,
         })
@@ -421,7 +434,10 @@ impl Ssd {
 
     /// [`Ssd::run_pooled_queued_from`] that also hands back the raw latency
     /// samples, for the array layer's exact cross-device quantile merge. The
-    /// report is bit-identical to the plain variant.
+    /// report is bit-identical to the plain variant. `track` additionally
+    /// records per-request responses by trace index (the redundancy layer's
+    /// copy-matching) without perturbing anything else.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_pooled_queued_collected_from(
         arena: &mut SimArena,
         cfg: impl Into<Arc<SsdConfig>>,
@@ -430,8 +446,10 @@ impl Ssd {
         trace: &[HostRequest],
         queues: &HostQueueConfig,
         image: Option<&DeviceImage>,
+        track: bool,
     ) -> Result<(SimReport, LatencySamples), String> {
         let mut ssd = Self::assemble_from(arena, cfg.into(), controller, lpn_count, image)?;
+        ssd.track_requests = track;
         let (name, collector) = ssd.run_core(trace, queues);
         let out = collector.finish_with_samples(&name);
         ssd.release_into(arena);
@@ -519,8 +537,13 @@ impl Ssd {
             );
         }
         self.metrics = MetricsCollector::new(self.max_step, queues.queue_count());
+        if self.track_requests {
+            self.metrics.track_requests(trace.len());
+        }
         self.reads_outstanding.clear();
         self.reads_outstanding.resize(queues.queue_count(), 0);
+        self.queue_seq.clear();
+        self.queue_seq.resize(queues.queue_count(), 0);
         self.gc_throttle.reset();
         let (front, initial) = FrontEnd::start(queues, trace);
         self.front = front;
@@ -606,6 +629,8 @@ impl Ssd {
     /// event fires).
     fn submit(&mut self, arrival: SimTime, queue: u16, r: HostRequest) {
         let id = ReqId(self.reqs.len() as u32);
+        let index = queue as u32 + self.queue_seq.len() as u32 * self.queue_seq[queue as usize];
+        self.queue_seq[queue as usize] += 1;
         self.reqs.push(ReqState {
             op: r.op,
             lpn: r.lpn,
@@ -613,6 +638,7 @@ impl Ssd {
             queue,
             remaining: r.len_pages,
             retried: false,
+            index,
         });
         self.events.push(arrival, Event::Arrive(id));
     }
@@ -1445,11 +1471,13 @@ impl Ssd {
             let is_read = r.op == IoOp::Read;
             let retried = r.retried;
             let queue = r.queue;
+            let index = r.index;
             if is_read {
                 self.reads_outstanding[queue as usize] -= 1;
             }
             self.metrics
                 .record_request(queue, is_read, retried, response, self.now);
+            self.metrics.record_indexed(index, response, retried);
             // Closed loop: the completing queue submits its next backlog
             // request (an `Arrive` event at `now`, FIFO within the tick, so
             // same-tick completion bursts submit in trace order per queue).

@@ -1,10 +1,13 @@
 //! Property-based tests for the simulator substrate: FTL mapping invariants
-//! under arbitrary operation sequences, and event-queue ordering.
+//! under arbitrary operation sequences, event-queue ordering, and the
+//! redundancy layer's replica/stripe-set routing.
 
 use proptest::prelude::*;
+use rr_sim::array::{PlacementPolicy, Redundancy};
 use rr_sim::config::SsdConfig;
 use rr_sim::event::EventQueue;
 use rr_sim::ftl::Ftl;
+use rr_sim::request::{HostRequest, IoOp};
 use rr_util::time::SimTime;
 
 fn small_cfg() -> SsdConfig {
@@ -132,6 +135,106 @@ proptest! {
             prop_assert_eq!(a, b, "drain diverged");
             if a.is_none() {
                 break;
+            }
+        }
+    }
+
+    /// `Redundancy::route_set` is a pure deterministic function with the
+    /// documented shape for any (scheme, request, array, failure) input:
+    /// stable across calls, never larger than the stripe span, never
+    /// repeating a device, in-range, skipping the failed device — and its
+    /// degraded set is the unfailed set's surviving prefix order with at
+    /// most one fill-in successor appended.
+    #[test]
+    fn route_set_is_stable_bounded_and_degrades_deterministically(
+        scheme_pick in 0u8..3,
+        r in 2u32..6,
+        k in 1u32..5,
+        extra in 1u32..4,
+        devices in 1u32..9,
+        failed_raw in 0u32..10,
+        index in 0usize..10_000,
+        lpn in 0u64..100_000,
+        is_read in any::<bool>(),
+        policy_pick in 0u8..3,
+    ) {
+        let scheme = match scheme_pick {
+            0 => Redundancy::None,
+            1 => Redundancy::Replicate { r },
+            _ => Redundancy::Ec { k, n: k + extra },
+        };
+        let policy = match policy_pick {
+            0 => PlacementPolicy::RoundRobin,
+            1 => PlacementPolicy::LpnHash,
+            _ => PlacementPolicy::HotCold,
+        };
+        // 0 = no failure, 1..=9 = device 0..=8 failed (possibly out of range).
+        let failed = failed_raw.checked_sub(1);
+        let footprint = 100_000u64;
+        let op = if is_read { IoOp::Read } else { IoOp::Write };
+        let req = HostRequest::new(SimTime::from_us(index as u64), op, lpn, 1);
+        let set = scheme.route_set(index, &req, devices, footprint, policy, failed);
+        // Stable across calls.
+        prop_assert_eq!(
+            &set,
+            &scheme.route_set(index, &req, devices, footprint, policy, failed),
+            "route_set must be a pure function"
+        );
+        // Never empty, never over the stripe span, never out of range,
+        // never repeating a device.
+        let span = match scheme {
+            Redundancy::None => 1,
+            Redundancy::Replicate { r } => r.min(devices),
+            Redundancy::Ec { k, n } => if is_read { k.min(n).min(devices) } else { n.min(devices) },
+        };
+        prop_assert!(!set.is_empty(), "a request must route somewhere");
+        prop_assert!(set.len() <= span as usize, "set exceeds the stripe span");
+        prop_assert!(set.iter().all(|&d| d < devices), "out-of-range device");
+        let mut dedup = set.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), set.len(), "a device repeated in the set");
+        // The failed device is never a member as long as the stripe span
+        // holds an alternative; with nothing else in span (e.g. `none` with
+        // its primary dead, or a one-device array) the set degenerates to
+        // the placement primary rather than losing the request.
+        if let Some(f) = failed {
+            let primary = policy.route(index, &req, devices, footprint);
+            let full_span = match scheme {
+                Redundancy::None => 1,
+                Redundancy::Replicate { .. } => devices,
+                Redundancy::Ec { n, .. } => n.min(devices),
+            };
+            let has_alternative = (0..full_span).any(|j| (primary + j) % devices != f);
+            if has_alternative {
+                prop_assert!(
+                    !set.contains(&f),
+                    "the failed device must be routed around"
+                );
+            } else {
+                prop_assert_eq!(
+                    &set,
+                    &vec![primary],
+                    "with no in-span survivor the set degenerates to the primary"
+                );
+            }
+        }
+        // Deterministic degradation: the unfailed set minus the failed
+        // device is a prefix of the degraded set (survivors keep their
+        // order), and at most one fill-in successor is appended.
+        if let Some(f) = failed {
+            let unfailed = scheme.route_set(index, &req, devices, footprint, policy, None);
+            if devices > 1 || f >= devices {
+                let kept: Vec<u32> =
+                    unfailed.iter().copied().filter(|&d| d != f).collect();
+                prop_assert!(
+                    set.len() >= kept.len() && set[..kept.len()] == kept[..],
+                    "survivors must keep their unfailed order"
+                );
+                prop_assert!(
+                    set.len() <= kept.len() + 1,
+                    "at most one successor fills in for the failed member"
+                );
             }
         }
     }

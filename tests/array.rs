@@ -1,8 +1,10 @@
 //! Array-layer suite: the `DeviceSet`/`Placement` stack must (1) route
 //! every request to exactly one device under every policy, (2) reduce to
 //! the legacy single-device engine bit-for-bit at `devices = 1`, (3) stay
-//! deterministic across reruns and worker counts, and (4) attribute
-//! array-tail excursions to the per-device GC activity that caused them.
+//! deterministic across reruns and worker counts, (4) attribute array-tail
+//! excursions to the per-device GC activity that caused them, and (5) keep
+//! computing array quantiles from concatenated raw samples — never from
+//! per-device quantiles — when redundancy fans requests out.
 
 use ssd_readretry::prelude::*;
 use ssd_readretry::sim::array::route_indices;
@@ -347,6 +349,66 @@ fn device_count_mismatches_are_typed_errors() {
         "a 2-slot fork into 3 devices must be refused"
     );
     assert!(bank.fork_for_array(t.footprint_pages, 0).is_err());
+}
+
+#[test]
+fn array_quantiles_are_concatenated_samples_not_quantiles_of_quantiles() {
+    // Under redundancy the array's latency classes must be computed from
+    // the raw per-logical-request samples (each the wait-for-k order
+    // statistic over its copies), never by aggregating per-device
+    // quantiles: the counts expose the basis, and the wait-for-1 quantiles
+    // sit *below* every per-device quantile — impossible for any
+    // average/median of the per-device quantiles.
+    let base = base_cfg();
+    let t = trace();
+    let array = ArraySetup::new(2, PlacementPolicy::RoundRobin)
+        .with_redundancy(Redundancy::Replicate { r: 2 });
+    let mut set = DeviceSet::new(2).expect("devices >= 1");
+    let report = run_one_queued_redundant_from(
+        &mut set,
+        &base,
+        Mechanism::PnAr2,
+        OperatingPoint::new(2000.0, 6.0),
+        &t,
+        &array,
+        &ReadTimingParamTable::default(),
+        &QueueSetup::single(),
+        8,
+        None,
+        0,
+    )
+    .expect("valid redundant configuration");
+    let logical_reads = t.requests.iter().filter(|r| r.op == IoOp::Read).count() as u64;
+    // The array read class counts logical requests; the per-device copy
+    // populations are strictly larger (2x under full replication).
+    assert_eq!(report.read_latency.count, logical_reads);
+    let copy_total: u64 = report.devices.iter().map(|d| d.read_latency.count).sum();
+    assert_eq!(copy_total, 2 * logical_reads);
+    let per_device_p99: Vec<f64> = report
+        .devices
+        .iter()
+        .map(|d| d.read_latency.p99.expect("copies exist"))
+        .collect();
+    let array_p99 = report.read_latency.p99.expect("reads exist");
+    for &device_p99 in &per_device_p99 {
+        assert!(
+            array_p99 <= device_p99,
+            "wait-for-1 p99 {array_p99} must not exceed device p99 {device_p99}"
+        );
+    }
+    // amplification_p99 divides the *post-redundancy* array tail by the
+    // best device tail, so hedged reads drive it to <= 1 here.
+    let best_p99 = per_device_p99
+        .iter()
+        .copied()
+        .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+        .expect("reads exist");
+    let amp = report.amplification_p99().expect("reads exist");
+    assert_eq!(amp, array_p99 / best_p99);
+    assert!(
+        amp <= 1.0,
+        "replication across both devices must not amplify the p99: {amp}"
+    );
 }
 
 #[test]
